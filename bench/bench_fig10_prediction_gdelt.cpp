@@ -1,0 +1,92 @@
+// Reproduces Figure 10: GDELT predictions over 7 future days -
+//  (a) relative error predicting the event count of four event-location
+//      pairs (two US, two non-US);
+//  (b) relative error of the coverage prediction for three large US
+//      sources.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "harness/learned_scenario.h"
+#include "harness/prediction_experiment.h"
+#include "harness/selection_experiment.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace freshsel;
+  bench::PrintHeader("bench_fig10_prediction_gdelt",
+                     "Figure 10 (a), (b): GDELT prediction errors over 7 "
+                     "future days");
+  Result<workloads::Scenario> gdelt =
+      workloads::GenerateGdeltScenario(bench::DefaultGdelt());
+  if (!gdelt.ok()) return 1;
+  Result<harness::LearnedScenario> learned =
+      harness::LearnScenario(*gdelt);
+  if (!learned.ok()) return 1;
+
+  const TimePoints days = MakeTimePoints(gdelt->t0 + 1, 7, 1);
+
+  // (a) four event-location pairs: the two largest US subdomains
+  // (location 0) and the two largest elsewhere.
+  std::vector<harness::DomainPoint> us_points =
+      harness::LargestSubdomainPoints(gdelt->world, gdelt->t0, 2, 0);
+  std::vector<harness::DomainPoint> in_points =
+      harness::LargestSubdomainPoints(gdelt->world, gdelt->t0, 2, 1);
+  std::vector<harness::DomainPoint> pairs;
+  pairs.insert(pairs.end(), us_points.begin(), us_points.end());
+  pairs.insert(pairs.end(), in_points.begin(), in_points.end());
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> error_series;
+  for (const harness::DomainPoint& point : pairs) {
+    Result<std::vector<double>> errors =
+        harness::WorldCountPredictionErrors(*learned, point.subdomains,
+                                            days);
+    if (!errors.ok()) return 1;
+    labels.push_back(point.name);
+    error_series.push_back(*errors);
+  }
+  SeriesPrinter panel_a(
+      "Fig 10(a): relative error predicting event counts", "day", labels);
+  for (std::size_t d = 0; d < days.size(); ++d) {
+    std::vector<double> row;
+    for (const auto& series : error_series) row.push_back(series[d]);
+    panel_a.AddPoint(static_cast<double>(d + 1), row);
+  }
+  panel_a.Print(std::cout);
+
+  // (b) coverage prediction error for the three largest sources on US
+  // events.
+  std::vector<world::SubdomainId> us =
+      gdelt->domain().SubdomainsInDim1(0);
+  std::vector<std::size_t> largest = gdelt->LargestSources(3);
+  SeriesPrinter panel_b(
+      "Fig 10(b): relative error of coverage prediction (3 large sources, "
+      "US events)",
+      "day",
+      {gdelt->sources[largest[0]].name(), gdelt->sources[largest[1]].name(),
+       gdelt->sources[largest[2]].name()});
+  std::vector<harness::QualityErrorSeries> source_errors;
+  for (std::size_t i : largest) {
+    Result<harness::QualityErrorSeries> errors =
+        harness::SourceQualityPredictionErrors(*learned, i, us, days);
+    if (!errors.ok()) return 1;
+    source_errors.push_back(*errors);
+  }
+  stats::RunningStats all;
+  for (std::size_t d = 0; d < days.size(); ++d) {
+    std::vector<double> row;
+    for (const auto& series : source_errors) {
+      row.push_back(series.coverage[d]);
+      all.Add(series.coverage[d]);
+    }
+    panel_b.AddPoint(static_cast<double>(d + 1), row);
+  }
+  panel_b.Print(std::cout);
+  std::printf("mean coverage-prediction error: %.4f, max: %.4f "
+              "(paper: small relative error, <= ~8%%)\n",
+              all.mean(), all.max());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Figure 11: relative error predicting the coverage, freshness
+// and accuracy of the two largest BL sources over 13 future months.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "harness/learned_scenario.h"
+#include "harness/prediction_experiment.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace freshsel;
+  bench::PrintHeader("bench_fig11_source_quality_bl",
+                     "Figure 11: quality-prediction error for the two "
+                     "largest BL sources, 13 future months");
+  Result<workloads::Scenario> bl =
+      workloads::GenerateBlScenario(bench::DefaultBl());
+  if (!bl.ok()) return 1;
+  Result<harness::LearnedScenario> learned = harness::LearnScenario(*bl);
+  if (!learned.ok()) return 1;
+
+  const TimePoints months = MakeTimePoints(bl->t0 + 30, 13, 30);
+  std::vector<std::size_t> largest = bl->LargestSources(2);
+  const char* panel_names[2] = {
+      "Fig 11(a): largest source - relative quality-prediction error",
+      "Fig 11(b): 2nd largest source - relative quality-prediction error"};
+
+  for (int p = 0; p < 2; ++p) {
+    Result<harness::QualityErrorSeries> errors =
+        harness::SourceQualityPredictionErrors(*learned, largest[p], {},
+                                               months);
+    if (!errors.ok()) return 1;
+    SeriesPrinter series(panel_names[p], "month",
+                         {"coverage", "freshness", "accuracy"});
+    stats::RunningStats max_tracker;
+    for (std::size_t m = 0; m < months.size(); ++m) {
+      series.AddPoint(static_cast<double>(m + 1),
+                      {errors->coverage[m], errors->local_freshness[m],
+                       errors->accuracy[m]});
+      max_tracker.Add(errors->coverage[m]);
+      max_tracker.Add(errors->local_freshness[m]);
+      max_tracker.Add(errors->accuracy[m]);
+    }
+    series.Print(std::cout);
+    std::printf("source %s: mean error %.4f, max error %.4f "
+                "(paper: <= 1.5%% / 2.5%% for the two largest sources)\n\n",
+                bl->sources[largest[p]].name().c_str(), max_tracker.mean(),
+                max_tracker.max());
+  }
+  return 0;
+}

@@ -1,0 +1,218 @@
+// Reproduces Figure 1 (a)-(f): the three motivating observations.
+//  (a) BL: source update frequency vs average freshness (no correlation);
+//  (b) BL: coverage timelines of two source sets crossing over;
+//  (c) BL: largest source acquired at full vs half frequency;
+//  (d) GDELT: average reporting delay vs fraction of delayed items;
+//  (e) GDELT: coverage timelines for US events, two source sets;
+//  (f) GDELT: largest US source at full vs half frequency.
+
+#include <cstdio>
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "integration/signatures.h"
+#include "metrics/quality.h"
+#include "stats/descriptive.h"
+
+namespace freshsel {
+namespace {
+
+using bench::DefaultBl;
+using bench::DefaultGdelt;
+using workloads::Scenario;
+
+/// Coverage of a set of sources (by index) at day t, optionally restricted
+/// to `subs`.
+double CoverageAt(const Scenario& s, const std::vector<std::size_t>& set,
+                  TimePoint t, const std::vector<world::SubdomainId>& subs,
+                  const BitVector* mask) {
+  std::vector<const source::SourceHistory*> sources;
+  for (std::size_t i : set) sources.push_back(&s.sources[i]);
+  const std::int64_t world_total =
+      mask != nullptr ? s.world.CountAtIn(subs, t) : -1;
+  return metrics::MetricsFromCounts(
+             metrics::ComputeCounts(s.world, sources, t, mask, world_total))
+      .coverage;
+}
+
+void PanelA(const Scenario& bl) {
+  TablePrinter table(
+      "Fig 1(a): BL source avg update frequency vs avg freshness",
+      {"source", "class", "upd_freq(1/day)", "avg_freshness"});
+  std::vector<double> freqs;
+  std::vector<double> freshness;
+  const TimeWindow window{bl.t0, bl.world.horizon()};
+  for (std::size_t i = 0; i < bl.source_count(); ++i) {
+    // Sample freshness monthly to keep the panel cheap.
+    double total = 0.0;
+    int samples = 0;
+    for (TimePoint t = window.first(); t <= window.last(); t += 30) {
+      total += metrics::SourceQualityAt(bl.world, bl.sources[i], t)
+                   .local_freshness;
+      ++samples;
+    }
+    const double avg_freshness = samples > 0 ? total / samples : 0.0;
+    const double freq = bl.sources[i].schedule().frequency();
+    freqs.push_back(freq);
+    freshness.push_back(avg_freshness);
+    table.AddRow({bl.sources[i].name(),
+                  workloads::SourceClassName(bl.classes[i]),
+                  FormatDouble(freq, 3), FormatDouble(avg_freshness, 3)});
+  }
+  table.Print(std::cout);
+  // The paper's observation: no clear correspondence.
+  const double mean_f = stats::Mean(freqs);
+  const double mean_y = stats::Mean(freshness);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    cov += (freqs[i] - mean_f) * (freshness[i] - mean_y);
+  }
+  const double denom = stats::StdDev(freqs) * stats::StdDev(freshness) *
+                       static_cast<double>(freqs.size() - 1);
+  std::printf("correlation(update frequency, freshness) = %.3f "
+              "(paper: no clear correspondence)\n\n",
+              denom > 0 ? cov / denom : 0.0);
+}
+
+void CoverageTimelines(const Scenario& s, const char* title,
+                       const std::vector<std::size_t>& set1,
+                       const std::vector<std::size_t>& set2,
+                       const std::vector<world::SubdomainId>& subs,
+                       TimePoint begin, TimePoint end, TimePoint stride) {
+  const BitVector mask = integration::DomainMask(s.world, subs);
+  SeriesPrinter series(title, "day", {"set1", "set2"});
+  int crossings = 0;
+  double prev_diff = 0.0;
+  for (TimePoint t = begin; t <= end; t += stride) {
+    const double c1 = CoverageAt(s, set1, t, subs, &mask);
+    const double c2 = CoverageAt(s, set2, t, subs, &mask);
+    series.AddPoint(static_cast<double>(t), {c1, c2});
+    const double diff = c1 - c2;
+    if (t > begin && diff * prev_diff < 0) ++crossings;
+    if (diff != 0.0) prev_diff = diff;
+  }
+  series.Print(std::cout);
+  std::printf("lead changes between the two sets: %d "
+              "(paper: the best set varies over time)\n\n",
+              crossings);
+}
+
+void PanelBC(const Scenario& bl) {
+  // (b): both sets contain the two largest sources; set1 adds one more
+  // source, set2 adds three others of comparable size.
+  std::vector<std::size_t> largest = bl.LargestSources(8);
+  std::vector<std::size_t> set1{largest[0], largest[1], largest[2]};
+  std::vector<std::size_t> set2{largest[0], largest[1], largest[3],
+                                largest[4], largest[5]};
+  // Focus on listings of a single state (the paper uses one state).
+  std::vector<world::SubdomainId> state0 =
+      bl.domain().SubdomainsInDim1(0);
+  CoverageTimelines(bl, "Fig 1(b): BL coverage timelines (one state)", set1,
+                    set2, state0, 30, bl.world.horizon(), 30);
+
+  // (c): the largest source at full vs half acquisition frequency.
+  const source::SourceHistory& top = bl.sources[largest[0]];
+  source::SourceHistory half = top.WithAcquisitionDivisor(2);
+  const BitVector mask = integration::DomainMask(bl.world, state0);
+  SeriesPrinter series("Fig 1(c): largest BL source, full vs half frequency",
+                       "day", {"full_freq", "half_freq"});
+  double max_loss = 0.0;
+  for (TimePoint t = 30; t <= bl.world.horizon(); t += 30) {
+    const std::int64_t world_total = bl.world.CountAtIn(state0, t);
+    const double full =
+        metrics::MetricsFromCounts(metrics::ComputeCounts(
+                                       bl.world, {&top}, t, &mask,
+                                       world_total))
+            .coverage;
+    const double halved =
+        metrics::MetricsFromCounts(metrics::ComputeCounts(
+                                       bl.world, {&half}, t, &mask,
+                                       world_total))
+            .coverage;
+    series.AddPoint(static_cast<double>(t), {full, halved});
+    max_loss = std::max(max_loss, full - halved);
+  }
+  series.Print(std::cout);
+  std::printf("max coverage loss from halving the acquisition frequency: "
+              "%.4f (paper: not significant, at half the cost)\n\n",
+              max_loss);
+}
+
+void PanelD(const Scenario& gdelt) {
+  TablePrinter table(
+      "Fig 1(d): GDELT 20 largest sources, avg delay vs delayed fraction",
+      {"source", "avg_delay(days)", "delayed_fraction"});
+  const TimeWindow window{0, gdelt.world.horizon()};
+  for (std::size_t i : gdelt.LargestSources(20)) {
+    metrics::DelayStats stats = metrics::InsertionDelayStats(
+        gdelt.world, gdelt.sources[i], window, /*delay_threshold=*/1.0);
+    table.AddRow({gdelt.sources[i].name(),
+                  FormatDouble(stats.mean_delay, 2),
+                  FormatDouble(stats.delayed_fraction, 3)});
+  }
+  table.Print(std::cout);
+  std::printf("(all sources update daily, yet delayed fractions differ "
+              "widely - the paper's second observation)\n\n");
+}
+
+void PanelEF(const Scenario& gdelt) {
+  // US events = location 0.
+  std::vector<world::SubdomainId> us = gdelt.domain().SubdomainsInDim1(0);
+  std::vector<std::size_t> largest = gdelt.LargestSources(10);
+  std::vector<std::size_t> set1{largest[0], largest[1], largest[2],
+                                largest[3]};
+  std::vector<std::size_t> set2{largest[0], largest[1], largest[4],
+                                largest[5], largest[6]};
+  CoverageTimelines(gdelt, "Fig 1(e): GDELT coverage timelines (US events)",
+                    set1, set2, us, 1, gdelt.world.horizon(), 1);
+
+  const source::SourceHistory& top = gdelt.sources[largest[0]];
+  source::SourceHistory half = top.WithAcquisitionDivisor(2);
+  const BitVector mask = integration::DomainMask(gdelt.world, us);
+  SeriesPrinter series(
+      "Fig 1(f): largest GDELT source, full vs half frequency", "day",
+      {"full_freq", "half_freq"});
+  for (TimePoint t = 1; t <= gdelt.world.horizon(); ++t) {
+    const std::int64_t world_total = gdelt.world.CountAtIn(us, t);
+    const double full = metrics::MetricsFromCounts(
+                            metrics::ComputeCounts(gdelt.world, {&top}, t,
+                                                   &mask, world_total))
+                            .coverage;
+    const double halved = metrics::MetricsFromCounts(
+                              metrics::ComputeCounts(gdelt.world, {&half},
+                                                     t, &mask, world_total))
+                              .coverage;
+    series.AddPoint(static_cast<double>(t), {full, halved});
+  }
+  series.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace freshsel
+
+int main() {
+  using namespace freshsel;
+  bench::PrintHeader("bench_fig1_motivation",
+                     "Figure 1 (a)-(f), the motivating observations");
+  Result<workloads::Scenario> bl =
+      workloads::GenerateBlScenario(DefaultBl());
+  if (!bl.ok()) {
+    std::fprintf(stderr, "BL: %s\n", bl.status().ToString().c_str());
+    return 1;
+  }
+  PanelA(*bl);
+  PanelBC(*bl);
+
+  Result<workloads::Scenario> gdelt =
+      workloads::GenerateGdeltScenario(DefaultGdelt());
+  if (!gdelt.ok()) {
+    std::fprintf(stderr, "GDELT: %s\n", gdelt.status().ToString().c_str());
+    return 1;
+  }
+  PanelD(*gdelt);
+  PanelEF(*gdelt);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces Figure 4 (a)-(c): integrating the BL sources in decreasing
+// order of coverage - coverage rises monotonically while local freshness
+// falls and accuracy degrades (Example 5).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "integration/signatures.h"
+#include "metrics/quality.h"
+
+int main() {
+  using namespace freshsel;
+  bench::PrintHeader("bench_fig4_integration_order",
+                     "Figure 4 (a)-(c): quality vs sources integrated in "
+                     "decreasing coverage order");
+  Result<workloads::Scenario> bl =
+      workloads::GenerateBlScenario(bench::DefaultBl());
+  if (!bl.ok()) {
+    std::fprintf(stderr, "BL: %s\n", bl.status().ToString().c_str());
+    return 1;
+  }
+  const TimePoint t = bl->t0;
+
+  // Rank sources by individual coverage at t.
+  std::vector<std::pair<double, std::size_t>> ranked;
+  std::vector<integration::SourceSignatures> signatures;
+  signatures.reserve(bl->source_count());
+  for (std::size_t i = 0; i < bl->source_count(); ++i) {
+    signatures.push_back(
+        integration::BuildSignatures(bl->world, bl->sources[i], t));
+  }
+  const std::int64_t world_total = bl->world.TotalCountAt(t);
+  for (std::size_t i = 0; i < bl->source_count(); ++i) {
+    const double coverage =
+        metrics::MetricsFromCounts(metrics::CountsFromSignatures(
+                                       {&signatures[i]}, world_total))
+            .coverage;
+    ranked.emplace_back(coverage, i);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  SeriesPrinter series(
+      "Fig 4: quality of the integration result vs #sources integrated",
+      "source_index", {"coverage", "local_freshness", "accuracy"});
+  std::vector<const integration::SourceSignatures*> prefix;
+  double prev_coverage = -1.0;
+  bool coverage_monotone = true;
+  double first_freshness = 0.0;
+  double last_freshness = 0.0;
+  for (std::size_t k = 0; k < ranked.size(); ++k) {
+    prefix.push_back(&signatures[ranked[k].second]);
+    metrics::QualityMetrics m = metrics::MetricsFromCounts(
+        metrics::CountsFromSignatures(prefix, world_total));
+    series.AddPoint(static_cast<double>(k + 1),
+                    {m.coverage, m.local_freshness, m.accuracy});
+    coverage_monotone &= m.coverage >= prev_coverage - 1e-12;
+    prev_coverage = m.coverage;
+    if (k == 0) first_freshness = m.local_freshness;
+    last_freshness = m.local_freshness;
+  }
+  series.Print(std::cout);
+  std::printf("coverage monotone non-decreasing: %s (paper: yes)\n",
+              coverage_monotone ? "yes" : "NO");
+  std::printf("local freshness first -> last: %.4f -> %.4f "
+              "(paper: decreases as more sources are integrated)\n",
+              first_freshness, last_freshness);
+  return 0;
+}

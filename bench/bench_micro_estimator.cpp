@@ -1,0 +1,175 @@
+// Microbenchmarks + ablations for the quality-estimation kernel: oracle-call
+// latency vs set size and horizon, effectiveness-cache on/off, signature
+// union width, and the estimator model variants called out in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/bit_vector.h"
+#include "common/random.h"
+#include "estimation/quality_estimator.h"
+#include "harness/learned_scenario.h"
+#include "workloads/bl_generator.h"
+
+namespace freshsel {
+namespace {
+
+/// Shared scenario + learned models, built once per process. Never
+/// destroyed (static-lifetime benchmark data).
+struct MicroFixture {
+  const workloads::Scenario& scenario;
+  const harness::LearnedScenario& learned;
+
+  static const MicroFixture& Get() {
+    static const MicroFixture* fixture = [] {
+      workloads::BlConfig config;
+      config.locations = 20;
+      config.categories = 6;
+      config.horizon = 480;
+      config.t0 = 300;
+      config.scale = 0.6;
+      auto* scenario = new workloads::Scenario(
+          workloads::GenerateBlScenario(config).value());
+      auto* learned = new harness::LearnedScenario(
+          harness::LearnScenario(*scenario).value());
+      return new MicroFixture{*scenario, *learned};
+    }();
+    return *fixture;
+  }
+};
+
+estimation::QualityEstimator MakeEstimator(
+    const MicroFixture& fixture, TimePoint horizon_days,
+    estimation::QualityEstimator::Options options = {}) {
+  TimePoints eval_times{fixture.scenario.t0 + horizon_days};
+  auto estimator = estimation::QualityEstimator::Create(
+                       fixture.scenario.world, fixture.learned.world_model,
+                       {}, eval_times, options)
+                       .value();
+  for (const auto& profile : fixture.learned.profiles) {
+    estimator.AddSource(&profile, 1).value();
+  }
+  return estimator;
+}
+
+std::vector<estimation::QualityEstimator::SourceHandle> FirstK(std::size_t k) {
+  std::vector<estimation::QualityEstimator::SourceHandle> set;
+  for (std::size_t i = 0; i < k; ++i) {
+    set.push_back(static_cast<estimation::QualityEstimator::SourceHandle>(i));
+  }
+  return set;
+}
+
+void BM_EstimateVsSetSize(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  auto estimator = MakeEstimator(fixture, 60);
+  const auto set = FirstK(static_cast<std::size_t>(state.range(0)));
+  const TimePoint t = fixture.scenario.t0 + 60;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(set, t));
+  }
+}
+BENCHMARK(BM_EstimateVsSetSize)->Arg(1)->Arg(4)->Arg(16)->Arg(43);
+
+void BM_EstimateVsHorizon(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  const TimePoint horizon = state.range(0);
+  auto estimator = MakeEstimator(fixture, horizon);
+  const auto set = FirstK(8);
+  const TimePoint t = fixture.scenario.t0 + horizon;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(set, t));
+  }
+}
+BENCHMARK(BM_EstimateVsHorizon)->Arg(7)->Arg(30)->Arg(90)->Arg(180);
+
+void BM_EstimateCacheAblation(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  estimation::QualityEstimator::Options options;
+  options.cache_effectiveness = state.range(0) != 0;
+  auto estimator = MakeEstimator(fixture, 90, options);
+  const auto set = FirstK(8);
+  const TimePoint t = fixture.scenario.t0 + 90;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(set, t));
+  }
+}
+BENCHMARK(BM_EstimateCacheAblation)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("cache");
+
+void BM_EstimateSurvivalVariant(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  estimation::QualityEstimator::Options options;
+  options.per_event_survival = state.range(0) != 0;
+  auto estimator = MakeEstimator(fixture, 90, options);
+  const auto set = FirstK(8);
+  const TimePoint t = fixture.scenario.t0 + 90;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(set, t));
+  }
+}
+BENCHMARK(BM_EstimateSurvivalVariant)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("per_event");
+
+void BM_EstimateModelExtensions(benchmark::State& state) {
+  // Ablation: cost of the estimator extensions (DESIGN.md section 5).
+  // arg 0: 0=paper-faithful, 1=+capture backlog, 2=+ghost result,
+  // 3=both.
+  const MicroFixture& fixture = MicroFixture::Get();
+  estimation::QualityEstimator::Options options;
+  options.model_capture_backlog = state.range(0) == 1 || state.range(0) == 3;
+  options.model_ghost_result = state.range(0) == 2 || state.range(0) == 3;
+  auto estimator = MakeEstimator(fixture, 90, options);
+  const auto set = FirstK(8);
+  const TimePoint t = fixture.scenario.t0 + 90;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(set, t));
+  }
+}
+BENCHMARK(BM_EstimateModelExtensions)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->ArgName("ext");
+
+void BM_SignatureUnionCount(benchmark::State& state) {
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<BitVector> vectors(16, BitVector(width));
+  for (auto& v : vectors) {
+    for (std::size_t i = 0; i < width / 8; ++i) {
+      v.Set(static_cast<std::size_t>(rng.NextBounded(width)));
+    }
+  }
+  std::vector<const BitVector*> ptrs;
+  for (const auto& v : vectors) ptrs.push_back(&v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BitVector::UnionCountOf(ptrs));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(width / 8) * 16);
+}
+BENCHMARK(BM_SignatureUnionCount)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17)
+    ->ArgName("bits");
+
+void BM_LearnSourceProfile(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  const auto& scenario = fixture.scenario;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimation::LearnSourceProfile(
+        scenario.world, scenario.sources[0], scenario.t0));
+  }
+}
+BENCHMARK(BM_LearnSourceProfile);
+
+}  // namespace
+}  // namespace freshsel

@@ -1,0 +1,144 @@
+// Microbenchmarks + ablations for the selection algorithms on synthetic
+// weighted-coverage profit functions: run time / oracle calls vs universe
+// size, and the epsilon (local-search threshold) sweep called out in
+// DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "selection/algorithms.h"
+
+namespace freshsel::selection {
+namespace {
+
+/// Weighted-coverage submodular gain minus additive cost (the structure of
+/// the paper's profit; see also the algorithm tests).
+class CoverageFunction : public ProfitFunction {
+ public:
+  static CoverageFunction Random(std::size_t n_elements,
+                                 std::size_t n_items, std::uint64_t seed) {
+    Rng rng(seed);
+    CoverageFunction f;
+    f.covers_.resize(n_elements);
+    for (auto& c : f.covers_) {
+      const std::size_t k = 1 + rng.NextBounded(n_items / 4 + 1);
+      for (std::size_t j = 0; j < k; ++j) {
+        c.push_back(static_cast<int>(rng.NextBounded(n_items)));
+      }
+    }
+    f.item_weights_.resize(n_items);
+    for (auto& w : f.item_weights_) w = rng.UniformDouble(0.1, 1.0);
+    f.costs_.resize(n_elements);
+    for (auto& c : f.costs_) c = rng.UniformDouble(0.0, 0.3);
+    return f;
+  }
+
+  std::size_t universe_size() const override { return covers_.size(); }
+
+  double Profit(const std::vector<SourceHandle>& set) const override {
+    ++calls_;
+    scratch_.assign(item_weights_.size(), false);
+    double cost = 0.0;
+    for (SourceHandle e : set) {
+      cost += costs_[e];
+      for (int item : covers_[e]) scratch_[static_cast<std::size_t>(item)] = true;
+    }
+    double gain = 0.0;
+    for (std::size_t i = 0; i < scratch_.size(); ++i) {
+      if (scratch_[i]) gain += item_weights_[i];
+    }
+    return gain - cost;
+  }
+
+ private:
+  std::vector<std::vector<int>> covers_;
+  std::vector<double> item_weights_;
+  std::vector<double> costs_;
+  mutable std::vector<bool> scratch_;
+};
+
+void ReportCalls(benchmark::State& state, const ProfitFunction& f) {
+  state.counters["oracle_calls"] = benchmark::Counter(
+      static_cast<double>(f.call_count()) /
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kAvgThreads);
+}
+
+void BM_GreedyVsUniverse(benchmark::State& state) {
+  auto f = CoverageFunction::Random(
+      static_cast<std::size_t>(state.range(0)), 64, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Greedy(f));
+  }
+  ReportCalls(state, f);
+}
+BENCHMARK(BM_GreedyVsUniverse)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MaxSubVsUniverse(benchmark::State& state) {
+  auto f = CoverageFunction::Random(
+      static_cast<std::size_t>(state.range(0)), 64, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxSub(f));
+  }
+  ReportCalls(state, f);
+}
+BENCHMARK(BM_MaxSubVsUniverse)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GraspVsUniverse(benchmark::State& state) {
+  auto f = CoverageFunction::Random(
+      static_cast<std::size_t>(state.range(0)), 64, 17);
+  GraspParams params{2, 10, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Grasp(f, params));
+  }
+  ReportCalls(state, f);
+}
+BENCHMARK(BM_GraspVsUniverse)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MaxSubEpsilonSweep(benchmark::State& state) {
+  // Ablation: larger epsilon = coarser improvement threshold = fewer
+  // oracle calls, potentially worse solutions. The solution quality
+  // relative to epsilon=0.01 is reported as a counter.
+  const double epsilon = static_cast<double>(state.range(0)) / 100.0;
+  auto f = CoverageFunction::Random(128, 64, 23);
+  const double reference = MaxSub(f, 0.01).profit;
+  double profit = 0.0;
+  for (auto _ : state) {
+    profit = MaxSub(f, epsilon).profit;
+    benchmark::DoNotOptimize(profit);
+  }
+  ReportCalls(state, f);
+  state.counters["profit_vs_eps0.01"] =
+      reference > 0 ? profit / reference : 1.0;
+}
+BENCHMARK(BM_MaxSubEpsilonSweep)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(200)
+    ->ArgName("eps_x100");
+
+void BM_MatroidLocalSearch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto f = CoverageFunction::Random(n, 64, 29);
+  // Rank-1 partition matroid with n/4 groups of 4 versions each - the
+  // varying-frequency structure.
+  std::vector<std::uint32_t> group_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    group_of[i] = static_cast<std::uint32_t>(i / 4);
+  }
+  auto matroid = PartitionMatroid::Create(
+                     group_of,
+                     std::vector<std::uint32_t>((n + 3) / 4, 1))
+                     .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxSubMatroid(f, {&matroid}));
+  }
+  ReportCalls(state, f);
+}
+BENCHMARK(BM_MatroidLocalSearch)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace freshsel::selection

@@ -1,0 +1,108 @@
+// Reproduces Tables 1 and 2: source selection on BL with fixed update
+// frequencies. Table 1 - fraction of runs where each algorithm finds the
+// best selection plus the average (worst) profit gap; Table 2 - average
+// run times. Gains: Linear / Quadratic / Step x {coverage, accuracy} and
+// DataGain, over six domain points and ten future time points.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "harness/learned_scenario.h"
+#include "harness/selection_experiment.h"
+
+namespace freshsel {
+namespace {
+
+struct GainCase {
+  const char* label;
+  selection::GainModel gain;
+};
+
+}  // namespace
+}  // namespace freshsel
+
+int main() {
+  using namespace freshsel;
+  bench::PrintHeader("bench_table1_table2_bl_selection",
+                     "Tables 1 and 2: algorithm comparison + runtimes on BL "
+                     "(fixed frequencies)");
+  Result<workloads::Scenario> bl =
+      workloads::GenerateBlScenario(bench::DefaultBl());
+  if (!bl.ok()) return 1;
+  Result<harness::LearnedScenario> learned = harness::LearnScenario(*bl);
+  if (!learned.ok()) return 1;
+
+  // Six largest domain points, ten future time points.
+  std::vector<harness::DomainPoint> points =
+      harness::LargestSubdomainPoints(bl->world, bl->t0, 6);
+  std::vector<std::int64_t> offsets;
+  for (int i = 1; i <= 10; ++i) offsets.push_back(7 * i);
+
+  std::vector<harness::AlgoSpec> algorithms = {
+      {selection::Algorithm::kGreedy, 1, 1},
+      {selection::Algorithm::kMaxSub, 1, 1},
+      {selection::Algorithm::kGrasp, 1, 1},
+      {selection::Algorithm::kGrasp, 2, 10},
+      {selection::Algorithm::kGrasp, 5, 20},
+  };
+  if (bench::FullMode()) {
+    algorithms.push_back({selection::Algorithm::kGrasp, 10, 100});
+  }
+
+  const std::vector<GainCase> cases = {
+      {"Linear/cov", {selection::GainFamily::kLinear,
+                      selection::QualityMetric::kCoverage}},
+      {"Linear/acc", {selection::GainFamily::kLinear,
+                      selection::QualityMetric::kAccuracy}},
+      {"Quad/cov", {selection::GainFamily::kQuadratic,
+                    selection::QualityMetric::kCoverage}},
+      {"Quad/acc", {selection::GainFamily::kQuadratic,
+                    selection::QualityMetric::kAccuracy}},
+      {"Step/cov", {selection::GainFamily::kStep,
+                    selection::QualityMetric::kCoverage}},
+      {"Step/acc", {selection::GainFamily::kStep,
+                    selection::QualityMetric::kAccuracy}},
+      {"Data", {selection::GainFamily::kData,
+                selection::QualityMetric::kCoverage}},
+  };
+
+  TablePrinter quality("Table 1: selection quality on BL",
+                       {"gain", "algorithm", "best%", "avg_diff%",
+                        "worst_diff%"});
+  TablePrinter runtime("Table 2: average run times on BL (ms)",
+                       {"gain", "algorithm", "avg_ms", "max_ms",
+                        "avg_oracle_calls"});
+  for (const GainCase& gain_case : cases) {
+    harness::ComparisonConfig config;
+    config.gain = gain_case.gain;
+    config.algorithms = algorithms;
+    config.eval_offsets = offsets;
+    Result<std::vector<harness::AlgoAggregate>> aggregates =
+        harness::RunComparison(*learned, bl->classes, points, config);
+    if (!aggregates.ok()) {
+      std::fprintf(stderr, "%s: %s\n", gain_case.label,
+                   aggregates.status().ToString().c_str());
+      return 1;
+    }
+    for (const harness::AlgoAggregate& agg : *aggregates) {
+      quality.AddRow({gain_case.label, agg.name,
+                      FormatDouble(agg.BestPct(), 1),
+                      FormatDouble(agg.profit_diff_pct.mean(), 3),
+                      FormatDouble(agg.profit_diff_pct.max(), 3)});
+      runtime.AddRow({gain_case.label, agg.name,
+                      FormatDouble(agg.runtime_ms.mean(), 2),
+                      FormatDouble(agg.runtime_ms.max(), 2),
+                      FormatDouble(agg.oracle_calls.mean(), 0)});
+    }
+  }
+  quality.Print(std::cout);
+  runtime.Print(std::cout);
+  std::printf(
+      "shape checks vs the paper: MaxSub and GRASP should beat Greedy on "
+      "best%% / profit gap, GRASP marginally ahead of MaxSub, and MaxSub "
+      "one to two orders of magnitude faster than the large GRASP "
+      "configurations.\n");
+  return 0;
+}

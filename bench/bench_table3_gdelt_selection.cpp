@@ -1,0 +1,74 @@
+// Reproduces Table 3: selection quality and runtime on GDELT (six US
+// domain points, LinearGain with coverage and DataGain).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "harness/learned_scenario.h"
+#include "harness/selection_experiment.h"
+
+int main() {
+  using namespace freshsel;
+  bench::PrintHeader("bench_table3_gdelt_selection",
+                     "Table 3: selection quality + runtime on GDELT");
+  Result<workloads::Scenario> gdelt =
+      workloads::GenerateGdeltScenario(bench::DefaultGdelt());
+  if (!gdelt.ok()) return 1;
+  Result<harness::LearnedScenario> learned =
+      harness::LearnScenario(*gdelt);
+  if (!learned.ok()) return 1;
+
+  // Six largest US (location 0) domain points, the 7 future days.
+  std::vector<harness::DomainPoint> points =
+      harness::LargestSubdomainPoints(gdelt->world, gdelt->t0, 6, 0);
+  std::vector<std::int64_t> offsets;
+  for (int i = 1; i <= 7; ++i) offsets.push_back(i);
+
+  std::vector<harness::AlgoSpec> algorithms = {
+      {selection::Algorithm::kGreedy, 1, 1},
+      {selection::Algorithm::kMaxSub, 1, 1},
+      {selection::Algorithm::kGrasp, 5, 20},
+  };
+  if (bench::FullMode()) {
+    algorithms.push_back({selection::Algorithm::kGrasp, 10, 100});
+  }
+
+  struct GainCase {
+    const char* label;
+    selection::GainModel gain;
+  };
+  const std::vector<GainCase> cases = {
+      {"Linear/cov", {selection::GainFamily::kLinear,
+                      selection::QualityMetric::kCoverage}},
+      {"Data", {selection::GainFamily::kData,
+                selection::QualityMetric::kCoverage}},
+  };
+
+  TablePrinter table("Table 3: GDELT selection quality and runtime",
+                     {"gain", "algorithm", "best%", "avg_diff%",
+                      "worst_diff%", "avg_runtime_ms", "max_runtime_ms"});
+  for (const GainCase& gain_case : cases) {
+    harness::ComparisonConfig config;
+    config.gain = gain_case.gain;
+    config.algorithms = algorithms;
+    config.eval_offsets = offsets;
+    Result<std::vector<harness::AlgoAggregate>> aggregates =
+        harness::RunComparison(*learned, gdelt->classes, points, config);
+    if (!aggregates.ok()) return 1;
+    for (const harness::AlgoAggregate& agg : *aggregates) {
+      table.AddRow({gain_case.label, agg.name,
+                    FormatDouble(agg.BestPct(), 1),
+                    FormatDouble(agg.profit_diff_pct.mean(), 3),
+                    FormatDouble(agg.profit_diff_pct.max(), 3),
+                    FormatDouble(agg.runtime_ms.mean(), 2),
+                    FormatDouble(agg.runtime_ms.max(), 2)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf("shape checks vs the paper: MaxSub and GRASP beat Greedy; "
+              "GRASP finds the best selection with a small margin over "
+              "MaxSub but is one to two orders of magnitude slower.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Tables 6 and 7: varying-frequency source selection on BL with
+// seven frequency versions per source. Table 6 - achieved quality and
+// number of (distinct) sources selected; Table 7 - the average frequency
+// divisor chosen for uniform vs specialized sources.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "harness/learned_scenario.h"
+#include "harness/selection_experiment.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace freshsel;
+  bench::PrintHeader("bench_table6_7_varfreq",
+                     "Tables 6 and 7: varying update frequencies on BL "
+                     "(7 versions per source)");
+  Result<workloads::Scenario> bl =
+      workloads::GenerateBlScenario(bench::DefaultBl());
+  if (!bl.ok()) return 1;
+  Result<harness::LearnedScenario> learned = harness::LearnScenario(*bl);
+  if (!learned.ok()) return 1;
+
+  std::vector<harness::DomainPoint> points =
+      harness::LargestSubdomainPoints(bl->world, bl->t0, 6);
+  std::vector<std::int64_t> offsets;
+  for (int i = 1; i <= 10; ++i) offsets.push_back(7 * i);
+
+  TablePrinter quality("Table 6: BL with variable update frequencies",
+                       {"metric", "algorithm", "avg_quality",
+                        "avg_#sources"});
+  TablePrinter divisors(
+      "Table 7: average frequency divisor by source class",
+      {"algorithm", "uniform_srcs", "specialized_srcs"});
+  for (selection::QualityMetric metric :
+       {selection::QualityMetric::kCoverage,
+        selection::QualityMetric::kAccuracy}) {
+    harness::ComparisonConfig config;
+    config.gain =
+        selection::GainModel(selection::GainFamily::kLinear, metric);
+    config.algorithms = {{selection::Algorithm::kGreedy, 1, 1},
+                         {selection::Algorithm::kMaxSub, 1, 1},
+                         {selection::Algorithm::kGrasp, 2, 10}};
+    config.eval_offsets = offsets;
+    config.max_divisor = 7;  // Versions S^1_i .. S^7_i as in Section 6.3.
+    Result<std::vector<harness::AlgoAggregate>> aggregates =
+        harness::RunComparison(*learned, bl->classes, points, config);
+    if (!aggregates.ok()) {
+      std::fprintf(stderr, "%s\n", aggregates.status().ToString().c_str());
+      return 1;
+    }
+    const char* metric_name =
+        metric == selection::QualityMetric::kCoverage ? "coverage"
+                                                      : "accuracy";
+    for (const harness::AlgoAggregate& agg : *aggregates) {
+      quality.AddRow({metric_name, agg.name,
+                      FormatDouble(agg.quality.mean(), 3),
+                      FormatDouble(agg.n_sources.mean(), 1)});
+    }
+    if (metric == selection::QualityMetric::kCoverage) {
+      for (const harness::AlgoAggregate& agg : *aggregates) {
+        stats::RunningStats uniform;
+        stats::RunningStats specialized;
+        for (const auto& [cls, divisor_stats] : agg.divisor_by_class) {
+          if (cls == workloads::SourceClass::kUniform) {
+            uniform.Merge(divisor_stats);
+          } else if (cls == workloads::SourceClass::kLocationSpecialist ||
+                     cls == workloads::SourceClass::kCategorySpecialist) {
+            specialized.Merge(divisor_stats);
+          }
+        }
+        divisors.AddRow({agg.name, FormatDouble(uniform.mean(), 2),
+                         FormatDouble(specialized.mean(), 2)});
+      }
+    }
+  }
+  quality.Print(std::cout);
+  divisors.Print(std::cout);
+  std::printf(
+      "shape checks vs the paper: variable frequencies lift coverage/"
+      "accuracy far above the fixed-frequency case (paper: 0.56/0.57 -> "
+      "0.976/0.958) with more sources selected; large uniform sources get "
+      "larger divisors (paper ~5) than specialized ones (paper ~3).\n");
+  return 0;
+}

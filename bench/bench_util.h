@@ -1,0 +1,63 @@
+#ifndef FRESHSEL_BENCH_BENCH_UTIL_H_
+#define FRESHSEL_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+
+#include "workloads/bl_generator.h"
+#include "workloads/gdelt_generator.h"
+
+namespace freshsel::bench {
+
+/// FRESHSEL_FULL=1 switches the benches from the fast default sweeps to the
+/// paper's full parameter ranges (notably GRASP-(10,100) and the 8,643-
+/// source BL+ datasets).
+inline bool FullMode() {
+  const char* env = std::getenv("FRESHSEL_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// The standard BL-like scenario used by the BL experiments: 51 locations,
+/// 23 months of history, training on the first 10 months (Section 6.1).
+inline workloads::BlConfig DefaultBl() {
+  workloads::BlConfig config;
+  config.locations = 51;
+  config.categories = 8;
+  config.horizon = 690;
+  config.t0 = 300;
+  config.scale = 1.0;
+  return config;
+}
+
+/// BL variant with more categories for the Figure 13(b) domain-size sweep
+/// (up to 500 (location, category) pairs).
+inline workloads::BlConfig WideBl() {
+  workloads::BlConfig config = DefaultBl();
+  config.categories = 12;
+  return config;
+}
+
+/// The standard GDELT-like scenario: 22 days, training on 15, all sources
+/// updating daily. Source count scaled down from the paper's 15,275.
+inline workloads::GdeltConfig DefaultGdelt() {
+  workloads::GdeltConfig config;
+  config.locations = 25;
+  config.event_types = 10;
+  config.horizon = 22;
+  config.t0 = 15;
+  config.n_large = 8;
+  config.n_small = FullMode() ? 992 : 192;
+  return config;
+}
+
+inline void PrintHeader(const char* bench_name, const char* what) {
+  std::printf("####################################################\n");
+  std::printf("# %s\n# reproduces: %s\n", bench_name, what);
+  std::printf("# mode: %s (set FRESHSEL_FULL=1 for the paper-scale sweep)\n",
+              FullMode() ? "FULL" : "fast");
+  std::printf("####################################################\n\n");
+}
+
+}  // namespace freshsel::bench
+
+#endif  // FRESHSEL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,78 @@
+#include "cli/args.h"
+
+#include <charconv>
+
+namespace freshsel::cli {
+
+Result<ArgMap> ArgMap::Parse(int argc, const char* const* argv) {
+  ArgMap args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::size_t eq = token.find('=');
+      if (eq != std::string::npos) {
+        args.flags_[token.substr(2, eq - 2)] = token.substr(eq + 1);
+      } else {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("flag needs a value: " + token);
+        }
+        args.flags_[token.substr(2)] = argv[++i];
+      }
+    } else if (args.command_.empty()) {
+      args.command_ = token;
+    } else {
+      return Status::InvalidArgument("unexpected argument: " + token);
+    }
+  }
+  return args;
+}
+
+std::string ArgMap::GetString(const std::string& key,
+                              const std::string& fallback) const {
+  read_[key] = true;
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+Result<std::int64_t> ArgMap::GetInt(const std::string& key,
+                                    std::int64_t fallback) const {
+  read_[key] = true;
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  std::int64_t value = 0;
+  const char* begin = it->second.data();
+  const char* end = begin + it->second.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument("--" + key +
+                                   " expects an integer, got: " +
+                                   it->second);
+  }
+  return value;
+}
+
+Result<double> ArgMap::GetDouble(const std::string& key,
+                                 double fallback) const {
+  read_[key] = true;
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  // std::from_chars<double> is not available everywhere; strtod suffices.
+  char* parse_end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &parse_end);
+  if (parse_end == it->second.c_str() ||
+      parse_end != it->second.c_str() + it->second.size()) {
+    return Status::InvalidArgument("--" + key + " expects a number, got: " +
+                                   it->second);
+  }
+  return value;
+}
+
+std::vector<std::string> ArgMap::UnreadFlags() const {
+  std::vector<std::string> unread;
+  for (const auto& [key, value] : flags_) {
+    if (!read_.count(key)) unread.push_back(key);
+  }
+  return unread;
+}
+
+}  // namespace freshsel::cli

@@ -1,0 +1,47 @@
+#ifndef FRESHSEL_CLI_ARGS_H_
+#define FRESHSEL_CLI_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace freshsel::cli {
+
+/// Minimal command-line argument map for the freshsel CLI:
+/// `command --flag value --other=value`. The first non-flag token is the
+/// command; flags may appear in either `--k v` or `--k=v` form.
+class ArgMap {
+ public:
+  /// Parses argv[1..argc). Returns InvalidArgument on a dangling `--flag`
+  /// with no value or a token that is neither the command nor a flag.
+  static Result<ArgMap> Parse(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+  bool Has(const std::string& key) const { return flags_.count(key) > 0; }
+
+  /// String flag with a default.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+
+  /// Integer flag; InvalidArgument when present but malformed.
+  Result<std::int64_t> GetInt(const std::string& key,
+                              std::int64_t fallback) const;
+
+  /// Double flag; InvalidArgument when present but malformed.
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+
+  /// Flags that were provided but never read (typo detection).
+  std::vector<std::string> UnreadFlags() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> read_;
+};
+
+}  // namespace freshsel::cli
+
+#endif  // FRESHSEL_CLI_ARGS_H_

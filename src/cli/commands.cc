@@ -1,0 +1,403 @@
+#include "cli/commands.h"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "estimation/quality_estimator.h"
+#include "estimation/source_profile.h"
+#include "estimation/world_change_model.h"
+#include "harness/characterization.h"
+#include "harness/learned_scenario.h"
+#include "io/scenario_io.h"
+#include "metrics/quality.h"
+#include "selection/budgeted_greedy.h"
+#include "selection/cost.h"
+#include "selection/frequency_selection.h"
+#include "selection/selector.h"
+#include "workloads/bl_generator.h"
+#include "workloads/gdelt_generator.h"
+
+namespace freshsel::cli {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A scenario loaded from a directory written by `simulate`.
+struct LoadedScenario {
+  world::World world;
+  std::vector<source::SourceHistory> sources;
+  TimePoint manifest_t0 = 0;  ///< 0 when no manifest was found.
+};
+
+Result<LoadedScenario> LoadScenarioDir(const std::string& dir) {
+  const fs::path root(dir);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    return Status::NotFound("not a directory: " + dir);
+  }
+  FRESHSEL_ASSIGN_OR_RETURN(world::World world,
+                            io::ReadWorldCsv((root / "world.csv").string()));
+  std::vector<std::string> source_files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("source_", 0) == 0) {
+      source_files.push_back(entry.path().string());
+    }
+  }
+  std::sort(source_files.begin(), source_files.end());
+  if (source_files.empty()) {
+    return Status::NotFound("no source_*.csv files in " + dir);
+  }
+  std::vector<source::SourceHistory> sources;
+  sources.reserve(source_files.size());
+  for (const std::string& file : source_files) {
+    FRESHSEL_ASSIGN_OR_RETURN(source::SourceHistory history,
+                              io::ReadSourceHistoryCsv(file));
+    sources.push_back(std::move(history));
+  }
+  // Optional manifest: its first line is "t0,<value>".
+  TimePoint manifest_t0 = 0;
+  std::ifstream manifest(root / "manifest.csv");
+  std::string first_line;
+  if (manifest && std::getline(manifest, first_line)) {
+    const std::vector<std::string> fields = Split(first_line, ',');
+    if (fields.size() == 2 && fields[0] == "t0") {
+      const char* begin = fields[1].data();
+      const char* end = begin + fields[1].size();
+      std::int64_t value = 0;
+      auto [ptr, errc] = std::from_chars(begin, end, value);
+      if (errc == std::errc() && ptr == end) manifest_t0 = value;
+    }
+  }
+  return LoadedScenario{std::move(world), std::move(sources), manifest_t0};
+}
+
+Status CheckUnreadFlags(const ArgMap& args) {
+  const std::vector<std::string> unread = args.UnreadFlags();
+  if (!unread.empty()) {
+    return Status::InvalidArgument("unknown flag(s): --" +
+                                   Join(unread, ", --"));
+  }
+  return Status::OK();
+}
+
+struct LearnedModels {
+  estimation::WorldChangeModel world_model;
+  std::vector<estimation::SourceProfile> profiles;
+};
+
+Result<LearnedModels> LearnModels(const LoadedScenario& scenario,
+                                  TimePoint t0) {
+  FRESHSEL_ASSIGN_OR_RETURN(
+      estimation::WorldChangeModel world_model,
+      estimation::WorldChangeModel::Learn(scenario.world, t0));
+  FRESHSEL_ASSIGN_OR_RETURN(
+      std::vector<estimation::SourceProfile> profiles,
+      estimation::LearnSourceProfiles(scenario.world, scenario.sources,
+                                      t0));
+  return LearnedModels{std::move(world_model), std::move(profiles)};
+}
+
+}  // namespace
+
+Status RunSimulate(const ArgMap& args, std::ostream& out) {
+  const std::string workload = args.GetString("workload", "bl");
+  const std::string out_dir = args.GetString("out", "");
+  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t seed, args.GetInt("seed", 7));
+  FRESHSEL_ASSIGN_OR_RETURN(double scale, args.GetDouble("scale", 0.5));
+  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t locations,
+                            args.GetInt("locations", 0));
+  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t categories,
+                            args.GetInt("categories", 0));
+  FRESHSEL_RETURN_IF_ERROR(CheckUnreadFlags(args));
+  if (out_dir.empty()) {
+    return Status::InvalidArgument("simulate requires --out DIR");
+  }
+
+  Result<workloads::Scenario> scenario = [&]() -> Result<workloads::Scenario> {
+    if (workload == "bl") {
+      workloads::BlConfig config;
+      config.seed = static_cast<std::uint64_t>(seed);
+      config.scale = scale;
+      if (locations > 0) {
+        config.locations = static_cast<std::uint32_t>(locations);
+      }
+      if (categories > 0) {
+        config.categories = static_cast<std::uint32_t>(categories);
+      }
+      return workloads::GenerateBlScenario(config);
+    }
+    if (workload == "gdelt") {
+      workloads::GdeltConfig config;
+      config.seed = static_cast<std::uint64_t>(seed);
+      config.scale = scale;
+      if (locations > 0) {
+        config.locations = static_cast<std::uint32_t>(locations);
+      }
+      if (categories > 0) {
+        config.event_types = static_cast<std::uint32_t>(categories);
+      }
+      return workloads::GenerateGdeltScenario(config);
+    }
+    return Status::InvalidArgument("unknown --workload: " + workload +
+                                   " (expected bl or gdelt)");
+  }();
+  FRESHSEL_RETURN_IF_ERROR(scenario.status().ok() ? Status::OK()
+                                                  : scenario.status());
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  FRESHSEL_RETURN_IF_ERROR(
+      io::WriteWorldCsv(scenario->world, out_dir + "/world.csv"));
+  for (std::size_t i = 0; i < scenario->sources.size(); ++i) {
+    FRESHSEL_RETURN_IF_ERROR(io::WriteSourceHistoryCsv(
+        scenario->sources[i],
+        out_dir + "/" + StringPrintf("source_%03zu.csv", i)));
+  }
+  // Manifest: the training cutoff and class labels.
+  std::ofstream manifest(out_dir + "/manifest.csv");
+  if (!manifest) return Status::IoError("cannot write manifest");
+  manifest << "t0," << scenario->t0 << "\n";
+  for (std::size_t i = 0; i < scenario->sources.size(); ++i) {
+    manifest << StringPrintf("source_%03zu", i) << ','
+             << scenario->sources[i].name() << ','
+             << workloads::SourceClassName(scenario->classes[i]) << "\n";
+  }
+  out << "wrote " << scenario->sources.size() << " sources + world ("
+      << scenario->world.entity_count() << " entities, horizon "
+      << scenario->world.horizon() << ", t0 " << scenario->t0 << ") to "
+      << out_dir << "\n";
+  return Status::OK();
+}
+
+Status RunCharacterize(const ArgMap& args, std::ostream& out) {
+  const std::string dir = args.GetString("dir", "");
+  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t t0, args.GetInt("t0", 0));
+  FRESHSEL_RETURN_IF_ERROR(CheckUnreadFlags(args));
+  if (dir.empty()) {
+    return Status::InvalidArgument("characterize requires --dir DIR");
+  }
+  FRESHSEL_ASSIGN_OR_RETURN(LoadedScenario scenario, LoadScenarioDir(dir));
+  if (t0 <= 0) t0 = scenario.manifest_t0;  // Fall back to the manifest.
+  if (t0 <= 0) {
+    return Status::InvalidArgument(
+        "no --t0 given and the directory has no manifest t0");
+  }
+
+  // Wrap the loaded data as a Scenario so the shared characterization
+  // harness can run on it (classes unknown for external data).
+  workloads::Scenario wrapped{std::move(scenario.world),
+                              std::move(scenario.sources),
+                              {},
+                              t0};
+  wrapped.classes.assign(wrapped.sources.size(),
+                         workloads::SourceClass::kMedium);
+  FRESHSEL_ASSIGN_OR_RETURN(harness::LearnedScenario learned,
+                            harness::LearnScenario(wrapped));
+  const std::vector<harness::SourceCharacterization> rows =
+      harness::CharacterizeSources(learned, wrapped.classes);
+
+  TablePrinter table("Source characterization at t0=" + std::to_string(t0),
+                     {"source", "items", "coverage", "freshness",
+                      "upd_interval", "Gi(7d)", "Gi(inf)", "Gd(inf)"});
+  for (const harness::SourceCharacterization& row : rows) {
+    table.AddRow({row.name, std::to_string(row.items_at_t0),
+                  FormatDouble(row.coverage, 3),
+                  FormatDouble(row.local_freshness, 3),
+                  FormatDouble(row.update_interval, 2),
+                  FormatDouble(row.insert_g_week, 3),
+                  FormatDouble(row.insert_g_plateau, 3),
+                  FormatDouble(row.delete_g_plateau, 3)});
+  }
+  table.Print(out);
+  return Status::OK();
+}
+
+Status RunSelect(const ArgMap& args, std::ostream& out) {
+  const std::string dir = args.GetString("dir", "");
+  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t t0, args.GetInt("t0", 0));
+  const std::string metric_name = args.GetString("metric", "coverage");
+  const std::string gain_name = args.GetString("gain", "linear");
+  const std::string algorithm_name =
+      args.GetString("algorithm", "maxsub");
+  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t points, args.GetInt("points", 10));
+  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t stride, args.GetInt("stride", 7));
+  FRESHSEL_ASSIGN_OR_RETURN(
+      double budget,
+      args.GetDouble("budget", std::numeric_limits<double>::infinity()));
+  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t max_divisor,
+                            args.GetInt("max-divisor", 1));
+  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t kappa, args.GetInt("kappa", 5));
+  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t restarts,
+                            args.GetInt("restarts", 20));
+  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t seed, args.GetInt("seed", 42));
+  FRESHSEL_RETURN_IF_ERROR(CheckUnreadFlags(args));
+  if (dir.empty()) {
+    return Status::InvalidArgument("select requires --dir DIR");
+  }
+
+  selection::QualityMetric metric;
+  if (metric_name == "coverage") {
+    metric = selection::QualityMetric::kCoverage;
+  } else if (metric_name == "accuracy") {
+    metric = selection::QualityMetric::kAccuracy;
+  } else if (metric_name == "freshness") {
+    metric = selection::QualityMetric::kGlobalFreshness;
+  } else if (metric_name == "mix") {
+    metric = selection::QualityMetric::kCoverageFreshnessMix;
+  } else {
+    return Status::InvalidArgument("unknown --metric: " + metric_name);
+  }
+  selection::GainFamily family;
+  if (gain_name == "linear") {
+    family = selection::GainFamily::kLinear;
+  } else if (gain_name == "quad") {
+    family = selection::GainFamily::kQuadratic;
+  } else if (gain_name == "step") {
+    family = selection::GainFamily::kStep;
+  } else if (gain_name == "data") {
+    family = selection::GainFamily::kData;
+  } else {
+    return Status::InvalidArgument("unknown --gain: " + gain_name);
+  }
+
+  FRESHSEL_ASSIGN_OR_RETURN(LoadedScenario scenario, LoadScenarioDir(dir));
+  if (t0 <= 0) t0 = scenario.manifest_t0;  // Fall back to the manifest.
+  if (t0 <= 0) {
+    return Status::InvalidArgument(
+        "no --t0 given and the directory has no manifest t0");
+  }
+  if (t0 > scenario.world.horizon()) {
+    return Status::InvalidArgument("--t0 beyond the scenario horizon");
+  }
+  FRESHSEL_ASSIGN_OR_RETURN(LearnedModels learned,
+                            LearnModels(scenario, t0));
+
+  FRESHSEL_ASSIGN_OR_RETURN(
+      estimation::QualityEstimator estimator,
+      estimation::QualityEstimator::Create(
+          scenario.world, learned.world_model, {},
+          MakeTimePoints(t0 + stride, points, stride)));
+  std::vector<const estimation::SourceProfile*> profiles;
+  for (const auto& profile : learned.profiles) {
+    profiles.push_back(&profile);
+  }
+  std::vector<double> base_costs =
+      selection::CostModel::ItemShareCosts(profiles);
+
+  // Universe: plain sources, or frequency-augmented when requested.
+  std::vector<std::uint32_t> source_of;
+  std::vector<std::int64_t> divisor_of;
+  std::vector<double> costs;
+  std::optional<selection::PartitionMatroid> matroid;
+  if (max_divisor > 1) {
+    FRESHSEL_ASSIGN_OR_RETURN(
+        selection::AugmentedUniverse universe,
+        selection::BuildAugmentedUniverse(estimator, profiles, base_costs,
+                                          max_divisor));
+    source_of = std::move(universe.source_of);
+    divisor_of = std::move(universe.divisor_of);
+    costs = std::move(universe.costs);
+    matroid = std::move(universe.matroid);
+  } else {
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      FRESHSEL_ASSIGN_OR_RETURN(auto handle,
+                                estimator.AddSource(profiles[i], 1));
+      (void)handle;
+      source_of.push_back(static_cast<std::uint32_t>(i));
+      divisor_of.push_back(1);
+      costs.push_back(base_costs[i]);
+    }
+  }
+
+  selection::ProfitOracle::Config oracle_config;
+  oracle_config.gain = selection::GainModel(family, metric);
+  oracle_config.budget = budget;
+  FRESHSEL_ASSIGN_OR_RETURN(
+      selection::ProfitOracle oracle,
+      selection::ProfitOracle::Create(&estimator, costs, oracle_config));
+
+  selection::SelectionResult result;
+  if (algorithm_name == "budgeted") {
+    result = selection::BudgetedGreedy(oracle);
+  } else {
+    selection::SelectorConfig config;
+    if (algorithm_name == "greedy") {
+      config.algorithm = selection::Algorithm::kGreedy;
+    } else if (algorithm_name == "maxsub") {
+      config.algorithm = selection::Algorithm::kMaxSub;
+    } else if (algorithm_name == "grasp") {
+      config.algorithm = selection::Algorithm::kGrasp;
+    } else {
+      return Status::InvalidArgument("unknown --algorithm: " +
+                                     algorithm_name);
+    }
+    config.grasp_kappa = static_cast<int>(kappa);
+    config.grasp_restarts = static_cast<int>(restarts);
+    config.seed = static_cast<std::uint64_t>(seed);
+    FRESHSEL_ASSIGN_OR_RETURN(
+        result, selection::SelectSources(
+                    oracle, config,
+                    matroid.has_value() ? &*matroid : nullptr));
+  }
+
+  TablePrinter table("Selected sources",
+                     {"source", "divisor", "cost_share"});
+  for (selection::SourceHandle h : result.selected) {
+    table.AddRow({profiles[source_of[h]]->name,
+                  std::to_string(divisor_of[h]),
+                  FormatDouble(oracle.Cost({h}), 4)});
+  }
+  table.Print(out);
+  const estimation::EstimatedQuality quality =
+      estimator.EstimateAverage(result.selected);
+  out << "profit " << FormatDouble(result.profit, 4) << ", cost "
+      << FormatDouble(oracle.Cost(result.selected), 4)
+      << ", expected coverage " << FormatDouble(quality.coverage, 3)
+      << ", freshness " << FormatDouble(quality.local_freshness, 3)
+      << ", accuracy " << FormatDouble(quality.accuracy, 3) << " ("
+      << result.oracle_calls << " oracle calls)\n";
+  return Status::OK();
+}
+
+int RunMain(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  Result<ArgMap> args = ArgMap::Parse(argc, argv);
+  if (!args.ok()) {
+    err << args.status().ToString() << "\n";
+    return 2;
+  }
+  Status status;
+  if (args->command() == "simulate") {
+    status = RunSimulate(*args, out);
+  } else if (args->command() == "characterize") {
+    status = RunCharacterize(*args, out);
+  } else if (args->command() == "select") {
+    status = RunSelect(*args, out);
+  } else {
+    err << "usage: freshsel <simulate|characterize|select> [--flags]\n"
+        << "  simulate     --workload bl|gdelt --out DIR [--seed N "
+           "--scale X --locations N --categories N]\n"
+        << "  characterize --dir DIR --t0 N\n"
+        << "  select       --dir DIR --t0 N [--metric coverage|accuracy|"
+           "freshness|mix --gain linear|quad|step|data\n"
+        << "                --algorithm greedy|maxsub|grasp|budgeted "
+           "--points N --stride N --budget X\n"
+        << "                --max-divisor M --kappa K --restarts R "
+           "--seed S]\n";
+    return args->command().empty() ? 2 : 2;
+  }
+  if (!status.ok()) {
+    err << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace freshsel::cli

@@ -1,0 +1,44 @@
+#ifndef FRESHSEL_CLI_COMMANDS_H_
+#define FRESHSEL_CLI_COMMANDS_H_
+
+#include <ostream>
+
+#include "cli/args.h"
+
+namespace freshsel::cli {
+
+/// The freshsel command-line interface. Three subcommands cover the
+/// library's workflow on disk-resident data:
+///
+///   freshsel simulate --workload bl|gdelt --out DIR
+///       [--seed N --scale X --locations N --categories N]
+///     Generates a scenario and writes world.csv + source_NNN.csv +
+///     manifest.csv into DIR.
+///
+///   freshsel characterize --dir DIR --t0 N
+///     Loads a scenario directory, learns the change models and prints the
+///     per-source characterization table (size, coverage, learned update
+///     interval, capture-effectiveness plateaus).
+///
+///   freshsel select --dir DIR --t0 N
+///       [--metric coverage|accuracy|freshness|mix --gain
+///        linear|quad|step|data --algorithm greedy|maxsub|grasp|budgeted
+///        --points N --stride N --budget X --max-divisor M --kappa K
+///        --restarts R --seed S]
+///     Learns models and runs time-aware source selection, printing the
+///     chosen sources (with frequency divisors when --max-divisor > 1) and
+///     the expected integration quality.
+///
+/// All commands write human-readable tables to `out` and return a Status;
+/// `RunMain` wraps them with error reporting for main().
+Status RunSimulate(const ArgMap& args, std::ostream& out);
+Status RunCharacterize(const ArgMap& args, std::ostream& out);
+Status RunSelect(const ArgMap& args, std::ostream& out);
+
+/// Dispatches on args.command(); prints usage on unknown commands.
+int RunMain(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace freshsel::cli
+
+#endif  // FRESHSEL_CLI_COMMANDS_H_

@@ -1,0 +1,9 @@
+// The freshsel command-line tool. See cli/commands.h for usage.
+
+#include <iostream>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  return freshsel::cli::RunMain(argc, argv, std::cout, std::cerr);
+}

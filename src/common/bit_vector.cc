@@ -1,0 +1,95 @@
+#include "common/bit_vector.h"
+
+#include <bit>
+#include <cassert>
+
+namespace freshsel {
+
+BitVector::BitVector(std::size_t size)
+    : size_(size), words_(WordCountFor(size), 0) {}
+
+void BitVector::Set(std::size_t index) {
+  assert(index < size_);
+  words_[index / kBitsPerWord] |= std::uint64_t{1} << (index % kBitsPerWord);
+}
+
+void BitVector::Reset(std::size_t index) {
+  assert(index < size_);
+  words_[index / kBitsPerWord] &=
+      ~(std::uint64_t{1} << (index % kBitsPerWord));
+}
+
+bool BitVector::Test(std::size_t index) const {
+  assert(index < size_);
+  return (words_[index / kBitsPerWord] >>
+          (index % kBitsPerWord)) & std::uint64_t{1};
+}
+
+void BitVector::Clear() {
+  for (auto& word : words_) word = 0;
+}
+
+std::size_t BitVector::Count() const {
+  std::size_t total = 0;
+  for (std::uint64_t word : words_) total += std::popcount(word);
+  return total;
+}
+
+void BitVector::OrWith(const BitVector& other) {
+  assert(other.size_ == size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+void BitVector::AndNotWith(const BitVector& other) {
+  assert(other.size_ == size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.words_[i];
+  }
+}
+
+std::size_t BitVector::IntersectCount(const BitVector& other) const {
+  assert(other.size_ == size_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] & other.words_[i]);
+  }
+  return total;
+}
+
+std::size_t BitVector::UnionCount(const BitVector& other) const {
+  assert(other.size_ == size_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] | other.words_[i]);
+  }
+  return total;
+}
+
+std::size_t BitVector::UnionCountOf(
+    const std::vector<const BitVector*>& vectors) {
+  if (vectors.empty()) return 0;
+  const std::size_t words = vectors[0]->words_.size();
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t acc = 0;
+    for (const BitVector* v : vectors) {
+      assert(v->words_.size() == words);
+      acc |= v->words_[w];
+    }
+    total += std::popcount(acc);
+  }
+  return total;
+}
+
+BitVector BitVector::UnionOf(const std::vector<const BitVector*>& vectors,
+                             std::size_t size) {
+  BitVector out(size);
+  for (const BitVector* v : vectors) {
+    out.OrWith(*v);
+  }
+  return out;
+}
+
+}  // namespace freshsel

@@ -1,0 +1,88 @@
+#ifndef FRESHSEL_COMMON_RESULT_H_
+#define FRESHSEL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace freshsel {
+
+/// A value-or-error holder, modeled after `absl::StatusOr<T>` / Arrow's
+/// `Result<T>`.
+///
+/// Invariant: exactly one of {value, error status} is present. Constructing a
+/// `Result` from an OK status is a programming error and is converted to an
+/// Internal error in release builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work in
+  /// functions returning `Result<T>`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status makes
+  /// `return Status::InvalidArgument(...);` work.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Pre: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns the status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define FRESHSEL_ASSIGN_OR_RETURN(lhs, rexpr)  \
+  FRESHSEL_ASSIGN_OR_RETURN_IMPL_(             \
+      FRESHSEL_RESULT_CONCAT_(_freshsel_result_, __LINE__), lhs, rexpr)
+
+#define FRESHSEL_RESULT_CONCAT_INNER_(a, b) a##b
+#define FRESHSEL_RESULT_CONCAT_(a, b) FRESHSEL_RESULT_CONCAT_INNER_(a, b)
+#define FRESHSEL_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                    \
+  if (!var.ok()) {                                       \
+    return var.status();                                 \
+  }                                                      \
+  lhs = std::move(var).value()
+
+}  // namespace freshsel
+
+#endif  // FRESHSEL_COMMON_RESULT_H_

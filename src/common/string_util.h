@@ -1,0 +1,32 @@
+#ifndef FRESHSEL_COMMON_STRING_UTIL_H_
+#define FRESHSEL_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace freshsel {
+
+/// Joins `parts` with `separator` ("a, b, c").
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Splits on `separator`, keeping empty fields ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> Split(std::string_view text, char separator);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+/// Fixed-precision decimal rendering ("0.123").
+std::string FormatDouble(double value, int precision = 4);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace freshsel
+
+#endif  // FRESHSEL_COMMON_STRING_UTIL_H_

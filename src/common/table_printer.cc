@@ -1,0 +1,84 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace freshsel {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  out << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  print_row(columns_);
+  std::size_t total = 1;
+  for (std::size_t w : widths) total += w + 3;
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  out << "\n";
+}
+
+SeriesPrinter::SeriesPrinter(std::string title, std::string x_label,
+                             std::vector<std::string> series_labels)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      series_labels_(std::move(series_labels)) {}
+
+void SeriesPrinter::AddPoint(double x, const std::vector<double>& values) {
+  std::vector<double> padded = values;
+  padded.resize(series_labels_.size(), 0.0);
+  points_.emplace_back(x, std::move(padded));
+}
+
+void SeriesPrinter::Print(std::ostream& out) const {
+  TablePrinter table(title_, [&] {
+    std::vector<std::string> cols{x_label_};
+    cols.insert(cols.end(), series_labels_.begin(), series_labels_.end());
+    return cols;
+  }());
+  for (const auto& [x, values] : points_) {
+    std::vector<std::string> cells{FormatDouble(x, 2)};
+    for (double v : values) cells.push_back(FormatDouble(v, 6));
+    table.AddRow(std::move(cells));
+  }
+  table.Print(out);
+}
+
+bool SeriesPrinter::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << x_label_;
+  for (const auto& label : series_labels_) file << "," << label;
+  file << "\n";
+  for (const auto& [x, values] : points_) {
+    file << FormatDouble(x, 6);
+    for (double v : values) file << "," << FormatDouble(v, 6);
+    file << "\n";
+  }
+  return static_cast<bool>(file);
+}
+
+}  // namespace freshsel

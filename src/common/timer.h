@@ -1,0 +1,29 @@
+#ifndef FRESHSEL_COMMON_TIMER_H_
+#define FRESHSEL_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace freshsel {
+
+/// Monotonic wall-clock stopwatch for the experiment harness (Table 2/3,
+/// Figure 13 runtime measurements).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace freshsel
+
+#endif  // FRESHSEL_COMMON_TIMER_H_

@@ -1,0 +1,309 @@
+#include "estimation/quality_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace freshsel::estimation {
+
+Result<QualityEstimator> QualityEstimator::Create(
+    const world::World& world, const WorldChangeModel& model,
+    std::vector<world::SubdomainId> domain, TimePoints eval_times) {
+  return Create(world, model, std::move(domain), std::move(eval_times),
+                Options{});
+}
+
+Result<QualityEstimator> QualityEstimator::Create(
+    const world::World& world, const WorldChangeModel& model,
+    std::vector<world::SubdomainId> domain, TimePoints eval_times,
+    Options options) {
+  QualityEstimator est;
+  est.t0_ = model.t0();
+  est.options_ = options;
+
+  if (domain.empty()) {
+    domain.reserve(world.domain().subdomain_count());
+    for (world::SubdomainId sub = 0; sub < world.domain().subdomain_count();
+         ++sub) {
+      domain.push_back(sub);
+    }
+  }
+  for (world::SubdomainId sub : domain) {
+    if (sub >= world.domain().subdomain_count()) {
+      return Status::InvalidArgument("domain subdomain out of range");
+    }
+  }
+  for (TimePoint t : eval_times) {
+    if (t < est.t0_) {
+      return Status::InvalidArgument("eval times must be at or after t0");
+    }
+  }
+  est.domain_ = std::move(domain);
+  est.eval_times_ = std::move(eval_times);
+  est.aggregate_ = model.Aggregate(est.domain_);
+  est.count_t0_ = world.CountAtIn(est.domain_, est.t0_);
+
+  // Compact index: entities of the restricted domain get dense bit slots.
+  // The reverse list lets AddSource touch only the domain's entities,
+  // keeping registration cost independent of the full world size.
+  est.entity_to_compact_.assign(world.entity_count(), -1);
+  std::size_t next = 0;
+  for (world::SubdomainId sub : est.domain_) {
+    for (world::EntityId id : world.EntitiesInSubdomain(sub)) {
+      est.entity_to_compact_[id] = static_cast<std::int32_t>(next++);
+      est.compact_to_entity_.push_back(id);
+    }
+  }
+  est.compact_size_ = next;
+  est.scratch_up_ = BitVector(next);
+  est.scratch_cov_ = BitVector(next);
+  est.scratch_all_ = BitVector(next);
+  return est;
+}
+
+Result<QualityEstimator::SourceHandle> QualityEstimator::AddSource(
+    const SourceProfile* profile, std::int64_t divisor) {
+  if (profile == nullptr) {
+    return Status::InvalidArgument("profile must not be null");
+  }
+  if (divisor < 1) {
+    return Status::InvalidArgument("divisor must be >= 1");
+  }
+  RegisteredSource src;
+  src.profile = profile;
+  src.divisor = divisor;
+  src.up = BitVector(compact_size_);
+  src.cov = BitVector(compact_size_);
+  src.all = BitVector(compact_size_);
+  // Compact the full-width signatures to the restricted domain.
+  for (std::size_t slot = 0; slot < compact_to_entity_.size(); ++slot) {
+    const world::EntityId id = compact_to_entity_[slot];
+    if (profile->sig_t0.up.Test(id)) src.up.Set(slot);
+    if (profile->sig_t0.cov.Test(id)) src.cov.Set(slot);
+    if (profile->sig_t0.all.Test(id)) src.all.Set(slot);
+  }
+  src.coverage_t0 =
+      count_t0_ > 0 ? static_cast<double>(src.cov.Count()) /
+                          static_cast<double>(count_t0_)
+                    : 0.0;
+  const SourceHandle handle = static_cast<SourceHandle>(sources_.size());
+  sources_.push_back(std::move(src));
+  cache_.emplace_back(eval_times_.size());
+  return handle;
+}
+
+QualityEstimator::EffectivenessVectors
+QualityEstimator::ComputeEffectiveness(const RegisteredSource& src,
+                                       TimePoint t) const {
+  const std::size_t delta = static_cast<std::size_t>(
+      std::max<TimePoint>(t - t0_, 0));
+  EffectivenessVectors vectors;
+  vectors.insert.resize(delta);
+  vectors.update.resize(delta);
+  vectors.remove.resize(delta);
+  const SourceProfile& p = *src.profile;
+  const double td = static_cast<double>(t);
+  for (std::size_t i = 0; i < delta; ++i) {
+    const double tau = static_cast<double>(t0_ + 1 + static_cast<TimePoint>(i));
+    vectors.insert[i] = p.Effectiveness(p.g_insert, td, tau, src.divisor);
+    vectors.update[i] = p.Effectiveness(p.g_update, td, tau, src.divisor);
+    vectors.remove[i] = p.Effectiveness(p.g_delete, td, tau, src.divisor);
+  }
+  return vectors;
+}
+
+const QualityEstimator::EffectivenessVectors&
+QualityEstimator::EffectivenessFor(SourceHandle handle, TimePoint t,
+                                   std::size_t t_index) const {
+  std::optional<EffectivenessVectors>& slot = cache_[handle][t_index];
+  if (!slot.has_value()) {
+    slot = ComputeEffectiveness(sources_[handle], t);
+  }
+  return *slot;
+}
+
+EstimatedQuality QualityEstimator::Estimate(
+    const std::vector<SourceHandle>& set, TimePoint t) const {
+  EstimatedQuality q;
+  if (t < t0_) return q;
+
+  // Union signature counts at t0.
+  scratch_up_.Clear();
+  scratch_cov_.Clear();
+  scratch_all_.Clear();
+  for (SourceHandle handle : set) {
+    const RegisteredSource& src = sources_[handle];
+    scratch_up_.OrWith(src.up);
+    scratch_cov_.OrWith(src.cov);
+    scratch_all_.OrWith(src.all);
+  }
+  const double up0 = static_cast<double>(scratch_up_.Count());
+  const double cov0 = static_cast<double>(scratch_cov_.Count());
+  const double all0 = static_cast<double>(scratch_all_.Count());
+
+  const SubdomainChangeModel& agg = aggregate_;
+  const double delta = static_cast<double>(t - t0_);
+  const std::size_t steps = static_cast<std::size_t>(t - t0_);
+
+  // E[|Omega|_t]: the paper's linear balance (Eq. 14) by default, or the
+  // birth-death ODE solution when requested. Floored at 1 to keep ratios
+  // finite.
+  double expected_world;
+  if (options_.exponential_world_model && agg.gamma_disappear > 0.0) {
+    const double stationary = agg.lambda_insert / agg.gamma_disappear;
+    expected_world = stationary +
+                     (static_cast<double>(count_t0_) - stationary) *
+                         std::exp(-agg.gamma_disappear * delta);
+  } else {
+    expected_world = static_cast<double>(count_t0_) +
+                     delta * (agg.lambda_insert - agg.lambda_disappear);
+  }
+  expected_world = std::max(expected_world, 1.0);
+
+  // Locate t among the cacheable eval times.
+  std::size_t t_index = eval_times_.size();
+  if (options_.cache_effectiveness) {
+    for (std::size_t i = 0; i < eval_times_.size(); ++i) {
+      if (eval_times_[i] == t) {
+        t_index = i;
+        break;
+      }
+    }
+  }
+
+  // Gather per-source effectiveness vectors (cached or ad hoc).
+  std::vector<const EffectivenessVectors*> per_source;
+  std::vector<EffectivenessVectors> ad_hoc;
+  per_source.reserve(set.size());
+  if (t_index < eval_times_.size()) {
+    for (SourceHandle handle : set) {
+      per_source.push_back(&EffectivenessFor(handle, t, t_index));
+    }
+  } else {
+    ad_hoc.reserve(set.size());
+    for (SourceHandle handle : set) {
+      ad_hoc.push_back(ComputeEffectiveness(sources_[handle], t));
+    }
+    for (const EffectivenessVectors& v : ad_hoc) per_source.push_back(&v);
+  }
+
+  // Accumulate the expectation sums over tau = t0+1 .. t
+  // (Eqs. 9-11, 15, 19 and the Up components).
+  double e_ins = 0.0;
+  double e_ins_nosurv = 0.0;
+  double e_del = 0.0;
+  double e_ins_up = 0.0;
+  double e_ex_up = 0.0;
+  const double global_surv_d = std::exp(-agg.gamma_disappear * delta);
+  const double global_surv_u = std::exp(-agg.gamma_update * delta);
+  for (std::size_t i = 0; i < steps; ++i) {
+    double miss_ins = 1.0;
+    double miss_del = 1.0;
+    double miss_upd = 1.0;
+    for (std::size_t s = 0; s < set.size(); ++s) {
+      const RegisteredSource& src = sources_[set[s]];
+      const EffectivenessVectors& g = *per_source[s];
+      miss_ins *= 1.0 - g.insert[i];
+      miss_del *= 1.0 - src.coverage_t0 * g.remove[i];
+      miss_upd *= 1.0 - src.coverage_t0 * g.update[i];
+    }
+    const double pr_ins = 1.0 - miss_ins;
+    const double pr_del = 1.0 - miss_del;
+    const double pr_upd = 1.0 - miss_upd;
+
+    const double age = delta - static_cast<double>(i + 1);  // t - tau.
+    const double surv_d = std::exp(-agg.gamma_disappear * age);
+    const double surv_du = options_.per_event_survival
+                               ? surv_d * std::exp(-agg.gamma_update * age)
+                               : global_surv_d * global_surv_u;
+
+    e_ins += agg.lambda_insert * surv_d * pr_ins;          // Eq. 15.
+    e_ins_nosurv += agg.lambda_insert * pr_ins;
+    e_del += agg.lambda_disappear * pr_del;                // Eq. 19.
+    e_ins_up += agg.lambda_insert * surv_du * pr_ins;
+    e_ex_up += agg.lambda_update * surv_du * pr_upd;
+  }
+
+  // Capture backlog (extension, see Options::model_capture_backlog):
+  // appearances at tau <= t0 captured only after t0.
+  double e_backlog = 0.0;
+  double e_backlog_up = 0.0;
+  if (options_.model_capture_backlog && t > t0_ && !set.empty()) {
+    const double t0d = static_cast<double>(t0_);
+    const double td = static_cast<double>(t);
+    for (TimePoint tau = 1; tau <= t0_; ++tau) {
+      const double tau_d = static_cast<double>(tau);
+      double miss_by_t0 = 1.0;
+      double miss_by_t = 1.0;
+      for (SourceHandle handle : set) {
+        const RegisteredSource& src = sources_[handle];
+        const SourceProfile& p = *src.profile;
+        miss_by_t0 *=
+            1.0 - p.Effectiveness(p.g_insert, t0d, tau_d, src.divisor);
+        miss_by_t *=
+            1.0 - p.Effectiveness(p.g_insert, td, tau_d, src.divisor);
+      }
+      const double pr_late = std::max(miss_by_t0 - miss_by_t, 0.0);
+      if (pr_late <= 0.0) continue;
+      const double age = delta + (t0d - tau_d);  // t - tau.
+      const double surv_d = std::exp(-agg.gamma_disappear * age);
+      e_backlog += agg.lambda_insert * surv_d * pr_late;
+      e_backlog_up += agg.lambda_insert * surv_d *
+                      std::exp(-agg.gamma_update * age) * pr_late;
+    }
+  }
+
+  // Coverage (Eqs. 12-13).
+  const double old_cov = cov0 * global_surv_d;
+  const double covered_est = old_cov + e_ins + e_backlog;
+  q.coverage = std::clamp(covered_est / expected_world, 0.0, 1.0);
+
+  // Freshness (Eqs. 16-18).
+  const double old_up = up0 * global_surv_d * global_surv_u;
+  const double expected_up = old_up + e_ins_up + e_ex_up + e_backlog_up;
+  const double inserted_into_result =
+      options_.model_ghost_result ? e_ins_nosurv : e_ins;
+  const double expected_result =
+      std::max(all0 + inserted_into_result + e_backlog - e_del,
+               std::max(expected_up, 0.0));
+  q.expected_world = expected_world;
+  q.expected_result = expected_result;
+  q.expected_up = expected_up;
+  q.local_freshness =
+      expected_result > 0.0
+          ? std::clamp(expected_up / expected_result, 0.0, 1.0)
+          : 0.0;
+  q.global_freshness = std::clamp(expected_up / expected_world, 0.0, 1.0);
+
+  // Accuracy via Eq. 5, in its count form up / (|Omega| - covered + |F|).
+  const double union_size =
+      std::max(expected_world - covered_est + expected_result, 1.0);
+  q.accuracy = std::clamp(expected_up / union_size, 0.0, 1.0);
+  return q;
+}
+
+EstimatedQuality QualityEstimator::EstimateAverage(
+    const std::vector<SourceHandle>& set) const {
+  EstimatedQuality avg;
+  if (eval_times_.empty()) return avg;
+  for (TimePoint t : eval_times_) {
+    const EstimatedQuality q = Estimate(set, t);
+    avg.coverage += q.coverage;
+    avg.local_freshness += q.local_freshness;
+    avg.global_freshness += q.global_freshness;
+    avg.accuracy += q.accuracy;
+    avg.expected_world += q.expected_world;
+    avg.expected_result += q.expected_result;
+    avg.expected_up += q.expected_up;
+  }
+  const double n = static_cast<double>(eval_times_.size());
+  avg.coverage /= n;
+  avg.local_freshness /= n;
+  avg.global_freshness /= n;
+  avg.accuracy /= n;
+  avg.expected_world /= n;
+  avg.expected_result /= n;
+  avg.expected_up /= n;
+  return avg;
+}
+
+}  // namespace freshsel::estimation

@@ -1,0 +1,158 @@
+#include "estimation/source_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "stats/kaplan_meier.h"
+
+namespace freshsel::estimation {
+
+double SourceProfile::LatestAcquisitionAt(double t,
+                                          std::int64_t divisor) const {
+  const double interval =
+      update_interval * static_cast<double>(std::max<std::int64_t>(divisor, 1));
+  const double anchor_d = static_cast<double>(anchor);
+  // T_S(t) = floor((t - t_S0) f) / f + t_S0 with f = 1 / interval.
+  return std::floor((t - anchor_d) / interval) * interval + anchor_d;
+}
+
+double SourceProfile::Effectiveness(const stats::StepFunction& g, double t,
+                                    double event_time,
+                                    std::int64_t divisor) const {
+  const double latest = LatestAcquisitionAt(t, divisor);
+  if (!(t >= latest) || latest < event_time) return 0.0;
+  return g.Evaluate(latest - event_time);
+}
+
+namespace {
+
+/// Finds the capture day of world version `version` in `rec`, or kNever.
+TimePoint VersionCaptureDay(const source::CaptureRecord& rec,
+                            std::uint32_t version) {
+  for (const auto& [v, day] : rec.version_captures) {
+    if (v == version) return day;
+  }
+  return world::kNever;
+}
+
+}  // namespace
+
+Result<SourceProfile> LearnSourceProfile(const world::World& world,
+                                         const source::SourceHistory& history,
+                                         TimePoint t0) {
+  if (t0 <= 0 || t0 > world.horizon()) {
+    return Status::InvalidArgument("t0 must be in (0, horizon]");
+  }
+  SourceProfile profile;
+  profile.name = history.name();
+  profile.sig_t0 = integration::BuildSignatures(world, history, t0);
+
+  // Observed scope and the source's distinct content-update days within T.
+  std::set<world::SubdomainId> scope;
+  std::set<TimePoint> update_days;
+  for (const source::CaptureRecord& rec : history.records()) {
+    bool seen_by_t0 = false;
+    for (const auto& [version, day] : rec.version_captures) {
+      if (day <= t0) {
+        update_days.insert(day);
+        seen_by_t0 = true;
+      }
+    }
+    if (rec.deleted != world::kNever && rec.deleted <= t0) {
+      update_days.insert(rec.deleted);
+      seen_by_t0 = true;
+    }
+    if (seen_by_t0) scope.insert(rec.subdomain);
+  }
+  profile.observed_scope.assign(scope.begin(), scope.end());
+
+  // Learned update interval u_S (mean gap between distinct update days) and
+  // the anchor t_S0 (last observed update day).
+  if (update_days.size() >= 2) {
+    const double span = static_cast<double>(
+        *update_days.rbegin() - *update_days.begin());
+    profile.update_interval =
+        span / static_cast<double>(update_days.size() - 1);
+  } else {
+    profile.update_interval = 1.0;  // Fallback: assume daily refresh.
+  }
+  profile.anchor = update_days.empty() ? t0 : *update_days.rbegin();
+
+  // Kaplan-Meier effectiveness distributions from exact + right-censored
+  // delays (Section 4.1.2 / Figure 7).
+  stats::KaplanMeierEstimator km_insert;
+  stats::KaplanMeierEstimator km_update;
+  stats::KaplanMeierEstimator km_delete;
+
+  for (world::SubdomainId sub : profile.observed_scope) {
+    for (world::EntityId id : world.EntitiesInSubdomain(sub)) {
+      const world::EntityRecord& entity = world.entity(id);
+      const source::CaptureRecord* rec = history.Find(id);
+
+      // Insertion delays: appearances within (0, t0].
+      if (entity.birth > 0 && entity.birth <= t0) {
+        if (rec != nullptr && rec->inserted <= t0) {
+          km_insert.Add(static_cast<double>(rec->inserted - entity.birth),
+                        true);
+        } else {
+          km_insert.Add(static_cast<double>(t0 - entity.birth), false);
+        }
+      }
+
+      if (rec == nullptr) continue;  // G_d / G_u are conditional on mention.
+
+      // Deletion delays: disappearances within (0, t0] of mentioned
+      // entities.
+      if (entity.death != world::kNever && entity.death > 0 &&
+          entity.death <= t0) {
+        if (rec->deleted != world::kNever && rec->deleted <= t0) {
+          km_delete.Add(static_cast<double>(rec->deleted - entity.death),
+                        true);
+        } else {
+          km_delete.Add(static_cast<double>(t0 - entity.death), false);
+        }
+      }
+
+      // Value-update delays: world updates within (0, t0] of mentioned
+      // entities.
+      std::uint32_t version = 0;
+      for (TimePoint u : entity.update_times) {
+        ++version;
+        if (u <= 0 || u > t0) continue;
+        const TimePoint day = VersionCaptureDay(*rec, version);
+        if (day != world::kNever && day <= t0) {
+          km_update.Add(static_cast<double>(day - u), true);
+        } else {
+          km_update.Add(static_cast<double>(t0 - u), false);
+        }
+      }
+    }
+  }
+
+  auto fit_or_zero =
+      [](const stats::KaplanMeierEstimator& km) -> stats::StepFunction {
+    if (km.sample_size() == 0) return stats::StepFunction::Constant(0.0);
+    Result<stats::StepFunction> fitted = km.Fit();
+    return fitted.ok() ? *fitted : stats::StepFunction::Constant(0.0);
+  };
+  profile.g_insert = fit_or_zero(km_insert);
+  profile.g_update = fit_or_zero(km_update);
+  profile.g_delete = fit_or_zero(km_delete);
+  return profile;
+}
+
+Result<std::vector<SourceProfile>> LearnSourceProfiles(
+    const world::World& world,
+    const std::vector<source::SourceHistory>& histories, TimePoint t0) {
+  std::vector<SourceProfile> profiles;
+  profiles.reserve(histories.size());
+  for (const source::SourceHistory& history : histories) {
+    FRESHSEL_ASSIGN_OR_RETURN(SourceProfile profile,
+                              LearnSourceProfile(world, history, t0));
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+}  // namespace freshsel::estimation

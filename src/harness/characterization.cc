@@ -1,0 +1,38 @@
+#include "harness/characterization.h"
+
+#include "metrics/quality.h"
+
+namespace freshsel::harness {
+
+std::vector<SourceCharacterization> CharacterizeSources(
+    const LearnedScenario& learned,
+    const std::vector<workloads::SourceClass>& classes) {
+  std::vector<SourceCharacterization> rows;
+  rows.reserve(learned.profiles.size());
+  const std::int64_t world_total = learned.world().TotalCountAt(learned.t0());
+  for (std::size_t i = 0; i < learned.profiles.size(); ++i) {
+    const estimation::SourceProfile& profile = learned.profiles[i];
+    SourceCharacterization row;
+    row.name = profile.name;
+    row.source_class = i < classes.size()
+                           ? classes[i]
+                           : workloads::SourceClass::kMedium;
+    row.items_at_t0 = profile.sig_t0.all.Count();
+    const metrics::QualityMetrics quality = metrics::MetricsFromCounts(
+        metrics::CountsFromSignatures({&profile.sig_t0}, world_total));
+    row.coverage = quality.coverage;
+    row.local_freshness = quality.local_freshness;
+    row.accuracy = quality.accuracy;
+    row.update_interval = profile.update_interval;
+    row.update_frequency =
+        profile.update_interval > 0.0 ? 1.0 / profile.update_interval : 0.0;
+    row.insert_g_week = profile.g_insert.Evaluate(7.0);
+    row.insert_g_plateau = profile.g_insert.FinalValue();
+    row.delete_g_plateau = profile.g_delete.FinalValue();
+    row.scope_subdomains = profile.observed_scope.size();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace freshsel::harness

@@ -1,0 +1,22 @@
+#include "harness/learned_scenario.h"
+
+namespace freshsel::harness {
+
+Result<LearnedScenario> LearnScenario(const workloads::Scenario& scenario) {
+  return LearnScenarioWithSources(scenario, scenario.sources);
+}
+
+Result<LearnedScenario> LearnScenarioWithSources(
+    const workloads::Scenario& scenario,
+    const std::vector<source::SourceHistory>& sources) {
+  FRESHSEL_ASSIGN_OR_RETURN(
+      estimation::WorldChangeModel world_model,
+      estimation::WorldChangeModel::Learn(scenario.world, scenario.t0));
+  FRESHSEL_ASSIGN_OR_RETURN(
+      std::vector<estimation::SourceProfile> profiles,
+      estimation::LearnSourceProfiles(scenario.world, sources, scenario.t0));
+  return LearnedScenario{&scenario, std::move(world_model),
+                         std::move(profiles)};
+}
+
+}  // namespace freshsel::harness

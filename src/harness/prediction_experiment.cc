@@ -1,0 +1,84 @@
+#include "harness/prediction_experiment.h"
+
+#include "estimation/quality_estimator.h"
+#include "integration/signatures.h"
+#include "metrics/quality.h"
+#include "stats/descriptive.h"
+
+namespace freshsel::harness {
+
+Result<std::vector<double>> WorldCountPredictionErrors(
+    const LearnedScenario& learned,
+    const std::vector<world::SubdomainId>& subdomains,
+    const TimePoints& eval_times) {
+  std::vector<double> errors;
+  errors.reserve(eval_times.size());
+  for (TimePoint t : eval_times) {
+    if (t > learned.world().horizon()) {
+      return Status::InvalidArgument("eval time beyond simulated horizon");
+    }
+    const double predicted =
+        learned.world_model.PredictCount(subdomains, t);
+    const double actual =
+        static_cast<double>(learned.world().CountAtIn(subdomains, t));
+    errors.push_back(stats::RelativeError(predicted, actual));
+  }
+  return errors;
+}
+
+Result<QualityErrorSeries> SourceQualityPredictionErrors(
+    const LearnedScenario& learned, std::size_t source_index,
+    const std::vector<world::SubdomainId>& subdomains,
+    const TimePoints& eval_times) {
+  if (source_index >= learned.profiles.size()) {
+    return Status::InvalidArgument("source index out of range");
+  }
+  // The prediction experiments use the extended estimator (capture-backlog
+  // modeling); the selection experiments keep the paper-faithful default.
+  estimation::QualityEstimator::Options options;
+  options.model_capture_backlog = true;
+  options.model_ghost_result = true;
+  FRESHSEL_ASSIGN_OR_RETURN(
+      estimation::QualityEstimator estimator,
+      estimation::QualityEstimator::Create(learned.world(),
+                                           learned.world_model, subdomains,
+                                           eval_times, options));
+  FRESHSEL_ASSIGN_OR_RETURN(
+      estimation::QualityEstimator::SourceHandle handle,
+      estimator.AddSource(&learned.profiles[source_index], 1));
+
+  // Domain mask + per-time world totals for the exact metrics.
+  std::vector<world::SubdomainId> mask_subs = subdomains;
+  if (mask_subs.empty()) {
+    for (world::SubdomainId sub = 0;
+         sub < learned.world().domain().subdomain_count(); ++sub) {
+      mask_subs.push_back(sub);
+    }
+  }
+  const BitVector mask =
+      integration::DomainMask(learned.world(), mask_subs);
+  const source::SourceHistory& history =
+      learned.scenario->sources[source_index];
+
+  QualityErrorSeries series;
+  for (TimePoint t : eval_times) {
+    if (t > learned.world().horizon()) {
+      return Status::InvalidArgument("eval time beyond simulated horizon");
+    }
+    const estimation::EstimatedQuality predicted =
+        estimator.Estimate({handle}, t);
+    const metrics::QualityMetrics actual =
+        metrics::MetricsFromCounts(metrics::ComputeCounts(
+            learned.world(), {&history}, t, &mask,
+            learned.world().CountAtIn(mask_subs, t)));
+    series.coverage.push_back(
+        stats::RelativeError(predicted.coverage, actual.coverage));
+    series.local_freshness.push_back(stats::RelativeError(
+        predicted.local_freshness, actual.local_freshness));
+    series.accuracy.push_back(
+        stats::RelativeError(predicted.accuracy, actual.accuracy));
+  }
+  return series;
+}
+
+}  // namespace freshsel::harness

@@ -1,0 +1,41 @@
+#include "integration/entity_dictionary.h"
+
+namespace freshsel::integration {
+
+std::string EntityDictionary::Canonicalize(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  bool pending_space = false;
+  for (char c : raw) {
+    const bool alnum = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+    const bool upper = c >= 'A' && c <= 'Z';
+    if (alnum || upper) {
+      if (pending_space && !out.empty()) out += ' ';
+      pending_space = false;
+      out += upper ? static_cast<char>(c - 'A' + 'a') : c;
+    } else {
+      // Any separator (space, punctuation) becomes at most one space.
+      pending_space = true;
+    }
+  }
+  return out;
+}
+
+world::EntityId EntityDictionary::Intern(std::string_view raw) {
+  std::string key = Canonicalize(raw);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  const world::EntityId id = static_cast<world::EntityId>(keys_.size());
+  index_.emplace(key, id);
+  keys_.push_back(std::move(key));
+  return id;
+}
+
+std::optional<world::EntityId> EntityDictionary::Lookup(
+    std::string_view raw) const {
+  auto it = index_.find(Canonicalize(raw));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace freshsel::integration

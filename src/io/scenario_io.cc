@@ -1,0 +1,225 @@
+#include "io/scenario_io.h"
+
+#include <charconv>
+#include <cstdint>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace freshsel::io {
+
+namespace {
+
+Status ParseInt(const std::string& text, std::int64_t* out) {
+  if (text.empty()) {
+    return Status::InvalidArgument("expected integer, got empty field");
+  }
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument("malformed integer: " + text);
+  }
+  return Status::OK();
+}
+
+std::string JoinTimes(const std::vector<TimePoint>& times) {
+  std::vector<std::string> parts;
+  parts.reserve(times.size());
+  for (TimePoint t : times) parts.push_back(std::to_string(t));
+  return Join(parts, "|");
+}
+
+Result<std::vector<TimePoint>> ParseTimes(const std::string& text) {
+  std::vector<TimePoint> times;
+  if (text.empty()) return times;
+  for (const std::string& part : Split(text, '|')) {
+    std::int64_t value = 0;
+    FRESHSEL_RETURN_IF_ERROR(ParseInt(part, &value));
+    times.push_back(value);
+  }
+  return times;
+}
+
+}  // namespace
+
+Status WriteWorldCsv(const world::World& world, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  const world::DataDomain& domain = world.domain();
+  out << "#world," << domain.dim1_name() << ',' << domain.dim1_size() << ','
+      << domain.dim2_name() << ',' << domain.dim2_size() << ','
+      << world.horizon() << '\n';
+  out << "id,subdomain,birth,death,updates\n";
+  for (const world::EntityRecord& entity : world.entities()) {
+    out << entity.id << ',' << entity.subdomain << ',' << entity.birth
+        << ',';
+    if (entity.death != world::kNever) out << entity.death;
+    out << ',' << JoinTimes(entity.update_times) << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<world::World> ReadWorldCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty world file: " + path);
+  }
+  std::vector<std::string> header = Split(line, ',');
+  if (header.size() != 6 || header[0] != "#world") {
+    return Status::InvalidArgument("bad world header: " + line);
+  }
+  std::int64_t dim1_size = 0;
+  std::int64_t dim2_size = 0;
+  std::int64_t horizon = 0;
+  FRESHSEL_RETURN_IF_ERROR(ParseInt(header[2], &dim1_size));
+  FRESHSEL_RETURN_IF_ERROR(ParseInt(header[4], &dim2_size));
+  FRESHSEL_RETURN_IF_ERROR(ParseInt(header[5], &horizon));
+  FRESHSEL_ASSIGN_OR_RETURN(
+      world::DataDomain domain,
+      world::DataDomain::Create(header[1],
+                                static_cast<std::uint32_t>(dim1_size),
+                                header[3],
+                                static_cast<std::uint32_t>(dim2_size)));
+  world::World world(std::move(domain), horizon);
+
+  if (!std::getline(in, line) ||
+      line != "id,subdomain,birth,death,updates") {
+    return Status::InvalidArgument("bad world column header");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != 5) {
+      return Status::InvalidArgument("bad world row: " + line);
+    }
+    world::EntityRecord record;
+    std::int64_t value = 0;
+    FRESHSEL_RETURN_IF_ERROR(ParseInt(fields[0], &value));
+    record.id = static_cast<world::EntityId>(value);
+    FRESHSEL_RETURN_IF_ERROR(ParseInt(fields[1], &value));
+    record.subdomain = static_cast<world::SubdomainId>(value);
+    FRESHSEL_RETURN_IF_ERROR(ParseInt(fields[2], &record.birth));
+    if (fields[3].empty()) {
+      record.death = world::kNever;
+    } else {
+      FRESHSEL_RETURN_IF_ERROR(ParseInt(fields[3], &record.death));
+    }
+    FRESHSEL_ASSIGN_OR_RETURN(record.update_times, ParseTimes(fields[4]));
+    FRESHSEL_RETURN_IF_ERROR(world.AddEntity(std::move(record)));
+  }
+  FRESHSEL_RETURN_IF_ERROR(world.Finalize());
+  return world;
+}
+
+Status WriteSourceHistoryCsv(const source::SourceHistory& history,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  const source::SourceSpec& spec = history.spec();
+  out << "#source," << spec.name << ',' << spec.schedule.period << ','
+      << spec.schedule.phase << ',' << history.world_entity_count() << '\n';
+  {
+    std::vector<std::string> scope;
+    for (world::SubdomainId sub : spec.scope) {
+      scope.push_back(std::to_string(sub));
+    }
+    out << "#scope," << Join(scope, "|") << '\n';
+  }
+  out << "entity,subdomain,inserted,deleted,captures\n";
+  for (const source::CaptureRecord& rec : history.records()) {
+    out << rec.entity << ',' << rec.subdomain << ',' << rec.inserted << ',';
+    if (rec.deleted != world::kNever) out << rec.deleted;
+    out << ',';
+    std::vector<std::string> captures;
+    captures.reserve(rec.version_captures.size());
+    for (const auto& [version, day] : rec.version_captures) {
+      captures.push_back(std::to_string(version) + ':' +
+                         std::to_string(day));
+    }
+    out << Join(captures, "|") << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<source::SourceHistory> ReadSourceHistoryCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty source file: " + path);
+  }
+  std::vector<std::string> header = Split(line, ',');
+  if (header.size() != 5 || header[0] != "#source") {
+    return Status::InvalidArgument("bad source header: " + line);
+  }
+  source::SourceSpec spec;
+  spec.name = header[1];
+  FRESHSEL_RETURN_IF_ERROR(ParseInt(header[2], &spec.schedule.period));
+  FRESHSEL_RETURN_IF_ERROR(ParseInt(header[3], &spec.schedule.phase));
+  std::int64_t entity_count = 0;
+  FRESHSEL_RETURN_IF_ERROR(ParseInt(header[4], &entity_count));
+
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("missing scope line");
+  }
+  std::vector<std::string> scope_fields = Split(line, ',');
+  if (scope_fields.size() != 2 || scope_fields[0] != "#scope") {
+    return Status::InvalidArgument("bad scope line: " + line);
+  }
+  if (!scope_fields[1].empty()) {
+    for (const std::string& part : Split(scope_fields[1], '|')) {
+      std::int64_t sub = 0;
+      FRESHSEL_RETURN_IF_ERROR(ParseInt(part, &sub));
+      spec.scope.push_back(static_cast<world::SubdomainId>(sub));
+    }
+  }
+
+  source::SourceHistory history(std::move(spec),
+                                static_cast<std::size_t>(entity_count));
+  if (!std::getline(in, line) ||
+      line != "entity,subdomain,inserted,deleted,captures") {
+    return Status::InvalidArgument("bad source column header");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != 5) {
+      return Status::InvalidArgument("bad source row: " + line);
+    }
+    source::CaptureRecord record;
+    std::int64_t value = 0;
+    FRESHSEL_RETURN_IF_ERROR(ParseInt(fields[0], &value));
+    record.entity = static_cast<world::EntityId>(value);
+    FRESHSEL_RETURN_IF_ERROR(ParseInt(fields[1], &value));
+    record.subdomain = static_cast<world::SubdomainId>(value);
+    FRESHSEL_RETURN_IF_ERROR(ParseInt(fields[2], &record.inserted));
+    if (fields[3].empty()) {
+      record.deleted = world::kNever;
+    } else {
+      FRESHSEL_RETURN_IF_ERROR(ParseInt(fields[3], &record.deleted));
+    }
+    if (!fields[4].empty()) {
+      for (const std::string& pair : Split(fields[4], '|')) {
+        std::vector<std::string> parts = Split(pair, ':');
+        if (parts.size() != 2) {
+          return Status::InvalidArgument("bad capture pair: " + pair);
+        }
+        std::int64_t version = 0;
+        std::int64_t day = 0;
+        FRESHSEL_RETURN_IF_ERROR(ParseInt(parts[0], &version));
+        FRESHSEL_RETURN_IF_ERROR(ParseInt(parts[1], &day));
+        record.version_captures.emplace_back(
+            static_cast<std::uint32_t>(version), day);
+      }
+    }
+    FRESHSEL_RETURN_IF_ERROR(history.AddRecord(std::move(record)));
+  }
+  return history;
+}
+
+}  // namespace freshsel::io

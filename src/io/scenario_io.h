@@ -1,0 +1,49 @@
+#ifndef FRESHSEL_IO_SCENARIO_IO_H_
+#define FRESHSEL_IO_SCENARIO_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "source/source_history.h"
+#include "world/world.h"
+
+namespace freshsel::io {
+
+/// CSV persistence for worlds and source histories, so scenarios can be
+/// exported for offline analysis / plotting and real snapshot corpora can
+/// be loaded into the library.
+///
+/// World file format (one header block, then one line per entity):
+///   #world,<dim1_name>,<dim1_size>,<dim2_name>,<dim2_size>,<horizon>
+///   id,subdomain,birth,death,updates
+///   0,3,0,512,10|40|200
+/// `death` is empty for still-alive entities; `updates` is a '|'-separated
+/// day list (possibly empty).
+///
+/// Source file format:
+///   #source,<name>,<period>,<phase>,<world_entity_count>
+///   #scope,<subdomain>|<subdomain>|...
+///   entity,subdomain,inserted,deleted,captures
+///   17,3,12,,0:12|1:40
+/// `captures` holds version:day pairs; `deleted` is empty when the source
+/// never removed the entity.
+
+/// Writes `world` to `path`. Returns IoError on filesystem failure.
+Status WriteWorldCsv(const world::World& world, const std::string& path);
+
+/// Reads a world written by WriteWorldCsv. The returned world is
+/// finalized. Returns IoError / InvalidArgument on malformed input.
+Result<world::World> ReadWorldCsv(const std::string& path);
+
+/// Writes `history` to `path` (spec capture parameters other than the
+/// schedule are not persisted - they are simulator internals the
+/// estimation layer never sees).
+Status WriteSourceHistoryCsv(const source::SourceHistory& history,
+                             const std::string& path);
+
+/// Reads a source history written by WriteSourceHistoryCsv.
+Result<source::SourceHistory> ReadSourceHistoryCsv(const std::string& path);
+
+}  // namespace freshsel::io
+
+#endif  // FRESHSEL_IO_SCENARIO_IO_H_

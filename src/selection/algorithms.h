@@ -1,0 +1,86 @@
+#ifndef FRESHSEL_SELECTION_ALGORITHMS_H_
+#define FRESHSEL_SELECTION_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "selection/matroid.h"
+#include "selection/profit.h"
+
+namespace freshsel::selection {
+
+/// Outcome of one selection run.
+struct SelectionResult {
+  std::vector<SourceHandle> selected;  ///< Sorted ascending.
+  double profit = 0.0;
+  std::uint64_t oracle_calls = 0;  ///< Oracle calls made by this run.
+};
+
+/// The greedy baseline of Dong et al. [3]: starting from the empty set,
+/// repeatedly add the feasible source with the largest profit improvement
+/// until no addition improves the profit. `matroid` (optional) constrains
+/// feasibility.
+SelectionResult Greedy(const ProfitFunction& oracle,
+                       const PartitionMatroid* matroid = nullptr);
+
+/// Algorithm 1 (MaxSub): Feige-Mirrokni local search for unconstrained
+/// submodular maximization. Starts from the best singleton, applies
+/// additions and deletions while they improve the profit by more than a
+/// (1 + epsilon/n^2) factor, then returns the better of the local optimum
+/// and its complement.
+SelectionResult MaxSub(const ProfitFunction& oracle, double epsilon = 0.5);
+
+/// Warm-started variant of Algorithm 1: runs the same add/delete local
+/// search (and complement check) from `initial` instead of the best
+/// singleton. Used by the online selector to refresh a running selection
+/// after new sources arrive.
+SelectionResult MaxSubFrom(const ProfitFunction& oracle,
+                           std::vector<SourceHandle> initial,
+                           double epsilon = 0.5);
+
+/// Algorithm 3: the approximate local-search procedure over ground set
+/// `ground` under `matroids` (delete + exchange moves, (1 + epsilon/n^4)
+/// threshold).
+SelectionResult MatroidLocalSearch(
+    const ProfitFunction& oracle,
+    const std::vector<const PartitionMatroid*>& matroids,
+    const std::vector<SourceHandle>& ground, double epsilon = 0.5);
+
+/// Algorithm 2 (MaxSub with matroid constraints): runs Algorithm 3 on k+1
+/// successively shrinking ground sets and returns the best local optimum.
+SelectionResult MaxSubMatroid(
+    const ProfitFunction& oracle,
+    const std::vector<const PartitionMatroid*>& matroids,
+    double epsilon = 0.5);
+
+/// GRASP of Dong et al. [3], extended with optional matroid feasibility for
+/// the varying-frequency problem: `restarts` rounds of randomized greedy
+/// construction (picking uniformly from the top-`kappa` positive-marginal
+/// candidates) followed by best-improvement local search (add / remove /
+/// swap). (kappa=1, restarts=1) degenerates to hill climbing.
+struct GraspParams {
+  int kappa = 1;
+  int restarts = 1;
+  std::uint64_t seed = 42;
+};
+SelectionResult Grasp(const ProfitFunction& oracle, const GraspParams& params,
+                      const PartitionMatroid* matroid = nullptr);
+
+/// Exhaustive optimum for testing; n must be <= 24.
+SelectionResult BruteForce(const ProfitFunction& oracle,
+                           const PartitionMatroid* matroid = nullptr);
+
+namespace internal {
+
+/// Local-search improvement test with the multiplicative threshold
+/// candidate > (1 + slack) * current for positive current values and a
+/// small absolute guard otherwise (keeps the search finite when profits are
+/// near zero or negative).
+bool ImprovesBy(double candidate, double current, double slack);
+
+}  // namespace internal
+
+}  // namespace freshsel::selection
+
+#endif  // FRESHSEL_SELECTION_ALGORITHMS_H_

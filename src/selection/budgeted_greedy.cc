@@ -1,0 +1,75 @@
+#include "selection/budgeted_greedy.h"
+
+#include <limits>
+
+#include "selection/set_util.h"
+
+namespace freshsel::selection {
+
+SelectionResult BudgetedGreedy(const ProfitOracle& oracle) {
+  const std::size_t n = oracle.universe_size();
+  const double budget = oracle.config().budget;
+  const std::uint64_t calls_before = oracle.call_count();
+
+  // Phase 1: cost-benefit greedy.
+  std::vector<SourceHandle> selected;
+  double current_gain = oracle.Gain(selected);
+  double current_cost = 0.0;
+  while (true) {
+    double best_ratio = 0.0;
+    SourceHandle best_element = 0;
+    double best_gain = current_gain;
+    bool found = false;
+    for (std::size_t e = 0; e < n; ++e) {
+      const SourceHandle handle = static_cast<SourceHandle>(e);
+      if (internal::Contains(selected, handle)) continue;
+      const double added_cost = oracle.Cost({handle});
+      if (current_cost + added_cost > budget + 1e-12) continue;
+      const double gain =
+          oracle.Gain(internal::WithAdded(selected, handle));
+      const double marginal = gain - current_gain;
+      if (marginal <= 1e-12) continue;
+      // Zero-cost elements with positive gain are always worth taking.
+      const double ratio = added_cost > 1e-12
+                               ? marginal / added_cost
+                               : std::numeric_limits<double>::infinity();
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_element = handle;
+        best_gain = gain;
+        found = true;
+      }
+    }
+    if (!found) break;
+    current_cost += oracle.Cost({best_element});
+    selected = internal::WithAdded(selected, best_element);
+    current_gain = best_gain;
+  }
+
+  // Phase 2: the best affordable singleton can beat the ratio greedy when
+  // one expensive element dominates.
+  double best_single_gain = -1.0;
+  SourceHandle best_single = 0;
+  for (std::size_t e = 0; e < n; ++e) {
+    const SourceHandle handle = static_cast<SourceHandle>(e);
+    if (oracle.Cost({handle}) > budget + 1e-12) continue;
+    const double gain = oracle.Gain({handle});
+    if (gain > best_single_gain) {
+      best_single_gain = gain;
+      best_single = handle;
+    }
+  }
+
+  SelectionResult result;
+  if (best_single_gain > current_gain) {
+    result.selected = {best_single};
+    result.profit = oracle.Profit(result.selected);
+  } else {
+    result.selected = std::move(selected);
+    result.profit = oracle.Profit(result.selected);
+  }
+  result.oracle_calls = oracle.call_count() - calls_before;
+  return result;
+}
+
+}  // namespace freshsel::selection

@@ -1,0 +1,22 @@
+#ifndef FRESHSEL_SELECTION_BUDGETED_GREEDY_H_
+#define FRESHSEL_SELECTION_BUDGETED_GREEDY_H_
+
+#include "selection/algorithms.h"
+
+namespace freshsel::selection {
+
+/// Budgeted source selection (the budget-bound regime of Definition 3):
+/// maximizes the *gain* subject to cost(S) <= budget, using the classic
+/// cost-benefit greedy for budgeted submodular maximization - repeatedly
+/// add the affordable element with the best marginal-gain / cost ratio,
+/// then return the better of that solution and the best affordable
+/// singleton (the Khuller-Moss-Naor safeguard; for monotone submodular
+/// gains the combination is a constant-factor approximation).
+///
+/// This complements the local-search algorithms, whose -infinity treatment
+/// of infeasible sets makes them blind near a tight budget boundary.
+SelectionResult BudgetedGreedy(const ProfitOracle& oracle);
+
+}  // namespace freshsel::selection
+
+#endif  // FRESHSEL_SELECTION_BUDGETED_GREEDY_H_

@@ -1,0 +1,34 @@
+#include "selection/cost.h"
+
+namespace freshsel::selection {
+
+std::vector<double> CostModel::ItemShareCosts(
+    const std::vector<const estimation::SourceProfile*>& profiles,
+    double item_price) {
+  std::vector<double> costs(profiles.size(), 0.0);
+  if (profiles.empty()) return costs;
+  const std::size_t width = profiles[0]->sig_t0.all.size();
+  // mentions[e] = number of sources carrying item e at t0. Word-level bit
+  // iteration keeps this O(total items across sources) rather than
+  // O(sources * width) - the BL+ scalability experiments register
+  // thousands of sources.
+  std::vector<std::uint32_t> mentions(width, 0);
+  for (const estimation::SourceProfile* profile : profiles) {
+    profile->sig_t0.all.VisitSetBits(
+        [&](std::size_t e) { ++mentions[e]; });
+  }
+  for (std::size_t s = 0; s < profiles.size(); ++s) {
+    double total = 0.0;
+    profiles[s]->sig_t0.all.VisitSetBits([&](std::size_t e) {
+      total += item_price / static_cast<double>(mentions[e]);
+    });
+    costs[s] = total;
+  }
+  return costs;
+}
+
+double CostModel::DiscountForDivisor(double base_cost, std::int64_t divisor) {
+  return base_cost / (1.0 + static_cast<double>(divisor) / 10.0);
+}
+
+}  // namespace freshsel::selection

@@ -1,0 +1,42 @@
+#include "selection/frequency_selection.h"
+
+namespace freshsel::selection {
+
+Result<AugmentedUniverse> BuildAugmentedUniverse(
+    estimation::QualityEstimator& estimator,
+    const std::vector<const estimation::SourceProfile*>& profiles,
+    const std::vector<double>& base_costs, std::int64_t max_divisor) {
+  if (profiles.size() != base_costs.size()) {
+    return Status::InvalidArgument("need one base cost per profile");
+  }
+  if (max_divisor < 1) {
+    return Status::InvalidArgument("max_divisor must be >= 1");
+  }
+  std::vector<estimation::QualityEstimator::SourceHandle> handles;
+  std::vector<std::uint32_t> source_of;
+  std::vector<std::int64_t> divisor_of;
+  std::vector<double> costs;
+  std::vector<std::uint32_t> group_of;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (std::int64_t divisor = 1; divisor <= max_divisor; ++divisor) {
+      FRESHSEL_ASSIGN_OR_RETURN(
+          estimation::QualityEstimator::SourceHandle handle,
+          estimator.AddSource(profiles[i], divisor));
+      handles.push_back(handle);
+      source_of.push_back(static_cast<std::uint32_t>(i));
+      divisor_of.push_back(divisor);
+      costs.push_back(CostModel::DiscountForDivisor(base_costs[i], divisor));
+      group_of.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  FRESHSEL_ASSIGN_OR_RETURN(
+      PartitionMatroid matroid,
+      PartitionMatroid::Create(
+          std::move(group_of),
+          std::vector<std::uint32_t>(profiles.size(), 1)));
+  return AugmentedUniverse{std::move(handles), std::move(source_of),
+                           std::move(divisor_of), std::move(costs),
+                           std::move(matroid)};
+}
+
+}  // namespace freshsel::selection

@@ -1,0 +1,60 @@
+#include "selection/gain.h"
+
+#include <algorithm>
+
+namespace freshsel::selection {
+
+double GainModel::MetricValue(const estimation::EstimatedQuality& q) const {
+  switch (metric_) {
+    case QualityMetric::kCoverage:
+      return q.coverage;
+    case QualityMetric::kAccuracy:
+      return q.accuracy;
+    case QualityMetric::kGlobalFreshness:
+      return q.global_freshness;
+    case QualityMetric::kLocalFreshness:
+      return q.local_freshness;
+    case QualityMetric::kCoverageFreshnessMix: {
+      const double alpha = std::clamp(mix_alpha_, 0.0, 1.0);
+      return alpha * q.coverage + (1.0 - alpha) * q.global_freshness;
+    }
+  }
+  return 0.0;
+}
+
+double GainModel::Curve(GainFamily family, double quality) {
+  const double q = quality;
+  switch (family) {
+    case GainFamily::kLinear:
+      return kQualityScale * q;
+    case GainFamily::kQuadratic:
+      return kQualityScale * q * q;
+    case GainFamily::kStep:
+      // The paper's milestone schedule (Section 6.1).
+      if (q < 0.2) return 100.0 * q;
+      if (q < 0.5) return 100.0 + 100.0 * (q - 0.2);
+      if (q < 0.7) return 150.0 + 100.0 * (q - 0.5);
+      if (q < 0.95) return 200.0 + 100.0 * (q - 0.7);
+      return 300.0 + 100.0 * (q - 0.95);
+    case GainFamily::kData:
+      return kItemValue * q;  // Per unit of expected world size.
+  }
+  return 0.0;
+}
+
+double GainModel::Evaluate(const estimation::EstimatedQuality& q) const {
+  if (family_ == GainFamily::kData) {
+    // $item_value per covered item: 10 * Cov* * E[|Omega|_t].
+    return kItemValue * q.coverage * q.expected_world;
+  }
+  return Curve(family_, MetricValue(q));
+}
+
+double GainModel::MaxGain(double max_expected_world) const {
+  if (family_ == GainFamily::kData) {
+    return kItemValue * max_expected_world;
+  }
+  return Curve(family_, 1.0);
+}
+
+}  // namespace freshsel::selection

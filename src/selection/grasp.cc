@@ -1,0 +1,136 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "selection/algorithms.h"
+#include "selection/set_util.h"
+
+namespace freshsel::selection {
+
+namespace {
+
+bool Feasible(const PartitionMatroid* matroid,
+              const std::vector<SourceHandle>& set, SourceHandle add) {
+  return matroid == nullptr || matroid->CanAdd(set, add);
+}
+
+/// One randomized greedy construction: repeatedly evaluate the marginal
+/// profit of every feasible candidate, form the restricted candidate list
+/// of the `kappa` best positive-marginal candidates, and add one of them
+/// uniformly at random.
+std::vector<SourceHandle> Construct(const ProfitFunction& oracle, int kappa,
+                                    const PartitionMatroid* matroid,
+                                    Rng& rng) {
+  const std::size_t n = oracle.universe_size();
+  std::vector<SourceHandle> selected;
+  double current = oracle.Profit(selected);
+  while (true) {
+    std::vector<std::pair<double, SourceHandle>> candidates;
+    for (std::size_t e = 0; e < n; ++e) {
+      const SourceHandle handle = static_cast<SourceHandle>(e);
+      if (internal::Contains(selected, handle)) continue;
+      if (!Feasible(matroid, selected, handle)) continue;
+      const double profit =
+          oracle.Profit(internal::WithAdded(selected, handle));
+      if (profit > current + 1e-12) {
+        candidates.emplace_back(profit, handle);
+      }
+    }
+    if (candidates.empty()) break;
+    const std::size_t rcl_size = std::min<std::size_t>(
+        candidates.size(), static_cast<std::size_t>(std::max(kappa, 1)));
+    std::partial_sort(candidates.begin(), candidates.begin() + rcl_size,
+                      candidates.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    const auto& pick =
+        candidates[static_cast<std::size_t>(rng.NextBounded(rcl_size))];
+    selected = internal::WithAdded(selected, pick.second);
+    current = oracle.Profit(selected);
+  }
+  return selected;
+}
+
+/// Best-improvement local search over add / remove / swap moves.
+double LocalSearch(const ProfitFunction& oracle,
+                   const PartitionMatroid* matroid,
+                   std::vector<SourceHandle>& selected) {
+  const std::size_t n = oracle.universe_size();
+  double current = oracle.Profit(selected);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    double best_profit = current;
+    std::vector<SourceHandle> best_set;
+
+    for (std::size_t e = 0; e < n; ++e) {
+      const SourceHandle handle = static_cast<SourceHandle>(e);
+      if (!internal::Contains(selected, handle)) {
+        if (!Feasible(matroid, selected, handle)) continue;
+        std::vector<SourceHandle> next =
+            internal::WithAdded(selected, handle);
+        const double profit = oracle.Profit(next);
+        if (profit > best_profit + 1e-12) {
+          best_profit = profit;
+          best_set = std::move(next);
+        }
+      } else {
+        std::vector<SourceHandle> without =
+            internal::WithRemoved(selected, handle);
+        const double removal_profit = oracle.Profit(without);
+        if (removal_profit > best_profit + 1e-12) {
+          best_profit = removal_profit;
+          best_set = without;
+        }
+        // Swaps: replace `handle` with one outside element.
+        for (std::size_t d = 0; d < n; ++d) {
+          const SourceHandle other = static_cast<SourceHandle>(d);
+          if (internal::Contains(selected, other)) continue;
+          if (!Feasible(matroid, without, other)) continue;
+          std::vector<SourceHandle> swapped =
+              internal::WithAdded(without, other);
+          const double profit = oracle.Profit(swapped);
+          if (profit > best_profit + 1e-12) {
+            best_profit = profit;
+            best_set = std::move(swapped);
+          }
+        }
+      }
+    }
+    if (best_profit > current + 1e-12) {
+      selected = std::move(best_set);
+      current = best_profit;
+      improved = true;
+    }
+  }
+  return current;
+}
+
+}  // namespace
+
+SelectionResult Grasp(const ProfitFunction& oracle, const GraspParams& params,
+                      const PartitionMatroid* matroid) {
+  const std::uint64_t calls_before = oracle.call_count();
+  Rng rng(params.seed);
+  SelectionResult best;
+  best.profit = -std::numeric_limits<double>::infinity();
+  const int restarts = std::max(params.restarts, 1);
+  for (int r = 0; r < restarts; ++r) {
+    std::vector<SourceHandle> selected =
+        Construct(oracle, params.kappa, matroid, rng);
+    const double profit = LocalSearch(oracle, matroid, selected);
+    if (profit > best.profit) {
+      best.profit = profit;
+      best.selected = selected;
+    }
+  }
+  if (!std::isfinite(best.profit)) {
+    best.selected.clear();
+    best.profit = oracle.Profit({});
+  }
+  best.oracle_calls = oracle.call_count() - calls_before;
+  return best;
+}
+
+}  // namespace freshsel::selection

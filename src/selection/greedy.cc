@@ -1,0 +1,73 @@
+#include <cmath>
+
+#include "selection/algorithms.h"
+#include "selection/set_util.h"
+
+namespace freshsel::selection {
+
+namespace internal {
+
+bool ImprovesBy(double candidate, double current, double slack) {
+  if (!std::isfinite(candidate)) return false;
+  // Multiplicative threshold when current is meaningfully positive; a small
+  // absolute guard otherwise so improvements near zero still terminate.
+  const double margin = slack * std::max(std::fabs(current), 1e-3);
+  return candidate > current + margin;
+}
+
+}  // namespace internal
+
+SelectionResult Greedy(const ProfitFunction& oracle,
+                       const PartitionMatroid* matroid) {
+  const std::size_t n = oracle.universe_size();
+  const std::uint64_t calls_before = oracle.call_count();
+
+  std::vector<SourceHandle> selected;
+  double current = oracle.Profit(selected);
+  while (true) {
+    double best_profit = current;
+    SourceHandle best_element = 0;
+    bool found = false;
+    for (std::size_t e = 0; e < n; ++e) {
+      const SourceHandle handle = static_cast<SourceHandle>(e);
+      if (internal::Contains(selected, handle)) continue;
+      if (matroid != nullptr && !matroid->CanAdd(selected, handle)) continue;
+      const double profit =
+          oracle.Profit(internal::WithAdded(selected, handle));
+      if (profit > best_profit + 1e-12) {
+        best_profit = profit;
+        best_element = handle;
+        found = true;
+      }
+    }
+    if (!found) break;
+    selected = internal::WithAdded(selected, best_element);
+    current = best_profit;
+  }
+  return {std::move(selected), current, oracle.call_count() - calls_before};
+}
+
+SelectionResult BruteForce(const ProfitFunction& oracle,
+                           const PartitionMatroid* matroid) {
+  const std::size_t n = oracle.universe_size();
+  const std::uint64_t calls_before = oracle.call_count();
+  SelectionResult best;
+  best.profit = -std::numeric_limits<double>::infinity();
+  if (n > 24) return best;  // Guardrail: 2^n enumeration.
+  for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+    std::vector<SourceHandle> set;
+    for (std::size_t e = 0; e < n; ++e) {
+      if ((bits >> e) & 1) set.push_back(static_cast<SourceHandle>(e));
+    }
+    if (matroid != nullptr && !matroid->IsIndependent(set)) continue;
+    const double profit = oracle.Profit(set);
+    if (profit > best.profit) {
+      best.profit = profit;
+      best.selected = std::move(set);
+    }
+  }
+  best.oracle_calls = oracle.call_count() - calls_before;
+  return best;
+}
+
+}  // namespace freshsel::selection

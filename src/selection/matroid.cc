@@ -1,0 +1,50 @@
+#include "selection/matroid.h"
+
+namespace freshsel::selection {
+
+Result<PartitionMatroid> PartitionMatroid::Create(
+    std::vector<std::uint32_t> group_of,
+    std::vector<std::uint32_t> capacities) {
+  for (std::uint32_t g : group_of) {
+    if (g >= capacities.size()) {
+      return Status::InvalidArgument("group index out of range");
+    }
+  }
+  for (std::uint32_t c : capacities) {
+    if (c == 0) {
+      return Status::InvalidArgument("group capacities must be positive");
+    }
+  }
+  return PartitionMatroid(std::move(group_of), std::move(capacities));
+}
+
+bool PartitionMatroid::IsIndependent(
+    const std::vector<SourceHandle>& set) const {
+  std::vector<std::uint32_t> used(capacities_.size(), 0);
+  for (SourceHandle e : set) {
+    if (++used[group_of_[e]] > capacities_[group_of_[e]]) return false;
+  }
+  return true;
+}
+
+bool PartitionMatroid::CanAdd(const std::vector<SourceHandle>& set,
+                              SourceHandle element) const {
+  const std::uint32_t group = group_of_[element];
+  std::uint32_t used = 0;
+  for (SourceHandle e : set) {
+    if (group_of_[e] == group) ++used;
+  }
+  return used < capacities_[group];
+}
+
+std::vector<SourceHandle> PartitionMatroid::ConflictsWith(
+    const std::vector<SourceHandle>& set, SourceHandle element) const {
+  const std::uint32_t group = group_of_[element];
+  std::vector<SourceHandle> conflicts;
+  for (SourceHandle e : set) {
+    if (group_of_[e] == group) conflicts.push_back(e);
+  }
+  return conflicts;
+}
+
+}  // namespace freshsel::selection

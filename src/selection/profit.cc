@@ -1,0 +1,82 @@
+#include "selection/profit.h"
+
+#include <algorithm>
+
+namespace freshsel::selection {
+
+Result<ProfitOracle> ProfitOracle::Create(
+    const estimation::QualityEstimator* estimator, std::vector<double> costs,
+    Config config) {
+  if (estimator == nullptr) {
+    return Status::InvalidArgument("estimator must not be null");
+  }
+  if (costs.size() != estimator->source_count()) {
+    return Status::InvalidArgument(
+        "need one cost per registered estimator source");
+  }
+  ProfitOracle oracle;
+  oracle.estimator_ = estimator;
+  oracle.config_ = config;
+
+  // Normalize costs so the whole universe costs 1.
+  double total_cost = 0.0;
+  for (double c : costs) total_cost += c;
+  if (total_cost > 0.0) {
+    for (double& c : costs) c /= total_cost;
+  }
+  oracle.costs_ = std::move(costs);
+
+  // Normalize gain by its maximum attainable raw value; for DataGain that
+  // depends on the expected world size, bounded by the largest eval time.
+  double max_world = 1.0;
+  const estimation::EstimatedQuality empty = estimator->EstimateAverage({});
+  max_world = std::max(max_world, empty.expected_world);
+  for (TimePoint t : estimator->eval_times()) {
+    max_world =
+        std::max(max_world, estimator->Estimate({}, t).expected_world);
+  }
+  const double max_gain = config.gain.MaxGain(max_world);
+  oracle.gain_scale_ = max_gain > 0.0 ? 1.0 / max_gain : 1.0;
+  return oracle;
+}
+
+double ProfitOracle::Cost(const std::vector<SourceHandle>& set) const {
+  double total = 0.0;
+  for (SourceHandle h : set) total += costs_[h];
+  return total;
+}
+
+double ProfitOracle::Gain(const std::vector<SourceHandle>& set) const {
+  ++calls_;
+  const TimePoints& times = estimator_->eval_times();
+  if (times.empty()) return 0.0;
+  double total = 0.0;
+  double best = -std::numeric_limits<double>::infinity();
+  double worst = std::numeric_limits<double>::infinity();
+  for (TimePoint t : times) {
+    const double gain =
+        config_.gain.Evaluate(estimator_->Estimate(set, t));
+    total += gain;
+    best = std::max(best, gain);
+    worst = std::min(worst, gain);
+  }
+  switch (config_.aggregate) {
+    case AggregateMode::kMax:
+      return gain_scale_ * best;
+    case AggregateMode::kMin:
+      return gain_scale_ * worst;
+    case AggregateMode::kAverage:
+      break;
+  }
+  return gain_scale_ * total / static_cast<double>(times.size());
+}
+
+double ProfitOracle::Profit(const std::vector<SourceHandle>& set) const {
+  const double cost = Cost(set);
+  if (cost > config_.budget + 1e-12) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return Gain(set) - config_.cost_weight * cost;
+}
+
+}  // namespace freshsel::selection

@@ -1,0 +1,106 @@
+#ifndef FRESHSEL_SELECTION_PROFIT_H_
+#define FRESHSEL_SELECTION_PROFIT_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/result.h"
+#include "estimation/quality_estimator.h"
+#include "selection/gain.h"
+
+namespace freshsel::selection {
+
+using SourceHandle = estimation::QualityEstimator::SourceHandle;
+
+/// Abstract set-function oracle the selection algorithms maximize. Concrete
+/// instances: `ProfitOracle` (the real estimator-backed profit) and the
+/// synthetic submodular functions used by the tests and microbenches.
+/// Implementations count their oracle calls for the runtime experiments.
+class ProfitFunction {
+ public:
+  virtual ~ProfitFunction() = default;
+
+  /// Number of selectable elements (handles are 0..n-1).
+  virtual std::size_t universe_size() const = 0;
+
+  /// Value of a set; -infinity marks an infeasible set.
+  virtual double Profit(const std::vector<SourceHandle>& set) const = 0;
+
+  std::uint64_t call_count() const { return calls_; }
+  void ResetCallCount() const { calls_ = 0; }
+
+ protected:
+  mutable std::uint64_t calls_ = 0;
+};
+
+/// How per-time-point gains are aggregated over T_f (the paper's A in
+/// Section 2.2, "e.g., average or max"). Only kAverage preserves
+/// submodularity (Section 5's condition); with kMax or kMin use GRASP.
+enum class AggregateMode {
+  kAverage,
+  kMax,
+  kMin,
+};
+
+/// The value oracle the selection algorithms maximize:
+///   profit(S) = gain(S) - cost_weight * cost(S),
+/// with gain(S) the aggregate over the eval times T_f of the gain model
+/// applied to the estimated quality (the paper's A; average by default),
+/// and cost(S) the sum of the selected sources' costs. Gain and cost are
+/// both rescaled to [0, 1] as in Section 6.1: gain by its maximum
+/// attainable value, cost by the total cost of the whole universe.
+///
+/// Sets over the cost budget evaluate to -infinity (infeasible).
+///
+/// Oracle calls are counted for the runtime/telemetry experiments.
+class ProfitOracle : public ProfitFunction {
+ public:
+  struct Config {
+    GainModel gain{GainFamily::kLinear, QualityMetric::kCoverage};
+    /// Budget on *normalized* cost (1.0 = cost of acquiring everything).
+    double budget = std::numeric_limits<double>::infinity();
+    double cost_weight = 1.0;
+    AggregateMode aggregate = AggregateMode::kAverage;
+  };
+
+  /// `costs[h]` is the (already divisor-discounted) cost of the estimator's
+  /// source handle h; must cover every registered handle. Returns
+  /// InvalidArgument on size mismatch.
+  static Result<ProfitOracle> Create(
+      const estimation::QualityEstimator* estimator,
+      std::vector<double> costs, Config config);
+
+  /// Number of selectable sources (== estimator handles).
+  std::size_t universe_size() const override { return costs_.size(); }
+
+  /// Normalized cost of a set.
+  double Cost(const std::vector<SourceHandle>& set) const;
+
+  /// Normalized average gain of a set over the eval times.
+  double Gain(const std::vector<SourceHandle>& set) const;
+
+  /// profit = Gain - cost_weight * Cost, or -infinity over budget.
+  double Profit(const std::vector<SourceHandle>& set) const override;
+
+  bool WithinBudget(const std::vector<SourceHandle>& set) const {
+    return Cost(set) <= config_.budget + 1e-12;
+  }
+
+  const estimation::QualityEstimator& estimator() const {
+    return *estimator_;
+  }
+  const Config& config() const { return config_; }
+
+ private:
+  ProfitOracle() = default;
+
+  const estimation::QualityEstimator* estimator_ = nullptr;
+  std::vector<double> costs_;      // Normalized per-handle costs.
+  Config config_;
+  double gain_scale_ = 1.0;        // 1 / max raw gain.
+};
+
+}  // namespace freshsel::selection
+
+#endif  // FRESHSEL_SELECTION_PROFIT_H_

@@ -1,0 +1,50 @@
+#include "selection/selector.h"
+
+#include "common/string_util.h"
+
+namespace freshsel::selection {
+
+std::string AlgorithmName(Algorithm algorithm, int kappa, int r) {
+  switch (algorithm) {
+    case Algorithm::kGreedy:
+      return "Greedy";
+    case Algorithm::kMaxSub:
+      return "MaxSub";
+    case Algorithm::kGrasp:
+      return StringPrintf("GRASP-(%d,%d)", kappa, r);
+    case Algorithm::kHillClimb:
+      return "HillClimb";
+  }
+  return "Unknown";
+}
+
+Result<SelectionResult> SelectSources(const ProfitFunction& oracle,
+                                      const SelectorConfig& config,
+                                      const PartitionMatroid* matroid) {
+  switch (config.algorithm) {
+    case Algorithm::kGreedy:
+      return Greedy(oracle, matroid);
+    case Algorithm::kMaxSub:
+      if (matroid != nullptr) {
+        return MaxSubMatroid(oracle, {matroid}, config.epsilon);
+      }
+      return MaxSub(oracle, config.epsilon);
+    case Algorithm::kGrasp: {
+      GraspParams params;
+      params.kappa = config.grasp_kappa;
+      params.restarts = config.grasp_restarts;
+      params.seed = config.seed;
+      return Grasp(oracle, params, matroid);
+    }
+    case Algorithm::kHillClimb: {
+      GraspParams params;
+      params.kappa = 1;
+      params.restarts = 1;
+      params.seed = config.seed;
+      return Grasp(oracle, params, matroid);
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+}  // namespace freshsel::selection

@@ -1,0 +1,41 @@
+#ifndef FRESHSEL_SELECTION_SELECTOR_H_
+#define FRESHSEL_SELECTION_SELECTOR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "selection/algorithms.h"
+
+namespace freshsel::selection {
+
+/// Which selection algorithm the facade dispatches to.
+enum class Algorithm {
+  kGreedy,     ///< Dong et al. greedy baseline.
+  kMaxSub,     ///< Algorithm 1, or Algorithm 2 when a matroid is given.
+  kGrasp,      ///< GRASP(kappa, r).
+  kHillClimb,  ///< GRASP(1, 1).
+};
+
+/// Human-readable algorithm label ("Greedy", "MaxSub", "GRASP-(5,20)", ...).
+std::string AlgorithmName(Algorithm algorithm, int kappa = 1, int r = 1);
+
+/// Facade configuration for `SelectSources`.
+struct SelectorConfig {
+  Algorithm algorithm = Algorithm::kMaxSub;
+  double epsilon = 0.5;  ///< Local-search threshold parameter.
+  int grasp_kappa = 1;
+  int grasp_restarts = 1;
+  std::uint64_t seed = 42;
+};
+
+/// Runs the configured algorithm on `oracle`, constrained by `matroid` when
+/// given (Greedy and GRASP check feasibility directly; MaxSub switches to
+/// the Algorithm 2 matroid local search).
+Result<SelectionResult> SelectSources(const ProfitFunction& oracle,
+                                      const SelectorConfig& config,
+                                      const PartitionMatroid* matroid =
+                                          nullptr);
+
+}  // namespace freshsel::selection
+
+#endif  // FRESHSEL_SELECTION_SELECTOR_H_

@@ -1,0 +1,70 @@
+#ifndef FRESHSEL_SELECTION_SET_UTIL_H_
+#define FRESHSEL_SELECTION_SET_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "selection/profit.h"
+
+namespace freshsel::selection::internal {
+
+/// Sorted-vector set helpers shared by the selection algorithms.
+
+inline bool Contains(const std::vector<SourceHandle>& set, SourceHandle e) {
+  return std::binary_search(set.begin(), set.end(), e);
+}
+
+inline std::vector<SourceHandle> WithAdded(
+    const std::vector<SourceHandle>& set, SourceHandle e) {
+  std::vector<SourceHandle> out = set;
+  out.insert(std::upper_bound(out.begin(), out.end(), e), e);
+  return out;
+}
+
+inline std::vector<SourceHandle> WithRemoved(
+    const std::vector<SourceHandle>& set, SourceHandle e) {
+  std::vector<SourceHandle> out;
+  out.reserve(set.size());
+  for (SourceHandle x : set) {
+    if (x != e) out.push_back(x);
+  }
+  return out;
+}
+
+inline std::vector<SourceHandle> WithRemovedAll(
+    const std::vector<SourceHandle>& set,
+    const std::vector<SourceHandle>& removals) {
+  std::vector<SourceHandle> out;
+  out.reserve(set.size());
+  for (SourceHandle x : set) {
+    if (std::find(removals.begin(), removals.end(), x) == removals.end()) {
+      out.push_back(x);
+    }
+  }
+  return out;
+}
+
+inline std::vector<SourceHandle> FullUniverse(std::size_t n) {
+  std::vector<SourceHandle> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = static_cast<SourceHandle>(i);
+  return all;
+}
+
+inline std::vector<SourceHandle> Complement(
+    const std::vector<SourceHandle>& set, std::size_t n) {
+  std::vector<SourceHandle> out;
+  out.reserve(n - set.size());
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (j < set.size() && set[j] == i) {
+      ++j;
+    } else {
+      out.push_back(static_cast<SourceHandle>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace freshsel::selection::internal
+
+#endif  // FRESHSEL_SELECTION_SET_UTIL_H_

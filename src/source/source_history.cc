@@ -1,0 +1,98 @@
+#include "source/source_history.h"
+
+#include <algorithm>
+
+namespace freshsel::source {
+
+SourceHistory::SourceHistory(SourceSpec spec, std::size_t world_entity_count)
+    : spec_(std::move(spec)), entity_index_(world_entity_count, -1) {}
+
+Status SourceHistory::AddRecord(CaptureRecord record) {
+  if (record.inserted == world::kNever) return Status::OK();
+  if (record.entity >= entity_index_.size()) {
+    return Status::InvalidArgument("entity id out of range");
+  }
+  if (entity_index_[record.entity] >= 0) {
+    return Status::InvalidArgument("duplicate capture record for entity");
+  }
+  entity_index_[record.entity] = static_cast<std::int32_t>(records_.size());
+  records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+const CaptureRecord* SourceHistory::Find(world::EntityId entity) const {
+  if (entity >= entity_index_.size()) return nullptr;
+  const std::int32_t index = entity_index_[entity];
+  return index < 0 ? nullptr : &records_[static_cast<std::size_t>(index)];
+}
+
+std::int64_t SourceHistory::ContentCountAt(TimePoint t) const {
+  std::int64_t count = 0;
+  for (const CaptureRecord& rec : records_) {
+    if (rec.ContainsAt(t)) ++count;
+  }
+  return count;
+}
+
+SourceHistory SourceHistory::RestrictedTo(
+    const std::vector<world::SubdomainId>& subdomains,
+    const std::string& suffix) const {
+  SourceSpec new_spec = spec_;
+  new_spec.name += suffix;
+  new_spec.scope.clear();
+  for (world::SubdomainId sub : spec_.scope) {
+    if (std::find(subdomains.begin(), subdomains.end(), sub) !=
+        subdomains.end()) {
+      new_spec.scope.push_back(sub);
+    }
+  }
+  SourceHistory out(std::move(new_spec), entity_index_.size());
+  for (const CaptureRecord& rec : records_) {
+    if (std::find(subdomains.begin(), subdomains.end(), rec.subdomain) ==
+        subdomains.end()) {
+      continue;
+    }
+    Status status = out.AddRecord(rec);
+    (void)status;  // Ids are unique by construction.
+  }
+  return out;
+}
+
+SourceHistory SourceHistory::WithAcquisitionDivisor(
+    std::int64_t divisor) const {
+  SourceSpec new_spec = spec_;
+  new_spec.schedule = spec_.schedule.WithDivisor(divisor);
+  SourceHistory out(new_spec, entity_index_.size());
+  const UpdateSchedule& acq = new_spec.schedule;
+  auto realign = [&](TimePoint day) {
+    if (day == world::kNever) return world::kNever;
+    return acq.NextUpdateAtOrAfter(day);
+  };
+  for (const CaptureRecord& rec : records_) {
+    CaptureRecord aligned;
+    aligned.entity = rec.entity;
+    aligned.subdomain = rec.subdomain;
+    aligned.deleted = realign(rec.deleted);
+    TimePoint earliest = world::kNever;
+    for (const auto& [version, day] : rec.version_captures) {
+      const TimePoint new_day = realign(day);
+      if (new_day >= aligned.deleted) continue;  // Deleted before acquired.
+      aligned.version_captures.emplace_back(version, new_day);
+      earliest = std::min(earliest, new_day);
+    }
+    std::sort(aligned.version_captures.begin(),
+              aligned.version_captures.end(),
+              [](const auto& a, const auto& b) {
+                return a.second < b.second;
+              });
+    aligned.inserted = earliest;
+    if (aligned.inserted == world::kNever) continue;  // Never acquired.
+    // AddRecord cannot fail here: ids are in range and unique by
+    // construction.
+    Status status = out.AddRecord(std::move(aligned));
+    (void)status;
+  }
+  return out;
+}
+
+}  // namespace freshsel::source

@@ -1,0 +1,80 @@
+#include "stats/exponential.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace freshsel::stats {
+
+Result<ExponentialDistribution> ExponentialDistribution::Create(double rate) {
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    return Status::InvalidArgument("exponential rate must be finite and > 0");
+  }
+  return ExponentialDistribution(rate);
+}
+
+double ExponentialDistribution::Pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return rate_ * std::exp(-rate_ * x);
+}
+
+double ExponentialDistribution::Cdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return 1.0 - std::exp(-rate_ * x);
+}
+
+double ExponentialDistribution::Survival(double x) const {
+  if (x < 0.0) return 1.0;
+  return std::exp(-rate_ * x);
+}
+
+Result<double> FitExponentialCensoredMle(
+    const std::vector<CensoredObservation>& observations) {
+  double total_duration = 0.0;
+  std::size_t events = 0;
+  for (const CensoredObservation& obs : observations) {
+    if (obs.duration < 0.0) {
+      return Status::InvalidArgument("durations must be non-negative");
+    }
+    total_duration += obs.duration;
+    if (obs.observed) ++events;
+  }
+  if (events == 0) {
+    return Status::FailedPrecondition(
+        "censored exponential MLE needs at least one observed event");
+  }
+  if (total_duration <= 0.0) {
+    return Status::FailedPrecondition(
+        "censored exponential MLE needs positive total duration");
+  }
+  return static_cast<double>(events) / total_duration;
+}
+
+Result<double> FitExponentialMle(const std::vector<double>& durations) {
+  std::vector<CensoredObservation> observations;
+  observations.reserve(durations.size());
+  for (double d : durations) observations.push_back({d, true});
+  return FitExponentialCensoredMle(observations);
+}
+
+Result<double> ExponentialKsDistance(const std::vector<double>& durations,
+                                     double rate) {
+  if (durations.empty()) {
+    return Status::InvalidArgument("empty sample");
+  }
+  FRESHSEL_ASSIGN_OR_RETURN(ExponentialDistribution model,
+                            ExponentialDistribution::Create(rate));
+  std::vector<double> sorted = durations;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double distance = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double model_cdf = model.Cdf(sorted[i]);
+    const double ecdf_hi = static_cast<double>(i + 1) / n;
+    const double ecdf_lo = static_cast<double>(i) / n;
+    distance = std::max(distance, std::fabs(model_cdf - ecdf_hi));
+    distance = std::max(distance, std::fabs(model_cdf - ecdf_lo));
+  }
+  return distance;
+}
+
+}  // namespace freshsel::stats

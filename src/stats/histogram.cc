@@ -1,0 +1,75 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace freshsel::stats {
+
+Result<Histogram> Histogram::Create(double lo, double hi,
+                                    std::size_t bin_count) {
+  if (!(lo < hi)) {
+    return Status::InvalidArgument("Histogram range must satisfy lo < hi");
+  }
+  if (bin_count == 0) {
+    return Status::InvalidArgument("Histogram needs at least one bin");
+  }
+  return Histogram(lo, hi, bin_count);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bin_count)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(bin_count)),
+      counts_(bin_count, 0.0) {}
+
+void Histogram::Add(double value, double weight) {
+  double offset = (value - lo_) / width_;
+  std::int64_t index = static_cast<std::int64_t>(std::floor(offset));
+  index = std::clamp<std::int64_t>(
+      index, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(index)] += weight;
+  total_ += weight;
+}
+
+std::vector<double> Histogram::NormalizedMass() const {
+  std::vector<double> mass(counts_.size(), 0.0);
+  if (total_ <= 0.0) return mass;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    mass[i] = counts_[i] / total_;
+  }
+  return mass;
+}
+
+std::vector<double> Histogram::Density() const {
+  std::vector<double> density = NormalizedMass();
+  for (double& d : density) d /= width_;
+  return density;
+}
+
+void CountHistogram::Add(std::int64_t value) {
+  if (value < 0) value = 0;
+  const std::size_t index = static_cast<std::size_t>(value);
+  if (index >= counts_.size()) counts_.resize(index + 1, 0);
+  ++counts_[index];
+  ++total_;
+}
+
+std::int64_t CountHistogram::max_value() const {
+  return counts_.empty() ? 0 : static_cast<std::int64_t>(counts_.size()) - 1;
+}
+
+std::size_t CountHistogram::CountOf(std::int64_t value) const {
+  if (value < 0 || static_cast<std::size_t>(value) >= counts_.size()) return 0;
+  return counts_[static_cast<std::size_t>(value)];
+}
+
+std::vector<double> CountHistogram::EmpiricalPmf() const {
+  std::vector<double> pmf(counts_.size(), 0.0);
+  if (total_ == 0) return pmf;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    pmf[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return pmf;
+}
+
+}  // namespace freshsel::stats

@@ -1,0 +1,99 @@
+#include "stats/kaplan_meier.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace freshsel::stats {
+
+void KaplanMeierEstimator::Add(double duration, bool observed) {
+  if (duration < 0.0) duration = 0.0;
+  observations_.push_back({duration, observed});
+  if (observed) ++observed_events_;
+}
+
+Result<std::vector<KaplanMeierEstimator::KnotWithError>>
+KaplanMeierEstimator::FitWithStdError() const {
+  if (observations_.empty()) {
+    return Status::FailedPrecondition("Kaplan-Meier fit needs observations");
+  }
+  std::vector<CensoredObservation> sorted = observations_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CensoredObservation& a, const CensoredObservation& b) {
+              if (a.duration != b.duration) return a.duration < b.duration;
+              return a.observed && !b.observed;
+            });
+  std::vector<KnotWithError> knots;
+  double survival = 1.0;
+  double greenwood = 0.0;  // Running sum d_i / (n_i (n_i - d_i)).
+  std::size_t at_risk = sorted.size();
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const double t = sorted[i].duration;
+    std::size_t events = 0;
+    std::size_t censored = 0;
+    while (i < sorted.size() && sorted[i].duration == t) {
+      if (sorted[i].observed) {
+        ++events;
+      } else {
+        ++censored;
+      }
+      ++i;
+    }
+    if (events > 0) {
+      const double n = static_cast<double>(at_risk);
+      const double d = static_cast<double>(events);
+      survival *= 1.0 - d / n;
+      if (n > d) greenwood += d / (n * (n - d));
+      const double variance =
+          survival * survival * greenwood;  // Greenwood's formula.
+      knots.push_back({t, 1.0 - survival, std::sqrt(variance)});
+    }
+    at_risk -= events + censored;
+  }
+  return knots;
+}
+
+Result<StepFunction> KaplanMeierEstimator::Fit() const {
+  if (observations_.empty()) {
+    return Status::FailedPrecondition("Kaplan-Meier fit needs observations");
+  }
+  if (observed_events_ == 0) {
+    return StepFunction::Constant(0.0);
+  }
+
+  // Sort by duration; at equal durations process events before censorings
+  // (the censored subject is considered at risk at that time).
+  std::vector<CensoredObservation> sorted = observations_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CensoredObservation& a, const CensoredObservation& b) {
+              if (a.duration != b.duration) return a.duration < b.duration;
+              return a.observed && !b.observed;
+            });
+
+  std::vector<std::pair<double, double>> knots;
+  double survival = 1.0;
+  std::size_t at_risk = sorted.size();
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const double t = sorted[i].duration;
+    std::size_t events = 0;
+    std::size_t censored = 0;
+    while (i < sorted.size() && sorted[i].duration == t) {
+      if (sorted[i].observed) {
+        ++events;
+      } else {
+        ++censored;
+      }
+      ++i;
+    }
+    if (events > 0) {
+      survival *= 1.0 - static_cast<double>(events) /
+                            static_cast<double>(at_risk);
+      knots.emplace_back(t, 1.0 - survival);
+    }
+    at_risk -= events + censored;
+  }
+  return StepFunction::FromKnots(std::move(knots), /*initial=*/0.0);
+}
+
+}  // namespace freshsel::stats

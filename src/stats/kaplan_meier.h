@@ -1,0 +1,57 @@
+#ifndef FRESHSEL_STATS_KAPLAN_MEIER_H_
+#define FRESHSEL_STATS_KAPLAN_MEIER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "stats/exponential.h"
+#include "stats/step_function.h"
+
+namespace freshsel::stats {
+
+/// Kaplan-Meier product-limit estimator over exact and right-censored
+/// duration observations (Kaplan & Meier 1958), used by the paper to learn
+/// the source-effectiveness distributions G_i, G_d, G_u from the exact and
+/// right-censored delay histograms of Section 4.1.2 / Figure 7.
+///
+/// The estimated CDF F(t) = 1 - S(t) where
+///   S(t) = prod_{t_i <= t} (1 - d_i / n_i),
+/// d_i = #events at distinct event time t_i and n_i = #subjects still at
+/// risk just before t_i. Censoring ties at an event time are conventionally
+/// treated as still at risk at that time (censored after the event).
+class KaplanMeierEstimator {
+ public:
+  /// Adds one duration; `observed` == false marks a right-censored
+  /// observation (the event had not happened by the end of the window).
+  void Add(double duration, bool observed);
+  void Add(const CensoredObservation& obs) { Add(obs.duration, obs.observed); }
+
+  std::size_t sample_size() const { return observations_.size(); }
+  std::size_t observed_events() const { return observed_events_; }
+
+  /// Fits the product-limit CDF. Returns FailedPrecondition when there is no
+  /// observation at all; with zero *observed* events it returns the constant
+  /// zero function (nothing is ever captured, matching the paper's G = 0
+  /// fallback for sources that never pick up a change type).
+  Result<StepFunction> Fit() const;
+
+  /// One knot of the product-limit estimate with its Greenwood standard
+  /// error: Var[S(t)] = S(t)^2 * sum_{t_i <= t} d_i / (n_i (n_i - d_i)).
+  struct KnotWithError {
+    double time = 0.0;
+    double cdf = 0.0;
+    double std_error = 0.0;
+  };
+
+  /// Fit() plus Greenwood standard errors per event-time knot - the
+  /// uncertainty band around a learned effectiveness distribution.
+  Result<std::vector<KnotWithError>> FitWithStdError() const;
+
+ private:
+  std::vector<CensoredObservation> observations_;
+  std::size_t observed_events_ = 0;
+};
+
+}  // namespace freshsel::stats
+
+#endif  // FRESHSEL_STATS_KAPLAN_MEIER_H_

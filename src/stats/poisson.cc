@@ -1,0 +1,96 @@
+#include "stats/poisson.h"
+
+#include <cmath>
+
+namespace freshsel::stats {
+
+Result<PoissonDistribution> PoissonDistribution::Create(double lambda) {
+  if (lambda < 0.0 || !std::isfinite(lambda)) {
+    return Status::InvalidArgument("Poisson intensity must be finite and >= 0");
+  }
+  return PoissonDistribution(lambda);
+}
+
+double PoissonDistribution::Pmf(std::int64_t k) const {
+  if (k < 0) return 0.0;
+  if (lambda_ == 0.0) return k == 0 ? 1.0 : 0.0;
+  const double kd = static_cast<double>(k);
+  return std::exp(kd * std::log(lambda_) - lambda_ - std::lgamma(kd + 1.0));
+}
+
+double PoissonDistribution::Cdf(std::int64_t k) const {
+  if (k < 0) return 0.0;
+  double total = 0.0;
+  for (std::int64_t i = 0; i <= k; ++i) total += Pmf(i);
+  return total > 1.0 ? 1.0 : total;
+}
+
+Result<double> FitPoissonMle(const std::vector<std::int64_t>& counts) {
+  if (counts.empty()) {
+    return Status::InvalidArgument("Poisson MLE needs at least one count");
+  }
+  double total = 0.0;
+  for (std::int64_t c : counts) {
+    if (c < 0) {
+      return Status::InvalidArgument("Poisson counts must be non-negative");
+    }
+    total += static_cast<double>(c);
+  }
+  return total / static_cast<double>(counts.size());
+}
+
+Result<ChiSquareResult> PoissonChiSquare(const CountHistogram& observed,
+                                         double lambda, double min_expected,
+                                         int fitted_params) {
+  if (observed.total() == 0) {
+    return Status::InvalidArgument("empty observation histogram");
+  }
+  FRESHSEL_ASSIGN_OR_RETURN(PoissonDistribution model,
+                            PoissonDistribution::Create(lambda));
+  const double n = static_cast<double>(observed.total());
+  const std::int64_t max_outcome = observed.max_value();
+
+  // Build merged cells left-to-right so each expected count >= min_expected;
+  // the final cell absorbs the upper tail P[N > max_outcome].
+  struct Cell {
+    double observed = 0.0;
+    double expected = 0.0;
+  };
+  std::vector<Cell> cells;
+  Cell current;
+  for (std::int64_t k = 0; k <= max_outcome; ++k) {
+    current.observed += static_cast<double>(observed.CountOf(k));
+    current.expected += n * model.Pmf(k);
+    if (current.expected >= min_expected) {
+      cells.push_back(current);
+      current = Cell{};
+    }
+  }
+  // Upper tail beyond the largest observed outcome.
+  current.expected += n * (1.0 - model.Cdf(max_outcome));
+  if (!cells.empty()) {
+    cells.back().observed += current.observed;
+    cells.back().expected += current.expected;
+  } else {
+    cells.push_back(current);
+  }
+
+  if (cells.size() < 3) {
+    return Status::FailedPrecondition(
+        "too few cells for a chi-square test after merging");
+  }
+  ChiSquareResult result;
+  result.cells = cells.size();
+  for (const Cell& cell : cells) {
+    if (cell.expected > 0.0) {
+      const double diff = cell.observed - cell.expected;
+      result.statistic += diff * diff / cell.expected;
+    }
+  }
+  result.dof = static_cast<std::int64_t>(cells.size()) - 1 - fitted_params;
+  if (result.dof < 1) result.dof = 1;
+  result.reduced = result.statistic / static_cast<double>(result.dof);
+  return result;
+}
+
+}  // namespace freshsel::stats

@@ -1,0 +1,54 @@
+#include "stats/step_function.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace freshsel::stats {
+
+StepFunction StepFunction::Constant(double value) {
+  value = std::clamp(value, 0.0, 1.0);
+  return StepFunction({}, value);
+}
+
+Result<StepFunction> StepFunction::FromKnots(
+    std::vector<std::pair<double, double>> knots, double initial) {
+  if (initial < 0.0 || initial > 1.0) {
+    return Status::InvalidArgument("initial value must be in [0, 1]");
+  }
+  double prev_x = -1.0;
+  double prev_y = initial;
+  for (const auto& [x, y] : knots) {
+    if (!(x >= 0.0) || !std::isfinite(x)) {
+      return Status::InvalidArgument("knot x must be finite and >= 0");
+    }
+    if (x <= prev_x) {
+      return Status::InvalidArgument("knot x must be strictly increasing");
+    }
+    if (y < prev_y - 1e-12 || y > 1.0 + 1e-12) {
+      return Status::InvalidArgument(
+          "knot y must be non-decreasing within [0, 1]");
+    }
+    prev_x = x;
+    prev_y = y;
+  }
+  for (auto& [x, y] : knots) y = std::clamp(y, 0.0, 1.0);
+  return StepFunction(std::move(knots), initial);
+}
+
+double StepFunction::Evaluate(double x) const {
+  if (x < 0.0) return 0.0;
+  // First knot with knot.x > x; the value is carried by the previous knot.
+  auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), x,
+      [](double value, const std::pair<double, double>& knot) {
+        return value < knot.first;
+      });
+  if (it == knots_.begin()) return initial_;
+  return std::prev(it)->second;
+}
+
+double StepFunction::FinalValue() const {
+  return knots_.empty() ? initial_ : knots_.back().second;
+}
+
+}  // namespace freshsel::stats

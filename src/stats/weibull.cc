@@ -1,0 +1,146 @@
+#include "stats/weibull.h"
+
+#include <cmath>
+
+namespace freshsel::stats {
+
+namespace {
+
+constexpr double kMinDuration = 1e-9;
+
+/// Profile-likelihood score in the shape parameter k: the MLE shape is the
+/// root of
+///   1/k + mean_{events}(ln x) - sum(x^k ln x) / sum(x^k) = 0,
+/// with censored observations contributing to the power sums only.
+double ShapeScore(const std::vector<CensoredObservation>& obs, double k,
+                  double event_log_mean) {
+  double power_sum = 0.0;
+  double power_log_sum = 0.0;
+  for (const CensoredObservation& o : obs) {
+    const double x = std::max(o.duration, kMinDuration);
+    const double xk = std::pow(x, k);
+    power_sum += xk;
+    power_log_sum += xk * std::log(x);
+  }
+  return 1.0 / k + event_log_mean - power_log_sum / power_sum;
+}
+
+}  // namespace
+
+Result<WeibullDistribution> WeibullDistribution::Create(double shape,
+                                                        double scale) {
+  if (!(shape > 0.0) || !std::isfinite(shape)) {
+    return Status::InvalidArgument("Weibull shape must be finite and > 0");
+  }
+  if (!(scale > 0.0) || !std::isfinite(scale)) {
+    return Status::InvalidArgument("Weibull scale must be finite and > 0");
+  }
+  return WeibullDistribution(shape, scale);
+}
+
+double WeibullDistribution::Mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double WeibullDistribution::Pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  x = std::max(x, kMinDuration);
+  const double z = x / scale_;
+  return (shape_ / scale_) * std::pow(z, shape_ - 1.0) *
+         std::exp(-std::pow(z, shape_));
+}
+
+double WeibullDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(x / scale_, shape_));
+}
+
+double WeibullDistribution::Survival(double x) const {
+  return 1.0 - Cdf(x);
+}
+
+Result<WeibullDistribution> FitWeibullCensoredMle(
+    const std::vector<CensoredObservation>& observations) {
+  std::size_t events = 0;
+  double event_log_sum = 0.0;
+  double duration_sum = 0.0;
+  for (const CensoredObservation& obs : observations) {
+    if (obs.duration < 0.0) {
+      return Status::InvalidArgument("durations must be non-negative");
+    }
+    duration_sum += obs.duration;
+    if (obs.observed) {
+      ++events;
+      event_log_sum += std::log(std::max(obs.duration, kMinDuration));
+    }
+  }
+  if (events == 0) {
+    return Status::FailedPrecondition(
+        "Weibull MLE needs at least one observed event");
+  }
+  if (duration_sum <= 0.0) {
+    return Status::FailedPrecondition(
+        "Weibull MLE needs positive total duration");
+  }
+  const double event_log_mean =
+      event_log_sum / static_cast<double>(events);
+
+  // Bisection on the monotone-decreasing shape score over [lo, hi].
+  double lo = 1e-2;
+  double hi = 1e2;
+  double score_lo = ShapeScore(observations, lo, event_log_mean);
+  double score_hi = ShapeScore(observations, hi, event_log_mean);
+  if (score_lo < 0.0 || score_hi > 0.0) {
+    // Degenerate sample (e.g. all equal durations); fall back to the
+    // nearest bracket end.
+    const double k = score_lo < 0.0 ? lo : hi;
+    const double scale = std::pow(
+        [&] {
+          double power_sum = 0.0;
+          for (const CensoredObservation& o : observations) {
+            power_sum += std::pow(std::max(o.duration, kMinDuration), k);
+          }
+          return power_sum / static_cast<double>(events);
+        }(),
+        1.0 / k);
+    return WeibullDistribution::Create(k, scale);
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (ShapeScore(observations, mid, event_log_mean) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double shape = 0.5 * (lo + hi);
+
+  // lambda^k = sum(x^k) / r.
+  double power_sum = 0.0;
+  for (const CensoredObservation& obs : observations) {
+    power_sum += std::pow(std::max(obs.duration, kMinDuration), shape);
+  }
+  const double scale =
+      std::pow(power_sum / static_cast<double>(events), 1.0 / shape);
+  return WeibullDistribution::Create(shape, scale);
+}
+
+double WeibullCensoredLogLikelihood(
+    const std::vector<CensoredObservation>& observations, double shape,
+    double scale) {
+  Result<WeibullDistribution> model =
+      WeibullDistribution::Create(shape, scale);
+  if (!model.ok()) return -std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  for (const CensoredObservation& obs : observations) {
+    const double x = std::max(obs.duration, kMinDuration);
+    if (obs.observed) {
+      total += std::log(std::max(model->Pdf(x), 1e-300));
+    } else {
+      total += std::log(std::max(model->Survival(x), 1e-300));
+    }
+  }
+  return total;
+}
+
+}  // namespace freshsel::stats

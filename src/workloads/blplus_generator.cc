@@ -1,0 +1,55 @@
+#include "workloads/blplus_generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace freshsel::workloads {
+
+Result<MicroRoster> GenerateBlPlusRoster(const Scenario& base,
+                                         std::uint32_t micro_per_source,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  MicroRoster roster;
+  const world::DataDomain& domain = base.domain();
+
+  for (std::size_t i = 0; i < base.sources.size(); ++i) {
+    const source::SourceHistory& parent = base.sources[i];
+    roster.sources.push_back(parent);
+    roster.classes.push_back(base.classes[i]);
+
+    // The parent's distinct locations.
+    std::set<std::uint32_t> location_set;
+    for (world::SubdomainId sub : parent.spec().scope) {
+      location_set.insert(domain.Dim1Of(sub));
+    }
+    const std::vector<std::uint32_t> locations(location_set.begin(),
+                                               location_set.end());
+    if (locations.empty()) continue;
+
+    for (std::uint32_t m = 0; m < micro_per_source; ++m) {
+      // |micro locations| ~ U(0.2 |L|, 0.5 |L|), at least 1.
+      const double lo = 0.2 * static_cast<double>(locations.size());
+      const double hi = 0.5 * static_cast<double>(locations.size());
+      const std::size_t n_locs = std::max<std::size_t>(
+          1, static_cast<std::size_t>(rng.UniformDouble(lo, hi) + 0.5));
+      std::vector<std::size_t> picks =
+          rng.SampleWithoutReplacement(locations.size(), n_locs);
+      std::vector<world::SubdomainId> subdomains;
+      for (std::size_t pick : picks) {
+        for (world::SubdomainId sub :
+             domain.SubdomainsInDim1(locations[pick])) {
+          subdomains.push_back(sub);
+        }
+      }
+      roster.sources.push_back(parent.RestrictedTo(
+          subdomains, StringPrintf("-micro%u", m)));
+      roster.classes.push_back(SourceClass::kMicro);
+    }
+  }
+  return roster;
+}
+
+}  // namespace freshsel::workloads

@@ -1,0 +1,117 @@
+#include "workloads/gdelt_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "source/source_simulator.h"
+#include "world/world_simulator.h"
+
+namespace freshsel::workloads {
+
+Result<Scenario> GenerateGdeltScenario(const GdeltConfig& config) {
+  if (config.scale <= 0.0) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+  Rng rng(config.seed);
+
+  FRESHSEL_ASSIGN_OR_RETURN(
+      world::DataDomain domain,
+      world::DataDomain::Create("location", config.locations, "event_type",
+                                config.event_types));
+
+  // Events appear at high daily rates, essentially never disappear within
+  // the window, and are occasionally revised. Location 0 ("US") is the
+  // hottest.
+  world::WorldSpec spec{domain, {}, config.horizon};
+  spec.rates.resize(domain.subdomain_count());
+  for (world::SubdomainId sub = 0; sub < domain.subdomain_count(); ++sub) {
+    auto& rates = spec.rates[sub];
+    const bool hot = domain.Dim1Of(sub) == 0;
+    const double base = hot ? rng.UniformDouble(8.0, 20.0)
+                            : rng.UniformDouble(1.0, 6.0);
+    rates.initial_count = static_cast<std::uint32_t>(
+        std::max(1.0, base * 3.0 * config.scale));
+    rates.appearance_rate = base * config.scale;
+    rates.disappearance_rate = 0.0;  // Events persist.
+    rates.update_rate = 1.0 / rng.UniformDouble(20.0, 60.0);  // Revisions.
+  }
+  Rng world_rng = rng.Fork();
+  FRESHSEL_ASSIGN_OR_RETURN(world::World world,
+                            world::SimulateWorld(spec, world_rng));
+
+  std::vector<source::SourceSpec> specs;
+  std::vector<SourceClass> classes;
+  auto full_scope = [&] {
+    std::vector<world::SubdomainId> scope(domain.subdomain_count());
+    for (world::SubdomainId sub = 0; sub < domain.subdomain_count(); ++sub) {
+      scope[sub] = sub;
+    }
+    return scope;
+  };
+
+  // Every source updates daily (period 1); they differ only in delay and
+  // miss probability — the exact Figure 1(d) structure.
+  auto add_source = [&](SourceClass cls,
+                        std::vector<world::SubdomainId> scope,
+                        double delay_lo, double delay_hi, double miss_lo,
+                        double miss_hi, double visibility_lo,
+                        double visibility_hi) {
+    source::SourceSpec s;
+    s.name = StringPrintf("news-%zu", specs.size());
+    s.scope = std::move(scope);
+    s.schedule.period = 1;
+    s.schedule.phase = 0;
+    s.insert_capture.delay_mean_days = rng.UniformDouble(delay_lo, delay_hi);
+    s.insert_capture.miss_prob = rng.UniformDouble(miss_lo, miss_hi);
+    s.update_capture.delay_mean_days =
+        rng.UniformDouble(delay_lo, delay_hi * 1.5);
+    s.update_capture.miss_prob =
+        rng.UniformDouble(miss_lo, std::min(1.0, miss_hi * 1.5));
+    s.delete_capture.delay_mean_days = 1.0;
+    s.delete_capture.miss_prob = 0.5;
+    s.initial_awareness = rng.UniformDouble(0.3, 0.9);
+    s.visibility = rng.UniformDouble(visibility_lo, visibility_hi);
+    specs.push_back(std::move(s));
+    classes.push_back(cls);
+  };
+
+  for (std::uint32_t i = 0; i < config.n_large; ++i) {
+    add_source(SourceClass::kUniform, full_scope(),
+               /*delay=*/0.2, 1.5, /*miss=*/0.0, 0.25,
+               /*visibility=*/0.55, 0.85);
+  }
+  for (std::uint32_t i = 0; i < config.n_small; ++i) {
+    // Narrow outlets: a handful of locations, a few event types.
+    const std::size_t n_locs = static_cast<std::size_t>(rng.UniformInt(
+        1, std::max<std::int64_t>(2, config.locations / 5)));
+    const std::size_t n_types = static_cast<std::size_t>(rng.UniformInt(
+        1, std::max<std::int64_t>(2, config.event_types / 2)));
+    std::vector<std::size_t> locs =
+        rng.SampleWithoutReplacement(config.locations, n_locs);
+    std::vector<std::size_t> types =
+        rng.SampleWithoutReplacement(config.event_types, n_types);
+    std::vector<world::SubdomainId> scope;
+    for (std::size_t loc : locs) {
+      for (std::size_t type : types) {
+        scope.push_back(domain.SubdomainOf(static_cast<std::uint32_t>(loc),
+                                           static_cast<std::uint32_t>(type)));
+      }
+    }
+    add_source(SourceClass::kMedium, std::move(scope),
+               /*delay=*/0.3, 4.0, /*miss=*/0.05, 0.5,
+               /*visibility=*/0.3, 0.95);
+  }
+
+  Rng source_rng = rng.Fork();
+  FRESHSEL_ASSIGN_OR_RETURN(
+      std::vector<source::SourceHistory> histories,
+      source::SimulateSources(world, specs, source_rng));
+
+  Scenario scenario{std::move(world), std::move(histories),
+                    std::move(classes), config.t0};
+  return scenario;
+}
+
+}  // namespace freshsel::workloads

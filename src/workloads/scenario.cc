@@ -1,0 +1,39 @@
+#include "workloads/scenario.h"
+
+#include <algorithm>
+
+namespace freshsel::workloads {
+
+const char* SourceClassName(SourceClass source_class) {
+  switch (source_class) {
+    case SourceClass::kUniform:
+      return "uniform";
+    case SourceClass::kLocationSpecialist:
+      return "location-specialist";
+    case SourceClass::kCategorySpecialist:
+      return "category-specialist";
+    case SourceClass::kMedium:
+      return "medium";
+    case SourceClass::kMicro:
+      return "micro";
+  }
+  return "unknown";
+}
+
+std::vector<std::size_t> Scenario::LargestSources(std::size_t k) const {
+  std::vector<std::pair<std::int64_t, std::size_t>> sizes;
+  sizes.reserve(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    sizes.emplace_back(sources[i].ContentCountAt(t0), i);
+  }
+  std::sort(sizes.begin(), sizes.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first;
+  });
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < std::min(k, sizes.size()); ++i) {
+    out.push_back(sizes[i].second);
+  }
+  return out;
+}
+
+}  // namespace freshsel::workloads

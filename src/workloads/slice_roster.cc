@@ -1,0 +1,40 @@
+#include "workloads/slice_roster.h"
+
+#include <set>
+#include <string>
+
+namespace freshsel::workloads {
+
+Result<SliceRoster> BuildSliceRoster(const Scenario& base,
+                                     SliceDimension dimension) {
+  SliceRoster roster;
+  const world::DataDomain& domain = base.domain();
+  for (std::size_t parent = 0; parent < base.sources.size(); ++parent) {
+    const source::SourceHistory& history = base.sources[parent];
+    std::set<std::uint32_t> values;
+    for (world::SubdomainId sub : history.spec().scope) {
+      values.insert(dimension == SliceDimension::kDim1
+                        ? domain.Dim1Of(sub)
+                        : domain.Dim2Of(sub));
+    }
+    for (std::uint32_t value : values) {
+      const std::vector<world::SubdomainId> slice_subs =
+          dimension == SliceDimension::kDim1
+              ? domain.SubdomainsInDim1(value)
+              : domain.SubdomainsInDim2(value);
+      const std::string& dim_name = dimension == SliceDimension::kDim1
+                                        ? domain.dim1_name()
+                                        : domain.dim2_name();
+      source::SourceHistory slice = history.RestrictedTo(
+          slice_subs, "-" + dim_name + std::to_string(value));
+      if (slice.records().empty()) continue;
+      roster.sources.push_back(std::move(slice));
+      roster.classes.push_back(SourceClass::kMicro);
+      roster.parent_of.push_back(static_cast<std::uint32_t>(parent));
+      roster.dimension_value.push_back(value);
+    }
+  }
+  return roster;
+}
+
+}  // namespace freshsel::workloads

@@ -1,0 +1,114 @@
+#include "world/world_simulator.h"
+
+#include <cmath>
+
+namespace freshsel::world {
+
+namespace {
+
+/// Weibull(shape, scale) variate via inversion; shape 1 degenerates to the
+/// exponential.
+double DrawLifespan(double rate, double shape, Rng& rng) {
+  if (shape == 1.0) return rng.Exponential(rate);
+  // Match the mean 1/rate: scale = mean / Gamma(1 + 1/shape).
+  const double scale = (1.0 / rate) / std::tgamma(1.0 + 1.0 / shape);
+  double u;
+  do {
+    u = rng.NextDouble();
+  } while (u <= 0.0);
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+}  // namespace
+
+namespace {
+
+/// Draws the update-day sequence for an entity born at `birth` that dies at
+/// `death` (kNever handled by caller passing a large bound). Continuous
+/// exponential gaps are accumulated and rounded up to whole days; ties are
+/// collapsed.
+std::vector<TimePoint> DrawUpdateTimes(TimePoint birth, TimePoint death,
+                                       double update_rate, TimePoint horizon,
+                                       Rng& rng) {
+  std::vector<TimePoint> updates;
+  if (update_rate <= 0.0) return updates;
+  // Cap the update stream: nothing after death or far beyond the horizon
+  // matters for any query.
+  const TimePoint bound = std::min<TimePoint>(
+      death == kNever ? horizon + 1 : death, horizon + 1);
+  double clock = static_cast<double>(birth);
+  while (true) {
+    clock += rng.Exponential(update_rate);
+    const TimePoint day = static_cast<TimePoint>(std::ceil(clock));
+    if (day >= bound) break;
+    if (!updates.empty() && updates.back() == day) continue;
+    if (day <= birth) continue;
+    updates.push_back(day);
+  }
+  return updates;
+}
+
+}  // namespace
+
+Result<World> SimulateWorld(const WorldSpec& spec, Rng& rng) {
+  if (spec.rates.size() != spec.domain.subdomain_count()) {
+    return Status::InvalidArgument(
+        "WorldSpec.rates must have one entry per subdomain");
+  }
+  if (spec.horizon <= 0) {
+    return Status::InvalidArgument("horizon must be positive");
+  }
+  for (const SubdomainRates& r : spec.rates) {
+    if (r.appearance_rate < 0.0 || r.disappearance_rate < 0.0 ||
+        r.update_rate < 0.0) {
+      return Status::InvalidArgument("rates must be non-negative");
+    }
+    if (!(r.lifespan_shape > 0.0)) {
+      return Status::InvalidArgument("lifespan_shape must be positive");
+    }
+  }
+
+  World world(spec.domain, spec.horizon);
+  EntityId next_id = 0;
+
+  auto spawn = [&](SubdomainId sub, TimePoint birth,
+                   const SubdomainRates& rates) -> Status {
+    EntityRecord record;
+    record.id = next_id++;
+    record.subdomain = sub;
+    record.birth = birth;
+    if (rates.disappearance_rate > 0.0) {
+      const double lifespan =
+          DrawLifespan(rates.disappearance_rate, rates.lifespan_shape, rng);
+      // At least one full day of existence.
+      record.death =
+          birth + std::max<TimePoint>(1, static_cast<TimePoint>(
+                                             std::ceil(lifespan)));
+    } else {
+      record.death = kNever;
+    }
+    record.update_times = DrawUpdateTimes(birth, record.death,
+                                          rates.update_rate, spec.horizon,
+                                          rng);
+    return world.AddEntity(std::move(record));
+  };
+
+  for (SubdomainId sub = 0; sub < spec.domain.subdomain_count(); ++sub) {
+    const SubdomainRates& rates = spec.rates[sub];
+    for (std::uint32_t i = 0; i < rates.initial_count; ++i) {
+      FRESHSEL_RETURN_IF_ERROR(spawn(sub, 0, rates));
+    }
+    if (rates.appearance_rate > 0.0) {
+      for (TimePoint day = 1; day <= spec.horizon; ++day) {
+        const std::int64_t arrivals = rng.Poisson(rates.appearance_rate);
+        for (std::int64_t i = 0; i < arrivals; ++i) {
+          FRESHSEL_RETURN_IF_ERROR(spawn(sub, day, rates));
+        }
+      }
+    }
+  }
+  FRESHSEL_RETURN_IF_ERROR(world.Finalize());
+  return world;
+}
+
+}  // namespace freshsel::world

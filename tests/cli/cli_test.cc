@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "cli/args.h"
+#include "cli/commands.h"
+
+namespace freshsel::cli {
+namespace {
+
+ArgMap ParseOk(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "freshsel");
+  Result<ArgMap> args =
+      ArgMap::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(args.ok()) << args.status().ToString();
+  return *args;
+}
+
+TEST(ArgMapTest, ParsesCommandAndFlags) {
+  ArgMap args = ParseOk({"select", "--dir", "/tmp/x", "--t0=30"});
+  EXPECT_EQ(args.command(), "select");
+  EXPECT_EQ(args.GetString("dir", ""), "/tmp/x");
+  EXPECT_EQ(args.GetInt("t0", 0).value(), 30);
+}
+
+TEST(ArgMapTest, DefaultsApplyWhenAbsent) {
+  ArgMap args = ParseOk({"select"});
+  EXPECT_EQ(args.GetString("metric", "coverage"), "coverage");
+  EXPECT_EQ(args.GetInt("points", 10).value(), 10);
+  EXPECT_DOUBLE_EQ(args.GetDouble("scale", 0.5).value(), 0.5);
+}
+
+TEST(ArgMapTest, RejectsMalformed) {
+  const char* dangling[] = {"freshsel", "select", "--dir"};
+  EXPECT_FALSE(ArgMap::Parse(3, dangling).ok());
+
+  const char* stray[] = {"freshsel", "select", "extra"};
+  EXPECT_FALSE(ArgMap::Parse(3, stray).ok());
+
+  ArgMap args = ParseOk({"x", "--n", "abc"});
+  EXPECT_FALSE(args.GetInt("n", 0).ok());
+  ArgMap args2 = ParseOk({"x", "--f", "1.5x"});
+  EXPECT_FALSE(args2.GetDouble("f", 0).ok());
+}
+
+TEST(ArgMapTest, TracksUnreadFlags) {
+  ArgMap args = ParseOk({"select", "--dir", "d", "--typo", "1"});
+  args.GetString("dir", "");
+  EXPECT_EQ(args.UnreadFlags(), (std::vector<std::string>{"typo"}));
+}
+
+class CliEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/freshsel_cli_test";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  int Run(std::vector<const char*> argv, std::string* output = nullptr) {
+    argv.insert(argv.begin(), "freshsel");
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = RunMain(static_cast<int>(argv.size()), argv.data(),
+                             out, err);
+    if (output != nullptr) *output = out.str() + err.str();
+    return code;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CliEndToEndTest, UsageOnUnknownCommand) {
+  std::string output;
+  EXPECT_NE(Run({"frobnicate"}, &output), 0);
+  EXPECT_NE(output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliEndToEndTest, SimulateCharacterizeSelect) {
+  std::string output;
+  ASSERT_EQ(Run({"simulate", "--workload", "bl", "--out", dir_.c_str(),
+                 "--scale", "0.3", "--locations", "6", "--categories",
+                 "3"},
+                &output),
+            0)
+      << output;
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/world.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/source_000.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/manifest.csv"));
+
+  ASSERT_EQ(Run({"characterize", "--dir", dir_.c_str(), "--t0", "100"},
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("Source characterization"), std::string::npos);
+  EXPECT_NE(output.find("bl-uniform-0"), std::string::npos);
+
+  ASSERT_EQ(Run({"select", "--dir", dir_.c_str(), "--t0", "100",
+                 "--algorithm", "maxsub", "--points", "4", "--stride",
+                 "14"},
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("Selected sources"), std::string::npos);
+  EXPECT_NE(output.find("expected coverage"), std::string::npos);
+}
+
+TEST_F(CliEndToEndTest, SelectWithFrequenciesAndBudget) {
+  std::string output;
+  ASSERT_EQ(Run({"simulate", "--workload", "bl", "--out", dir_.c_str(),
+                 "--scale", "0.3", "--locations", "5", "--categories",
+                 "2"},
+                &output),
+            0)
+      << output;
+  ASSERT_EQ(Run({"select", "--dir", dir_.c_str(), "--t0", "100",
+                 "--max-divisor", "3", "--algorithm", "maxsub"},
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("divisor"), std::string::npos);
+
+  ASSERT_EQ(Run({"select", "--dir", dir_.c_str(), "--t0", "100",
+                 "--algorithm", "budgeted", "--budget", "0.4"},
+                &output),
+            0)
+      << output;
+}
+
+TEST_F(CliEndToEndTest, T0FallsBackToManifest) {
+  std::string output;
+  ASSERT_EQ(Run({"simulate", "--workload", "bl", "--out", dir_.c_str(),
+                 "--scale", "0.3", "--locations", "5", "--categories",
+                 "2"},
+                &output),
+            0)
+      << output;
+  // No --t0: both commands read it from manifest.csv (t0 = 300 for BL).
+  ASSERT_EQ(Run({"characterize", "--dir", dir_.c_str()}, &output), 0)
+      << output;
+  EXPECT_NE(output.find("t0=300"), std::string::npos);
+  ASSERT_EQ(Run({"select", "--dir", dir_.c_str(), "--points", "3",
+                 "--stride", "14"},
+                &output),
+            0)
+      << output;
+  // Without a manifest (deleted), the commands must ask for --t0.
+  std::filesystem::remove(dir_ + "/manifest.csv");
+  EXPECT_NE(Run({"characterize", "--dir", dir_.c_str()}, &output), 0);
+}
+
+TEST_F(CliEndToEndTest, GdeltSimulateWorks) {
+  std::string output;
+  ASSERT_EQ(Run({"simulate", "--workload", "gdelt", "--out", dir_.c_str(),
+                 "--scale", "0.3", "--locations", "6", "--categories",
+                 "3"},
+                &output),
+            0)
+      << output;
+  ASSERT_EQ(Run({"select", "--dir", dir_.c_str(), "--t0", "15",
+                 "--points", "5", "--stride", "1", "--gain", "data"},
+                &output),
+            0)
+      << output;
+}
+
+TEST_F(CliEndToEndTest, ErrorsAreReported) {
+  std::string output;
+  EXPECT_NE(Run({"select", "--dir", "/nonexistent", "--t0", "10"},
+                &output),
+            0);
+  EXPECT_NE(Run({"simulate", "--workload", "nope", "--out", dir_.c_str()},
+                &output),
+            0);
+  EXPECT_NE(Run({"characterize", "--dir", dir_.c_str()}, &output), 0);
+  EXPECT_NE(Run({"select", "--dir", dir_.c_str(), "--t0", "10",
+                 "--bogus-flag", "1"},
+                &output),
+            0);
+}
+
+}  // namespace
+}  // namespace freshsel::cli

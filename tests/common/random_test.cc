@@ -1,0 +1,174 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace freshsel {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedStaysInRangeAndHitsAll) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t v = rng.NextBounded(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool lo_seen = false;
+  bool hi_seen = false;
+  for (int i = 0; i < 5000; ++i) {
+    std::int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_seen |= v == -3;
+    hi_seen |= v == 3;
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRateMatches) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(23);
+  const double lambda = 0.25;
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.Exponential(lambda);
+  EXPECT_NEAR(total / n, 1.0 / lambda, 0.1);
+}
+
+class PoissonSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonSweepTest, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng(31);
+  const int n = 60000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = static_cast<double>(rng.Poisson(mean));
+    EXPECT_GE(v, 0.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double sample_mean = sum / n;
+  const double sample_var = sum_sq / n - sample_mean * sample_mean;
+  // Poisson: mean == variance == lambda. Tolerate sampling noise.
+  const double tol = 5.0 * std::sqrt(mean / n) + 0.01;
+  EXPECT_NEAR(sample_mean, mean, tol * std::max(1.0, mean));
+  EXPECT_NEAR(sample_var, mean, 0.1 * std::max(1.0, mean));
+}
+
+// Covers both the Knuth (< 30) and PTRS (>= 30) sampling paths.
+INSTANTIATE_TEST_SUITE_P(Means, PoissonSweepTest,
+                         ::testing::Values(0.1, 1.0, 5.0, 25.0, 40.0, 120.0));
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(41);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum_sq / n - mean * mean), 3.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(53);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctSubset) {
+  Rng rng(67);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::size_t> sample = rng.SampleWithoutReplacement(20, 7);
+    EXPECT_EQ(sample.size(), 7u);
+    std::set<std::size_t> distinct(sample.begin(), sample.end());
+    EXPECT_EQ(distinct.size(), 7u);
+    for (std::size_t s : sample) EXPECT_LT(s, 20u);
+  }
+}
+
+TEST(RngTest, SampleFullRangeIsPermutation) {
+  Rng rng(71);
+  std::vector<std::size_t> sample = rng.SampleWithoutReplacement(5, 5);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(83);
+  Rng child = parent.Fork();
+  // The child stream should not mirror the parent stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace freshsel

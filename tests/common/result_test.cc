@@ -1,0 +1,77 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace freshsel {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r.value_or("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> extracted = std::move(r).value();
+  EXPECT_EQ(*extracted, 7);
+}
+
+TEST(ResultTest, ArrowOperatorAccessesMembers) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  FRESHSEL_ASSIGN_OR_RETURN(int half, Half(x));
+  FRESHSEL_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnChainsInOneScope) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  Result<int> err = Quarter(6);  // 6/2 = 3, odd.
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, CopyPreservesState) {
+  Result<int> r = 5;
+  Result<int> copy = r;
+  EXPECT_TRUE(copy.ok());
+  EXPECT_EQ(*copy, 5);
+
+  Result<int> e = Status::Internal("x");
+  Result<int> ecopy = e;
+  EXPECT_FALSE(ecopy.ok());
+}
+
+}  // namespace
+}  // namespace freshsel

@@ -1,0 +1,65 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace freshsel {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+  EXPECT_FALSE(Status::InvalidArgument("bad").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  EXPECT_EQ(Status::NotFound("missing key").ToString(),
+            "NotFound: missing key");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("a"));
+  EXPECT_FALSE(Status::Internal("a") == Status::Internal("b"));
+  EXPECT_FALSE(Status::Internal("a") == Status::IoError("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = [] { return Status::NotFound("gone"); };
+  auto wrapper = [&]() -> Status {
+    FRESHSEL_RETURN_IF_ERROR(fails());
+    return Status::Internal("unreached");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+
+  auto succeeds = [] { return Status::OK(); };
+  auto wrapper_ok = [&]() -> Status {
+    FRESHSEL_RETURN_IF_ERROR(succeeds());
+    return Status::Internal("reached");
+  };
+  EXPECT_EQ(wrapper_ok().code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_EQ(StatusCodeName(StatusCode::kIoError), "IoError");
+}
+
+}  // namespace
+}  // namespace freshsel

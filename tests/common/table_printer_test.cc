@@ -1,0 +1,67 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace freshsel {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table("Demo", {"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== Demo =="), std::string::npos);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsMissingCells) {
+  TablePrinter table("T", {"a", "b", "c"});
+  table.AddRow({"only"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+TEST(SeriesPrinterTest, PrintsPoints) {
+  SeriesPrinter series("S", "t", {"cov", "acc"});
+  series.AddPoint(1.0, {0.5, 0.4});
+  series.AddPoint(2.0, {0.6, 0.5});
+  std::ostringstream out;
+  series.Print(out);
+  EXPECT_NE(out.str().find("cov"), std::string::npos);
+  EXPECT_NE(out.str().find("0.600000"), std::string::npos);
+}
+
+TEST(SeriesPrinterTest, WritesCsv) {
+  SeriesPrinter series("S", "t", {"y"});
+  series.AddPoint(1.0, {0.25});
+  const std::string path = ::testing::TempDir() + "/series_test.csv";
+  ASSERT_TRUE(series.WriteCsv(path));
+  std::ifstream in(path);
+  std::string header;
+  std::string row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "t,y");
+  EXPECT_EQ(row, "1.000000,0.250000");
+  std::remove(path.c_str());
+}
+
+TEST(SeriesPrinterTest, PadsShortValueVectors) {
+  SeriesPrinter series("S", "x", {"a", "b"});
+  series.AddPoint(0.0, {1.0});  // b defaults to 0.
+  std::ostringstream out;
+  series.Print(out);
+  EXPECT_NE(out.str().find("0.000000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace freshsel

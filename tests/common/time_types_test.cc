@@ -1,0 +1,38 @@
+#include "common/time_types.h"
+
+#include <gtest/gtest.h>
+
+namespace freshsel {
+namespace {
+
+TEST(TimeWindowTest, LengthAndBounds) {
+  TimeWindow w{10, 20};
+  EXPECT_EQ(w.length(), 10);
+  EXPECT_EQ(w.first(), 11);
+  EXPECT_EQ(w.last(), 20);
+}
+
+TEST(TimeWindowTest, ContainsIsHalfOpenAtStart) {
+  TimeWindow w{10, 20};
+  EXPECT_FALSE(w.Contains(10));
+  EXPECT_TRUE(w.Contains(11));
+  EXPECT_TRUE(w.Contains(20));
+  EXPECT_FALSE(w.Contains(21));
+}
+
+TEST(TimeWindowTest, DegenerateWindowHasZeroLength) {
+  TimeWindow w{5, 5};
+  EXPECT_EQ(w.length(), 0);
+  EXPECT_FALSE(w.Contains(5));
+  TimeWindow inverted{7, 3};
+  EXPECT_EQ(inverted.length(), 0);
+}
+
+TEST(MakeTimePointsTest, StrideAndCount) {
+  EXPECT_EQ(MakeTimePoints(100, 3, 30), (TimePoints{100, 130, 160}));
+  EXPECT_EQ(MakeTimePoints(5, 0), TimePoints{});
+  EXPECT_EQ(MakeTimePoints(0, 4), (TimePoints{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace freshsel

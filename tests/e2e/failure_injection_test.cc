@@ -1,0 +1,226 @@
+// Failure injection: pathological inputs must degrade gracefully - empty
+// sources, dead subdomains, all-censored learning data, degenerate
+// oracles. Nothing here may crash, NaN, or return out-of-range metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "estimation/quality_estimator.h"
+#include "estimation/source_profile.h"
+#include "estimation/world_change_model.h"
+#include "metrics/quality.h"
+#include "selection/budgeted_greedy.h"
+#include "selection/cost.h"
+#include "selection/selector.h"
+#include "source/source_simulator.h"
+#include "world/world_simulator.h"
+
+namespace freshsel {
+namespace {
+
+bool AllMetricsSane(const estimation::EstimatedQuality& q) {
+  for (double v : {q.coverage, q.local_freshness, q.global_freshness,
+                   q.accuracy}) {
+    if (!std::isfinite(v) || v < 0.0 || v > 1.0) return false;
+  }
+  return std::isfinite(q.expected_world) &&
+         std::isfinite(q.expected_result) && std::isfinite(q.expected_up);
+}
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world::DataDomain domain =
+        world::DataDomain::Create("loc", 2, "cat", 2).value();
+    world::WorldSpec spec{std::move(domain), {}, 120};
+    spec.rates.push_back({1.0, 0.01, 0.02, 60});
+    spec.rates.push_back({0.5, 0.01, 0.02, 40});
+    spec.rates.push_back({0.0, 0.0, 0.0, 0});  // Dead subdomain: empty.
+    spec.rates.push_back({0.5, 0.01, 0.02, 40});
+    Rng rng(811);
+    world_ = std::make_unique<world::World>(
+        world::SimulateWorld(spec, rng).value());
+    model_ = std::make_unique<estimation::WorldChangeModel>(
+        estimation::WorldChangeModel::Learn(*world_, 80).value());
+  }
+
+  std::unique_ptr<world::World> world_;
+  std::unique_ptr<estimation::WorldChangeModel> model_;
+};
+
+TEST_F(FailureInjectionTest, EmptySourceLearnsAndEstimates) {
+  // A source that exists but never captured anything.
+  source::SourceSpec spec;
+  spec.name = "empty";
+  spec.scope = {0};
+  source::SourceHistory empty(spec, world_->entity_count());
+  estimation::SourceProfile profile =
+      estimation::LearnSourceProfile(*world_, empty, 80).value();
+  EXPECT_TRUE(profile.observed_scope.empty());
+  EXPECT_DOUBLE_EQ(profile.g_insert.FinalValue(), 0.0);
+
+  estimation::QualityEstimator estimator =
+      estimation::QualityEstimator::Create(*world_, *model_, {}, {100})
+          .value();
+  auto handle = estimator.AddSource(&profile, 1).value();
+  estimation::EstimatedQuality q = estimator.Estimate({handle}, 100);
+  EXPECT_TRUE(AllMetricsSane(q));
+  EXPECT_DOUBLE_EQ(q.coverage, 0.0);
+}
+
+TEST_F(FailureInjectionTest, DeadSubdomainEstimatorIsSane) {
+  // Estimator restricted to the empty subdomain 2.
+  estimation::QualityEstimator estimator =
+      estimation::QualityEstimator::Create(*world_, *model_, {2}, {100})
+          .value();
+  EXPECT_EQ(estimator.domain_count_t0(), 0);
+  estimation::EstimatedQuality q = estimator.Estimate({}, 100);
+  EXPECT_TRUE(AllMetricsSane(q));
+}
+
+TEST_F(FailureInjectionTest, SourceMissingEverythingStillSelectable) {
+  source::SourceSpec spec;
+  spec.name = "blind";
+  spec.scope = {0, 1, 3};
+  spec.schedule = {1, 0};
+  spec.insert_capture = {1.0, 1.0};  // Misses every appearance.
+  spec.update_capture = {1.0, 1.0};
+  spec.delete_capture = {1.0, 1.0};
+  spec.initial_awareness = 0.0;
+  Rng rng(821);
+  source::SourceHistory blind =
+      source::SimulateSource(*world_, spec, rng).value();
+  EXPECT_EQ(blind.records().size(), 0u);
+
+  // A useful companion source.
+  spec.name = "ok";
+  spec.insert_capture = {0.0, 1.0};
+  spec.update_capture = {0.0, 1.0};
+  spec.delete_capture = {0.0, 1.0};
+  spec.initial_awareness = 0.9;
+  source::SourceHistory ok =
+      source::SimulateSource(*world_, spec, rng).value();
+
+  std::vector<source::SourceHistory> histories;
+  histories.push_back(std::move(blind));
+  histories.push_back(std::move(ok));
+  std::vector<estimation::SourceProfile> profiles =
+      estimation::LearnSourceProfiles(*world_, histories, 80).value();
+
+  estimation::QualityEstimator estimator =
+      estimation::QualityEstimator::Create(*world_, *model_, {}, {100})
+          .value();
+  std::vector<const estimation::SourceProfile*> ptrs;
+  for (const auto& p : profiles) {
+    ptrs.push_back(&p);
+    ASSERT_TRUE(estimator.AddSource(&p).ok());
+  }
+  // The blind source has no items, so the useful source carries the whole
+  // normalized cost (1.0); soften the cost weight so selecting it stays
+  // profitable.
+  selection::ProfitOracle::Config config;
+  config.cost_weight = 0.1;
+  selection::ProfitOracle oracle =
+      selection::ProfitOracle::Create(
+          &estimator, selection::CostModel::ItemShareCosts(ptrs), config)
+          .value();
+  selection::SelectionResult result = selection::MaxSub(oracle);
+  // The blind source contributes nothing; the useful one is selected.
+  EXPECT_EQ(result.selected, (std::vector<selection::SourceHandle>{1}));
+}
+
+TEST_F(FailureInjectionTest, ZeroCostUniverseSelectsEverythingUseful) {
+  source::SourceSpec spec;
+  spec.name = "s";
+  spec.scope = {0, 1, 3};
+  spec.schedule = {1, 0};
+  spec.insert_capture = {0.2, 2.0};
+  Rng rng(823);
+  std::vector<source::SourceHistory> histories =
+      source::SimulateSources(*world_, {spec, spec, spec}, rng).value();
+  std::vector<estimation::SourceProfile> profiles =
+      estimation::LearnSourceProfiles(*world_, histories, 80).value();
+  estimation::QualityEstimator estimator =
+      estimation::QualityEstimator::Create(*world_, *model_, {}, {100})
+          .value();
+  for (const auto& p : profiles) ASSERT_TRUE(estimator.AddSource(&p).ok());
+  // All-zero costs: normalization must not divide by zero.
+  selection::ProfitOracle oracle =
+      selection::ProfitOracle::Create(&estimator, {0.0, 0.0, 0.0},
+                                      selection::ProfitOracle::Config{})
+          .value();
+  EXPECT_DOUBLE_EQ(oracle.Cost({0, 1, 2}), 0.0);
+  selection::SelectionResult result = selection::Greedy(oracle);
+  EXPECT_EQ(result.selected.size(), 3u);
+
+  // BudgetedGreedy with zero costs: everything is free.
+  selection::ProfitOracle::Config budgeted_config;
+  budgeted_config.budget = 0.5;
+  budgeted_config.cost_weight = 0.0;
+  selection::ProfitOracle budgeted =
+      selection::ProfitOracle::Create(&estimator, {0.0, 0.0, 0.0},
+                                      budgeted_config)
+          .value();
+  selection::SelectionResult free = selection::BudgetedGreedy(budgeted);
+  EXPECT_EQ(free.selected.size(), 3u);
+}
+
+TEST_F(FailureInjectionTest, DuplicateProfileRegistrationsBehave) {
+  source::SourceSpec spec;
+  spec.name = "dup";
+  spec.scope = {0};
+  spec.schedule = {1, 0};
+  Rng rng(827);
+  source::SourceHistory history =
+      source::SimulateSource(*world_, spec, rng).value();
+  estimation::SourceProfile profile =
+      estimation::LearnSourceProfile(*world_, history, 80).value();
+  estimation::QualityEstimator estimator =
+      estimation::QualityEstimator::Create(*world_, *model_, {}, {100})
+          .value();
+  auto a = estimator.AddSource(&profile, 1).value();
+  auto b = estimator.AddSource(&profile, 1).value();
+  // At t0 the estimate is the signature union, so duplicates are exactly
+  // idempotent.
+  EXPECT_NEAR(estimator.Estimate({a}, 80).coverage,
+              estimator.Estimate({a, b}, 80).coverage, 1e-12);
+  // At future times the estimator's independence assumption treats the
+  // copies as two observers, so the duplicate may only *raise* the
+  // estimate, and only slightly.
+  const double single = estimator.Estimate({a}, 100).coverage;
+  const double doubled = estimator.Estimate({a, b}, 100).coverage;
+  EXPECT_GE(doubled, single - 1e-12);
+  EXPECT_LE(doubled, single + 0.05);
+}
+
+TEST_F(FailureInjectionTest, ExactMetricsOnEmptySourceList) {
+  metrics::QualityCounts counts = metrics::ComputeCounts(*world_, {}, 60);
+  EXPECT_EQ(counts.up, 0);
+  EXPECT_EQ(counts.in_result, 0);
+  EXPECT_GT(counts.world_total, 0);
+  metrics::QualityMetrics m = metrics::MetricsFromCounts(counts);
+  EXPECT_DOUBLE_EQ(m.coverage, 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.0);
+}
+
+TEST_F(FailureInjectionTest, WorldWithSingleEntity) {
+  world::DataDomain domain =
+      world::DataDomain::Create("a", 1, "b", 1).value();
+  world::World tiny(std::move(domain), 20);
+  world::EntityRecord rec;
+  rec.id = 0;
+  rec.birth = 0;
+  ASSERT_TRUE(tiny.AddEntity(rec).ok());
+  ASSERT_TRUE(tiny.Finalize().ok());
+  estimation::WorldChangeModel model =
+      estimation::WorldChangeModel::Learn(tiny, 10).value();
+  EXPECT_DOUBLE_EQ(model.subdomain(0).lambda_insert, 0.0);
+  estimation::QualityEstimator estimator =
+      estimation::QualityEstimator::Create(tiny, model, {}, {15}).value();
+  EXPECT_TRUE(AllMetricsSane(estimator.Estimate({}, 15)));
+}
+
+}  // namespace
+}  // namespace freshsel

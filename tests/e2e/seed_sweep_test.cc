@@ -1,0 +1,197 @@
+// End-to-end robustness across scenario seeds: the whole pipeline
+// (simulate -> learn -> estimate -> select) must behave sanely for any
+// seed, not just the benches' defaults. Parameterized gtest sweeps seeds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "harness/learned_scenario.h"
+#include "harness/prediction_experiment.h"
+#include "metrics/quality.h"
+#include "selection/cost.h"
+#include "selection/selector.h"
+#include "workloads/bl_generator.h"
+#include "workloads/gdelt_generator.h"
+
+namespace freshsel {
+namespace {
+
+class SeedSweepTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    workloads::BlConfig config;
+    config.seed = GetParam();
+    config.locations = 10;
+    config.categories = 4;
+    config.horizon = 260;
+    config.t0 = 160;
+    config.scale = 0.35;
+    config.n_uniform = 2;
+    config.n_location_specialists = 6;
+    config.n_category_specialists = 4;
+    config.n_medium = 2;
+    scenario_ = std::make_unique<workloads::Scenario>(
+        workloads::GenerateBlScenario(config).value());
+    learned_ = std::make_unique<harness::LearnedScenario>(
+        harness::LearnScenario(*scenario_).value());
+  }
+
+  std::unique_ptr<workloads::Scenario> scenario_;
+  std::unique_ptr<harness::LearnedScenario> learned_;
+};
+
+TEST_P(SeedSweepTest, WorldPredictionStaysAccurate) {
+  std::vector<world::SubdomainId> all;
+  for (world::SubdomainId sub = 0;
+       sub < scenario_->domain().subdomain_count(); ++sub) {
+    all.push_back(sub);
+  }
+  std::vector<double> errors =
+      harness::WorldCountPredictionErrors(
+          *learned_, all, MakeTimePoints(scenario_->t0 + 25, 4, 25))
+          .value();
+  for (double e : errors) EXPECT_LT(e, 0.12) << "seed " << GetParam();
+}
+
+TEST_P(SeedSweepTest, LargestSourceQualityPredictionStaysAccurate) {
+  const std::size_t largest = scenario_->LargestSources(1)[0];
+  harness::QualityErrorSeries series =
+      harness::SourceQualityPredictionErrors(
+          *learned_, largest, {}, MakeTimePoints(scenario_->t0 + 25, 4, 25))
+          .value();
+  for (double e : series.coverage) {
+    EXPECT_LT(e, 0.12) << "seed " << GetParam();
+  }
+  for (double e : series.local_freshness) {
+    EXPECT_LT(e, 0.25) << "seed " << GetParam();
+  }
+}
+
+TEST_P(SeedSweepTest, SelectionIsFeasibleAndOrdered) {
+  estimation::QualityEstimator estimator =
+      estimation::QualityEstimator::Create(
+          scenario_->world, learned_->world_model, {},
+          MakeTimePoints(scenario_->t0 + 14, 5, 14))
+          .value();
+  std::vector<const estimation::SourceProfile*> profiles;
+  for (const auto& p : learned_->profiles) {
+    profiles.push_back(&p);
+    ASSERT_TRUE(estimator.AddSource(&p).ok());
+  }
+  selection::ProfitOracle oracle =
+      selection::ProfitOracle::Create(
+          &estimator, selection::CostModel::ItemShareCosts(profiles),
+          selection::ProfitOracle::Config{})
+          .value();
+
+  const selection::SelectionResult greedy = selection::Greedy(oracle);
+  const selection::SelectionResult maxsub = selection::MaxSub(oracle);
+  const selection::SelectionResult grasp =
+      selection::Grasp(oracle, selection::GraspParams{2, 8, GetParam()});
+
+  for (const selection::SelectionResult* result :
+       {&greedy, &maxsub, &grasp}) {
+    EXPECT_TRUE(std::isfinite(result->profit)) << "seed " << GetParam();
+    // Selections are sorted, duplicate-free handles in range.
+    for (std::size_t i = 0; i < result->selected.size(); ++i) {
+      EXPECT_LT(result->selected[i], profiles.size());
+      if (i > 0) {
+        EXPECT_LT(result->selected[i - 1], result->selected[i]);
+      }
+    }
+  }
+  // The local searches never lose to Greedy by more than noise, and GRASP
+  // with restarts never loses to hill climbing.
+  EXPECT_GE(maxsub.profit, greedy.profit - 0.02) << "seed " << GetParam();
+  EXPECT_GE(grasp.profit, greedy.profit - 0.02) << "seed " << GetParam();
+}
+
+TEST_P(SeedSweepTest, EstimatedSelectionQualityMatchesRealizedFuture) {
+  estimation::QualityEstimator estimator =
+      estimation::QualityEstimator::Create(
+          scenario_->world, learned_->world_model, {},
+          {scenario_->t0 + 50})
+          .value();
+  std::vector<const estimation::SourceProfile*> profiles;
+  for (const auto& p : learned_->profiles) {
+    profiles.push_back(&p);
+    ASSERT_TRUE(estimator.AddSource(&p).ok());
+  }
+  selection::ProfitOracle oracle =
+      selection::ProfitOracle::Create(
+          &estimator, selection::CostModel::ItemShareCosts(profiles),
+          selection::ProfitOracle::Config{})
+          .value();
+  selection::SelectionResult plan = selection::MaxSub(oracle);
+  ASSERT_FALSE(plan.selected.empty());
+
+  const double predicted =
+      estimator.Estimate(plan.selected, scenario_->t0 + 50).coverage;
+  std::vector<const source::SourceHistory*> chosen;
+  for (selection::SourceHandle h : plan.selected) {
+    chosen.push_back(&scenario_->sources[h]);
+  }
+  const double realized =
+      metrics::MetricsFromCounts(
+          metrics::ComputeCounts(scenario_->world, chosen,
+                                 scenario_->t0 + 50))
+          .coverage;
+  EXPECT_NEAR(predicted, realized, 0.12) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(1, 17, 99, 2024, 777777));
+
+class GdeltSeedSweepTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(GdeltSeedSweepTest, ShortWindowPipelineStaysSane) {
+  workloads::GdeltConfig config;
+  config.seed = GetParam();
+  config.locations = 10;
+  config.event_types = 5;
+  config.n_large = 3;
+  config.n_small = 30;
+  config.scale = 0.5;
+  workloads::Scenario gdelt =
+      workloads::GenerateGdeltScenario(config).value();
+  harness::LearnedScenario learned =
+      harness::LearnScenario(gdelt).value();
+
+  // Event-count prediction over the eval week (hot location).
+  std::vector<double> errors =
+      harness::WorldCountPredictionErrors(
+          learned, gdelt.domain().SubdomainsInDim1(0),
+          MakeTimePoints(gdelt.t0 + 1, 5, 1))
+          .value();
+  for (double e : errors) EXPECT_LT(e, 0.15) << "seed " << GetParam();
+
+  // Selection remains feasible with only 15 days of training.
+  estimation::QualityEstimator estimator =
+      estimation::QualityEstimator::Create(
+          gdelt.world, learned.world_model,
+          gdelt.domain().SubdomainsInDim1(0),
+          MakeTimePoints(gdelt.t0 + 1, 7, 1))
+          .value();
+  std::vector<const estimation::SourceProfile*> profiles;
+  for (const auto& p : learned.profiles) {
+    profiles.push_back(&p);
+    ASSERT_TRUE(estimator.AddSource(&p).ok());
+  }
+  selection::ProfitOracle oracle =
+      selection::ProfitOracle::Create(
+          &estimator, selection::CostModel::ItemShareCosts(profiles),
+          selection::ProfitOracle::Config{})
+          .value();
+  selection::SelectionResult plan = selection::MaxSub(oracle);
+  EXPECT_TRUE(std::isfinite(plan.profit)) << "seed " << GetParam();
+  EXPECT_FALSE(plan.selected.empty()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GdeltSeedSweepTest,
+                         ::testing::Values(3, 444, 31337));
+
+}  // namespace
+}  // namespace freshsel

@@ -1,0 +1,224 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "harness/characterization.h"
+#include "harness/learned_scenario.h"
+#include "harness/prediction_experiment.h"
+#include "harness/selection_experiment.h"
+#include "workloads/bl_generator.h"
+#include "workloads/gdelt_generator.h"
+
+namespace freshsel::harness {
+namespace {
+
+workloads::BlConfig SmallBl() {
+  workloads::BlConfig config;
+  config.locations = 8;
+  config.categories = 3;
+  config.horizon = 200;
+  config.t0 = 120;
+  config.scale = 0.4;
+  config.n_uniform = 2;
+  config.n_location_specialists = 4;
+  config.n_category_specialists = 3;
+  config.n_medium = 1;
+  return config;
+}
+
+class HarnessFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = std::make_unique<workloads::Scenario>(
+        workloads::GenerateBlScenario(SmallBl()).value());
+    learned_ = std::make_unique<LearnedScenario>(
+        LearnScenario(*scenario_).value());
+  }
+
+  std::unique_ptr<workloads::Scenario> scenario_;
+  std::unique_ptr<LearnedScenario> learned_;
+};
+
+TEST_F(HarnessFixture, LearnScenarioProducesAllProfiles) {
+  EXPECT_EQ(learned_->profiles.size(), scenario_->source_count());
+  EXPECT_EQ(learned_->t0(), scenario_->t0);
+  EXPECT_EQ(learned_->world_model.subdomain_count(),
+            scenario_->domain().subdomain_count());
+}
+
+TEST_F(HarnessFixture, LargestSubdomainPointsAreSortedAndFiltered) {
+  std::vector<DomainPoint> points =
+      LargestSubdomainPoints(scenario_->world, scenario_->t0, 4);
+  ASSERT_EQ(points.size(), 4u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(
+        scenario_->world.CountAt(points[i - 1].subdomains[0], scenario_->t0),
+        scenario_->world.CountAt(points[i].subdomains[0], scenario_->t0));
+  }
+  // dim1 filter restricts to one location.
+  std::vector<DomainPoint> filtered =
+      LargestSubdomainPoints(scenario_->world, scenario_->t0, 2, 0);
+  for (const DomainPoint& p : filtered) {
+    EXPECT_EQ(scenario_->domain().Dim1Of(p.subdomains[0]), 0u);
+  }
+}
+
+TEST_F(HarnessFixture, WorldCountPredictionErrorsAreSmall) {
+  std::vector<world::SubdomainId> all;
+  for (world::SubdomainId sub = 0;
+       sub < scenario_->domain().subdomain_count(); ++sub) {
+    all.push_back(sub);
+  }
+  std::vector<double> errors =
+      WorldCountPredictionErrors(*learned_, all,
+                                 MakeTimePoints(scenario_->t0 + 20, 3, 20))
+          .value();
+  ASSERT_EQ(errors.size(), 3u);
+  for (double e : errors) {
+    EXPECT_GE(e, 0.0);
+    EXPECT_LT(e, 0.15);
+  }
+}
+
+TEST_F(HarnessFixture, WorldCountPredictionRejectsBeyondHorizon) {
+  EXPECT_FALSE(
+      WorldCountPredictionErrors(*learned_, {0}, {100000}).ok());
+}
+
+TEST_F(HarnessFixture, SourceQualityPredictionErrorsAreReasonable) {
+  const std::size_t largest = scenario_->LargestSources(1)[0];
+  QualityErrorSeries series =
+      SourceQualityPredictionErrors(*learned_, largest, {},
+                                    MakeTimePoints(scenario_->t0 + 20, 3, 20))
+          .value();
+  ASSERT_EQ(series.coverage.size(), 3u);
+  for (double e : series.coverage) EXPECT_LT(e, 0.2);
+  for (double e : series.accuracy) EXPECT_LT(e, 0.3);
+}
+
+TEST_F(HarnessFixture, SourceQualityPredictionValidatesIndex) {
+  EXPECT_FALSE(
+      SourceQualityPredictionErrors(*learned_, 999, {}, {150}).ok());
+}
+
+TEST_F(HarnessFixture, RunComparisonAggregates) {
+  ComparisonConfig config;
+  config.algorithms = {
+      AlgoSpec{selection::Algorithm::kGreedy, 1, 1},
+      AlgoSpec{selection::Algorithm::kMaxSub, 1, 1},
+      AlgoSpec{selection::Algorithm::kGrasp, 2, 3},
+  };
+  config.eval_offsets = {20, 40};
+  std::vector<DomainPoint> points =
+      LargestSubdomainPoints(scenario_->world, scenario_->t0, 2);
+  std::vector<AlgoAggregate> aggregates =
+      RunComparison(*learned_, scenario_->classes, points, config).value();
+  ASSERT_EQ(aggregates.size(), 3u);
+  for (const AlgoAggregate& agg : aggregates) {
+    EXPECT_EQ(agg.run_count, 2);
+    EXPECT_GE(agg.best_count, 0);
+    EXPECT_LE(agg.best_count, 2);
+    EXPECT_GT(agg.n_sources.mean(), 0.0);
+    EXPECT_GE(agg.coverage.mean(), 0.0);
+    EXPECT_LE(agg.coverage.mean(), 1.0);
+  }
+  // At least one algorithm achieved the best profit in every run.
+  int total_best = 0;
+  for (const AlgoAggregate& agg : aggregates) total_best += agg.best_count;
+  EXPECT_GE(total_best, 2);
+  EXPECT_EQ(aggregates[2].name, "GRASP-(2,3)");
+}
+
+TEST_F(HarnessFixture, RunComparisonVaryingFrequency) {
+  ComparisonConfig config;
+  config.algorithms = {AlgoSpec{selection::Algorithm::kGreedy, 1, 1},
+                       AlgoSpec{selection::Algorithm::kMaxSub, 1, 1}};
+  config.eval_offsets = {20};
+  config.max_divisor = 3;
+  std::vector<DomainPoint> points =
+      LargestSubdomainPoints(scenario_->world, scenario_->t0, 1);
+  std::vector<AlgoAggregate> aggregates =
+      RunComparison(*learned_, scenario_->classes, points, config).value();
+  for (const AlgoAggregate& agg : aggregates) {
+    EXPECT_EQ(agg.run_count, 1);
+    // Divisor stats were collected for selected sources.
+    if (!agg.selected_by_class.empty()) {
+      EXPECT_FALSE(agg.divisor_by_class.empty());
+    }
+  }
+}
+
+TEST_F(HarnessFixture, CharacterizeSourcesProducesConsistentRows) {
+  std::vector<SourceCharacterization> rows =
+      CharacterizeSources(*learned_, scenario_->classes);
+  ASSERT_EQ(rows.size(), scenario_->source_count());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SourceCharacterization& row = rows[i];
+    EXPECT_EQ(row.name, scenario_->sources[i].name());
+    EXPECT_EQ(row.source_class, scenario_->classes[i]);
+    EXPECT_GE(row.coverage, 0.0);
+    EXPECT_LE(row.coverage, 1.0);
+    EXPECT_GE(row.local_freshness, 0.0);
+    EXPECT_LE(row.local_freshness, 1.0);
+    EXPECT_GE(row.insert_g_plateau, row.insert_g_week - 1e-12);
+    EXPECT_GT(row.update_interval, 0.0);
+    // Accuracy never exceeds coverage (up <= covered, |F u Omega| >=
+    // |Omega|).
+    EXPECT_LE(row.accuracy, row.coverage + 1e-12);
+    // Scope: at most the full domain.
+    EXPECT_LE(row.scope_subdomains,
+              scenario_->domain().subdomain_count());
+  }
+  // The uniform sources carry the most items.
+  std::size_t max_items = 0;
+  for (const auto& row : rows) max_items = std::max(max_items,
+                                                    row.items_at_t0);
+  bool uniform_is_large = false;
+  for (const auto& row : rows) {
+    if (row.source_class == workloads::SourceClass::kUniform &&
+        row.items_at_t0 > max_items / 2) {
+      uniform_is_large = true;
+    }
+  }
+  EXPECT_TRUE(uniform_is_large);
+}
+
+TEST(GdeltHarnessTest, ComparisonRunsOnGdeltScenario) {
+  workloads::GdeltConfig config;
+  config.locations = 8;
+  config.event_types = 4;
+  config.n_large = 3;
+  config.n_small = 25;
+  config.scale = 0.5;
+  workloads::Scenario gdelt =
+      workloads::GenerateGdeltScenario(config).value();
+  LearnedScenario learned = LearnScenario(gdelt).value();
+
+  ComparisonConfig comparison;
+  comparison.algorithms = {AlgoSpec{selection::Algorithm::kGreedy, 1, 1},
+                           AlgoSpec{selection::Algorithm::kMaxSub, 1, 1}};
+  comparison.eval_offsets = {1, 3, 5};
+  std::vector<DomainPoint> points =
+      LargestSubdomainPoints(gdelt.world, gdelt.t0, 2, /*dim1_filter=*/0);
+  std::vector<AlgoAggregate> aggregates =
+      RunComparison(learned, gdelt.classes, points, comparison).value();
+  ASSERT_EQ(aggregates.size(), 2u);
+  for (const AlgoAggregate& agg : aggregates) {
+    EXPECT_EQ(agg.run_count, 2);
+    EXPECT_GT(agg.coverage.mean(), 0.0);
+  }
+}
+
+TEST_F(HarnessFixture, RunComparisonValidatesClasses) {
+  ComparisonConfig config;
+  config.algorithms = {AlgoSpec{selection::Algorithm::kGreedy, 1, 1}};
+  config.eval_offsets = {20};
+  std::vector<DomainPoint> points =
+      LargestSubdomainPoints(scenario_->world, scenario_->t0, 1);
+  std::vector<workloads::SourceClass> wrong_classes(2);
+  EXPECT_FALSE(
+      RunComparison(*learned_, wrong_classes, points, config).ok());
+}
+
+}  // namespace
+}  // namespace freshsel::harness

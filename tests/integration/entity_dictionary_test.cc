@@ -1,0 +1,53 @@
+#include "integration/entity_dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace freshsel::integration {
+namespace {
+
+TEST(EntityDictionaryTest, CanonicalizeNormalizes) {
+  EXPECT_EQ(EntityDictionary::Canonicalize("  JOE'S  Pizza, NY "),
+            "joe s pizza ny");
+  EXPECT_EQ(EntityDictionary::Canonicalize("ACME-CORP"), "acme corp");
+  EXPECT_EQ(EntityDictionary::Canonicalize("plain"), "plain");
+  EXPECT_EQ(EntityDictionary::Canonicalize("  "), "");
+  EXPECT_EQ(EntityDictionary::Canonicalize("A  B\t\tC"), "a b c");
+  EXPECT_EQ(EntityDictionary::Canonicalize("№∞"), "");
+}
+
+TEST(EntityDictionaryTest, InternAssignsDenseIds) {
+  EntityDictionary dict;
+  EXPECT_EQ(dict.Intern("Alpha"), 0u);
+  EXPECT_EQ(dict.Intern("Beta"), 1u);
+  EXPECT_EQ(dict.Intern("Gamma"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(EntityDictionaryTest, DuplicatesCollapse) {
+  EntityDictionary dict;
+  const world::EntityId a = dict.Intern("Joe's Pizza, NY");
+  const world::EntityId b = dict.Intern("  joes  pizza ny!!");
+  // Note: "Joe's" -> "joe s" vs "joes" -> different canonical keys; the
+  // matcher is exact on canonical form.
+  EXPECT_NE(a, b);
+  const world::EntityId c = dict.Intern("JOE'S PIZZA -- NY");
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(EntityDictionaryTest, LookupWithoutIntern) {
+  EntityDictionary dict;
+  EXPECT_FALSE(dict.Lookup("missing").has_value());
+  dict.Intern("Known Item");
+  ASSERT_TRUE(dict.Lookup("known,item").has_value());
+  EXPECT_EQ(*dict.Lookup("KNOWN ITEM"), 0u);
+}
+
+TEST(EntityDictionaryTest, KeyOfReturnsCanonicalForm) {
+  EntityDictionary dict;
+  const world::EntityId id = dict.Intern(" Foo & Bar ");
+  EXPECT_EQ(dict.KeyOf(id), "foo bar");
+}
+
+}  // namespace
+}  // namespace freshsel::integration

@@ -1,0 +1,110 @@
+#include "integration/reconstruction_quality.h"
+
+#include <gtest/gtest.h>
+
+#include "source/source_simulator.h"
+#include "testing/test_world.h"
+#include "world/world_simulator.h"
+
+namespace freshsel::integration {
+namespace {
+
+TEST(ReconstructionQualityTest, PerfectSourceScoresPerfectly) {
+  // A zero-delay, no-miss daily source reconstructs the world exactly.
+  world::DataDomain domain =
+      world::DataDomain::Create("loc", 1, "cat", 1).value();
+  world::WorldSpec spec{domain, {{1.0, 0.01, 0.02, 100}}, 200};
+  Rng rng(501);
+  world::World truth = world::SimulateWorld(spec, rng).value();
+  source::SourceSpec s;
+  s.name = "perfect";
+  s.scope = {0};
+  s.schedule = {1, 0};
+  s.insert_capture = {0.0, 0.0};
+  s.update_capture = {0.0, 0.0};
+  s.delete_capture = {0.0, 0.0};
+  source::SourceHistory history =
+      source::SimulateSource(truth, s, rng).value();
+  ReconstructionResult result =
+      ReconstructWorld(truth.domain(), {&history}, 200,
+                       truth.entity_count())
+          .value();
+  ReconstructionQuality quality = EvaluateReconstruction(truth, result);
+  EXPECT_DOUBLE_EQ(quality.entity_recall, 1.0);
+  EXPECT_DOUBLE_EQ(quality.appearance_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(quality.mean_appearance_delay, 0.0);
+  // Deaths within the horizon are captured the same day; deaths beyond the
+  // horizon are invisible to everyone.
+  EXPECT_GT(quality.disappearance_recall, 0.95);
+  EXPECT_DOUBLE_EQ(quality.mean_disappearance_delay, 0.0);
+  EXPECT_GT(quality.update_recall, 0.95);
+  EXPECT_LT(quality.mean_population_error, 1e-9);
+}
+
+TEST(ReconstructionQualityTest, HandBuiltPartialReconstruction) {
+  world::World truth = testing::MakeTestWorld();
+  source::SourceHistory s = testing::MakeTestSource(truth);
+  ReconstructionResult result =
+      ReconstructWorld(truth.domain(), {&s}, 100, truth.entity_count())
+          .value();
+  ReconstructionQuality quality = EvaluateReconstruction(truth, result);
+  // The source mentions 3 of 6 entities.
+  EXPECT_DOUBLE_EQ(quality.entity_recall, 0.5);
+  // Births: entity 0 seen at 2 (gap 2), 1 at 0 (gap 0), 2 at 8 (gap 3) -
+  // all within the 7-day tolerance.
+  EXPECT_DOUBLE_EQ(quality.appearance_accuracy, 1.0);
+  EXPECT_NEAR(quality.mean_appearance_delay, (2.0 + 0.0 + 3.0) / 3.0,
+              1e-12);
+  // Dead gold entities: 0 (death 50), 2 (80), 4 (90). The reconstruction
+  // marks only entity 0 dead (at 55).
+  EXPECT_NEAR(quality.disappearance_recall, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(quality.mean_disappearance_delay, 5.0);
+}
+
+TEST(ReconstructionQualityTest, DegradedSourcesScoreLower) {
+  world::DataDomain domain =
+      world::DataDomain::Create("loc", 1, "cat", 1).value();
+  world::WorldSpec spec{domain, {{1.0, 0.01, 0.02, 100}}, 200};
+  Rng rng(503);
+  world::World truth = world::SimulateWorld(spec, rng).value();
+
+  auto reconstruct_with = [&](double miss, double delay) {
+    source::SourceSpec s;
+    s.name = "s";
+    s.scope = {0};
+    s.schedule = {1, 0};
+    s.insert_capture = {miss, delay};
+    s.update_capture = {miss, delay};
+    s.delete_capture = {miss, delay};
+    s.initial_awareness = 1.0 - miss;
+    Rng source_rng(777);
+    source::SourceHistory history =
+        source::SimulateSource(truth, s, source_rng).value();
+    ReconstructionResult result =
+        ReconstructWorld(truth.domain(), {&history}, 200,
+                         truth.entity_count())
+            .value();
+    return EvaluateReconstruction(truth, result);
+  };
+
+  ReconstructionQuality good = reconstruct_with(0.0, 1.0);
+  ReconstructionQuality bad = reconstruct_with(0.4, 20.0);
+  EXPECT_GT(good.entity_recall, bad.entity_recall);
+  EXPECT_GT(good.appearance_accuracy, bad.appearance_accuracy);
+  EXPECT_LT(good.mean_appearance_delay, bad.mean_appearance_delay);
+}
+
+TEST(ReconstructionQualityTest, EmptyReconstruction) {
+  world::World truth = testing::MakeTestWorld();
+  ReconstructionResult empty =
+      ReconstructWorld(truth.domain(), {}, 100, truth.entity_count())
+          .value();
+  ReconstructionQuality quality = EvaluateReconstruction(truth, empty);
+  EXPECT_DOUBLE_EQ(quality.entity_recall, 0.0);
+  EXPECT_DOUBLE_EQ(quality.appearance_accuracy, 0.0);
+  // Population error: the reconstruction has zero entities everywhere.
+  EXPECT_NEAR(quality.mean_population_error, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace freshsel::integration

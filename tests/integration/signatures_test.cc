@@ -1,0 +1,102 @@
+#include "integration/signatures.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_world.h"
+
+namespace freshsel::integration {
+namespace {
+
+// The test source (testing/test_world.h):
+//   entity 0: in source days [2, 55); learns v1 at 12, v2 at 35.
+//             World: updates at 10 (v1), 30 (v2); dies at 50.
+//   entity 1: in source from day 0; learns v1 at 25. World update at 20.
+//   entity 2: in source from day 8, never deleted. World death at 80.
+
+TEST(SignaturesTest, ClassifiesUpToDate) {
+  world::World w = testing::MakeTestWorld();
+  source::SourceHistory s = testing::MakeTestSource(w);
+
+  // Day 5: entity 0 at v0 (world v0) -> up. Entity 1 v0 = world v0 -> up.
+  // Entity 2 not yet in source (inserted day 8).
+  SourceSignatures sig = BuildSignatures(w, s, 5);
+  EXPECT_TRUE(sig.up.Test(0));
+  EXPECT_TRUE(sig.up.Test(1));
+  EXPECT_FALSE(sig.all.Test(2));
+  EXPECT_EQ(sig.up.Count(), 2u);
+  EXPECT_EQ(sig.cov.Count(), 2u);
+  EXPECT_EQ(sig.all.Count(), 2u);
+}
+
+TEST(SignaturesTest, ClassifiesOutOfDate) {
+  world::World w = testing::MakeTestWorld();
+  source::SourceHistory s = testing::MakeTestSource(w);
+
+  // Day 11: world updated entity 0 to v1 at day 10; source still shows v0
+  // (learns v1 at 12) -> out-of-date: covered but not up.
+  SourceSignatures sig = BuildSignatures(w, s, 11);
+  EXPECT_FALSE(sig.up.Test(0));
+  EXPECT_TRUE(sig.cov.Test(0));
+  EXPECT_TRUE(sig.all.Test(0));
+  // Day 12: source catches up.
+  sig = BuildSignatures(w, s, 12);
+  EXPECT_TRUE(sig.up.Test(0));
+}
+
+TEST(SignaturesTest, ClassifiesNonDeletedGhost) {
+  world::World w = testing::MakeTestWorld();
+  source::SourceHistory s = testing::MakeTestSource(w);
+
+  // Entity 0 dies in the world at 50; source deletes it at 55. In [50, 55)
+  // it is a non-deleted ghost: in `all` but not `cov`.
+  SourceSignatures sig = BuildSignatures(w, s, 52);
+  EXPECT_TRUE(sig.all.Test(0));
+  EXPECT_FALSE(sig.cov.Test(0));
+  EXPECT_FALSE(sig.up.Test(0));
+  // After 55 it is gone entirely.
+  sig = BuildSignatures(w, s, 55);
+  EXPECT_FALSE(sig.all.Test(0));
+
+  // Entity 2 dies at 80 and is never deleted: ghost forever after.
+  sig = BuildSignatures(w, s, 90);
+  EXPECT_TRUE(sig.all.Test(2));
+  EXPECT_FALSE(sig.cov.Test(2));
+}
+
+TEST(SignaturesTest, UpImpliesCovImpliesAll) {
+  world::World w = testing::MakeTestWorld();
+  source::SourceHistory s = testing::MakeTestSource(w);
+  for (TimePoint t = 0; t <= 100; t += 3) {
+    SourceSignatures sig = BuildSignatures(w, s, t);
+    for (std::size_t e = 0; e < w.entity_count(); ++e) {
+      if (sig.up.Test(e)) {
+        EXPECT_TRUE(sig.cov.Test(e));
+      }
+      if (sig.cov.Test(e)) {
+        EXPECT_TRUE(sig.all.Test(e));
+      }
+    }
+  }
+}
+
+TEST(DomainMaskTest, SelectsSubdomainEntities) {
+  world::World w = testing::MakeTestWorld();
+  BitVector mask = DomainMask(w, {0});
+  // Entities 0, 1, 5 live in subdomain 0.
+  EXPECT_TRUE(mask.Test(0));
+  EXPECT_TRUE(mask.Test(1));
+  EXPECT_TRUE(mask.Test(5));
+  EXPECT_FALSE(mask.Test(2));
+  EXPECT_EQ(mask.Count(), 3u);
+
+  BitVector all_mask = DomainMask(w, {0, 1, 2, 3});
+  EXPECT_EQ(all_mask.Count(), w.entity_count());
+}
+
+TEST(DomainMaskTest, EmptySubdomainListIsEmptyMask) {
+  world::World w = testing::MakeTestWorld();
+  EXPECT_EQ(DomainMask(w, {}).Count(), 0u);
+}
+
+}  // namespace
+}  // namespace freshsel::integration

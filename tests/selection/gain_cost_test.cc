@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "selection/cost.h"
+#include "selection/gain.h"
+
+namespace freshsel::selection {
+namespace {
+
+estimation::EstimatedQuality MakeQuality(double cov, double lf, double gf,
+                                         double acc, double world) {
+  estimation::EstimatedQuality q;
+  q.coverage = cov;
+  q.local_freshness = lf;
+  q.global_freshness = gf;
+  q.accuracy = acc;
+  q.expected_world = world;
+  return q;
+}
+
+TEST(GainModelTest, LinearCurve) {
+  EXPECT_DOUBLE_EQ(GainModel::Curve(GainFamily::kLinear, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(GainModel::Curve(GainFamily::kLinear, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(GainModel::Curve(GainFamily::kLinear, 1.0), 100.0);
+}
+
+TEST(GainModelTest, QuadraticCurve) {
+  EXPECT_DOUBLE_EQ(GainModel::Curve(GainFamily::kQuadratic, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(GainModel::Curve(GainFamily::kQuadratic, 1.0), 100.0);
+}
+
+TEST(GainModelTest, StepCurveMatchesPaperSchedule) {
+  // Section 6.1's piecewise definition.
+  EXPECT_DOUBLE_EQ(GainModel::Curve(GainFamily::kStep, 0.1), 10.0);
+  EXPECT_DOUBLE_EQ(GainModel::Curve(GainFamily::kStep, 0.2), 100.0);
+  EXPECT_DOUBLE_EQ(GainModel::Curve(GainFamily::kStep, 0.3), 110.0);
+  EXPECT_DOUBLE_EQ(GainModel::Curve(GainFamily::kStep, 0.5), 150.0);
+  EXPECT_DOUBLE_EQ(GainModel::Curve(GainFamily::kStep, 0.6), 160.0);
+  EXPECT_DOUBLE_EQ(GainModel::Curve(GainFamily::kStep, 0.7), 200.0);
+  EXPECT_DOUBLE_EQ(GainModel::Curve(GainFamily::kStep, 0.8), 210.0);
+  EXPECT_DOUBLE_EQ(GainModel::Curve(GainFamily::kStep, 0.95), 300.0);
+  EXPECT_DOUBLE_EQ(GainModel::Curve(GainFamily::kStep, 1.0), 305.0);
+}
+
+TEST(GainModelTest, StepCurveIsMonotone) {
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double g = GainModel::Curve(GainFamily::kStep, q);
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+}
+
+TEST(GainModelTest, MetricSelection) {
+  estimation::EstimatedQuality q = MakeQuality(0.1, 0.2, 0.3, 0.4, 100.0);
+  EXPECT_DOUBLE_EQ(
+      GainModel(GainFamily::kLinear, QualityMetric::kCoverage).MetricValue(q),
+      0.1);
+  EXPECT_DOUBLE_EQ(GainModel(GainFamily::kLinear,
+                             QualityMetric::kLocalFreshness)
+                       .MetricValue(q),
+                   0.2);
+  EXPECT_DOUBLE_EQ(GainModel(GainFamily::kLinear,
+                             QualityMetric::kGlobalFreshness)
+                       .MetricValue(q),
+                   0.3);
+  EXPECT_DOUBLE_EQ(
+      GainModel(GainFamily::kLinear, QualityMetric::kAccuracy).MetricValue(q),
+      0.4);
+}
+
+TEST(GainModelTest, CoverageFreshnessMix) {
+  estimation::EstimatedQuality q = MakeQuality(0.8, 0.0, 0.4, 0.0, 100.0);
+  GainModel even(GainFamily::kLinear,
+                 QualityMetric::kCoverageFreshnessMix, 0.5);
+  EXPECT_DOUBLE_EQ(even.MetricValue(q), 0.6);
+  GainModel cov_heavy(GainFamily::kLinear,
+                      QualityMetric::kCoverageFreshnessMix, 1.0);
+  EXPECT_DOUBLE_EQ(cov_heavy.MetricValue(q), 0.8);
+  GainModel fresh_heavy(GainFamily::kLinear,
+                        QualityMetric::kCoverageFreshnessMix, 0.0);
+  EXPECT_DOUBLE_EQ(fresh_heavy.MetricValue(q), 0.4);
+  // Out-of-range alpha clamps.
+  GainModel clamped(GainFamily::kLinear,
+                    QualityMetric::kCoverageFreshnessMix, 3.0);
+  EXPECT_DOUBLE_EQ(clamped.MetricValue(q), 0.8);
+}
+
+TEST(GainModelTest, DataGainPaysPerCoveredItem) {
+  GainModel gain(GainFamily::kData, QualityMetric::kCoverage);
+  estimation::EstimatedQuality q = MakeQuality(0.5, 0, 0, 0, 2000.0);
+  // $10 per covered item: 10 * 0.5 * 2000.
+  EXPECT_DOUBLE_EQ(gain.Evaluate(q), 10000.0);
+  EXPECT_DOUBLE_EQ(gain.MaxGain(2000.0), 20000.0);
+}
+
+TEST(GainModelTest, MaxGainForQualityFamilies) {
+  EXPECT_DOUBLE_EQ(
+      GainModel(GainFamily::kLinear, QualityMetric::kCoverage).MaxGain(1e9),
+      100.0);
+  EXPECT_DOUBLE_EQ(
+      GainModel(GainFamily::kStep, QualityMetric::kCoverage).MaxGain(5.0),
+      305.0);
+}
+
+TEST(CostModelTest, ItemShareCostsSplitSharedItems) {
+  // Two sources over a 3-item world: source A holds {0, 1}, source B holds
+  // {1, 2}. Item 1 is shared -> each pays 5; items 0 and 2 cost 10.
+  estimation::SourceProfile a;
+  estimation::SourceProfile b;
+  a.sig_t0.all = BitVector(3);
+  b.sig_t0.all = BitVector(3);
+  a.sig_t0.all.Set(0);
+  a.sig_t0.all.Set(1);
+  b.sig_t0.all.Set(1);
+  b.sig_t0.all.Set(2);
+  std::vector<double> costs = CostModel::ItemShareCosts({&a, &b});
+  ASSERT_EQ(costs.size(), 2u);
+  EXPECT_DOUBLE_EQ(costs[0], 15.0);
+  EXPECT_DOUBLE_EQ(costs[1], 15.0);
+}
+
+TEST(CostModelTest, EmptyProfileListIsEmpty) {
+  EXPECT_TRUE(CostModel::ItemShareCosts({}).empty());
+}
+
+TEST(CostModelTest, DiscountForDivisorMatchesPaperFormula) {
+  // c' = c / (1 + m/10).
+  EXPECT_DOUBLE_EQ(CostModel::DiscountForDivisor(110.0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(CostModel::DiscountForDivisor(120.0, 2), 100.0);
+  EXPECT_DOUBLE_EQ(CostModel::DiscountForDivisor(100.0, 10), 50.0);
+}
+
+TEST(CostModelTest, DiscountDecreasesWithDivisor) {
+  double prev = 1e18;
+  for (std::int64_t m = 1; m <= 10; ++m) {
+    const double c = CostModel::DiscountForDivisor(100.0, m);
+    EXPECT_LT(c, prev);
+    prev = c;
+  }
+}
+
+}  // namespace
+}  // namespace freshsel::selection

@@ -1,0 +1,62 @@
+#include "selection/matroid.h"
+
+#include <gtest/gtest.h>
+
+namespace freshsel::selection {
+namespace {
+
+TEST(PartitionMatroidTest, CreateValidates) {
+  EXPECT_FALSE(PartitionMatroid::Create({0, 1, 5}, {1, 1}).ok());  // Group 5.
+  EXPECT_FALSE(PartitionMatroid::Create({0, 0}, {0}).ok());  // Capacity 0.
+  EXPECT_TRUE(PartitionMatroid::Create({0, 0, 1}, {1, 2}).ok());
+}
+
+TEST(PartitionMatroidTest, IndependenceRespectsCapacities) {
+  // Elements 0,1,2 in group 0 (cap 1); elements 3,4 in group 1 (cap 2).
+  PartitionMatroid m =
+      PartitionMatroid::Create({0, 0, 0, 1, 1}, {1, 2}).value();
+  EXPECT_TRUE(m.IsIndependent({}));
+  EXPECT_TRUE(m.IsIndependent({0}));
+  EXPECT_TRUE(m.IsIndependent({0, 3, 4}));
+  EXPECT_FALSE(m.IsIndependent({0, 1}));
+  EXPECT_FALSE(m.IsIndependent({0, 1, 2}));
+}
+
+TEST(PartitionMatroidTest, CanAdd) {
+  PartitionMatroid m =
+      PartitionMatroid::Create({0, 0, 1, 1}, {1, 2}).value();
+  EXPECT_TRUE(m.CanAdd({}, 0));
+  EXPECT_FALSE(m.CanAdd({0}, 1));  // Group 0 full.
+  EXPECT_TRUE(m.CanAdd({0, 2}, 3));
+  EXPECT_FALSE(m.CanAdd({2, 3}, 2));  // Group 1 already at capacity 2.
+}
+
+TEST(PartitionMatroidTest, ConflictsWith) {
+  PartitionMatroid m =
+      PartitionMatroid::Create({0, 0, 0, 1}, {1, 1}).value();
+  EXPECT_EQ(m.ConflictsWith({0, 3}, 1),
+            (std::vector<SourceHandle>{0}));
+  EXPECT_TRUE(m.ConflictsWith({3}, 1).empty());
+  EXPECT_EQ(m.GroupOf(3), 1u);
+  EXPECT_EQ(m.CapacityOf(0), 1u);
+  EXPECT_EQ(m.element_count(), 4u);
+  EXPECT_EQ(m.group_count(), 2u);
+}
+
+TEST(PartitionMatroidTest, DownwardClosedProperty) {
+  // Any subset of an independent set is independent.
+  PartitionMatroid m =
+      PartitionMatroid::Create({0, 0, 1, 1, 2}, {1, 2, 1}).value();
+  const std::vector<SourceHandle> independent{0, 2, 3, 4};
+  ASSERT_TRUE(m.IsIndependent(independent));
+  for (std::size_t skip = 0; skip < independent.size(); ++skip) {
+    std::vector<SourceHandle> subset;
+    for (std::size_t i = 0; i < independent.size(); ++i) {
+      if (i != skip) subset.push_back(independent[i]);
+    }
+    EXPECT_TRUE(m.IsIndependent(subset));
+  }
+}
+
+}  // namespace
+}  // namespace freshsel::selection

@@ -1,0 +1,158 @@
+#include "selection/online_selector.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "selection/cost.h"
+#include "source/source_simulator.h"
+#include "world/world_simulator.h"
+
+namespace freshsel::selection {
+namespace {
+
+class OnlineFixture : public ::testing::Test {
+ protected:
+  static constexpr TimePoint kT0 = 150;
+
+  void SetUp() override {
+    world::DataDomain domain =
+        world::DataDomain::Create("loc", 2, "cat", 2).value();
+    world::WorldSpec spec{std::move(domain), {}, 200};
+    for (int i = 0; i < 4; ++i) spec.rates.push_back({1.0, 0.01, 0.02, 80});
+    Rng rng(401);
+    world_ = std::make_unique<world::World>(
+        world::SimulateWorld(spec, rng).value());
+    for (int i = 0; i < 10; ++i) {
+      source::SourceSpec s;
+      s.name = "s" + std::to_string(i);
+      s.scope = {static_cast<world::SubdomainId>(i % 4)};
+      if (i < 2) s.scope = {0, 1, 2, 3};
+      s.schedule = {1, 0};
+      s.insert_capture = {0.05 * (i % 4), 1.0 + i};
+      s.visibility = 0.5 + 0.05 * i;
+      specs_.push_back(s);
+    }
+    histories_ = source::SimulateSources(*world_, specs_, rng).value();
+    model_ = std::make_unique<estimation::WorldChangeModel>(
+        estimation::WorldChangeModel::Learn(*world_, kT0).value());
+    profiles_ =
+        estimation::LearnSourceProfiles(*world_, histories_, kT0).value();
+  }
+
+  estimation::QualityEstimator MakeEstimator() {
+    return estimation::QualityEstimator::Create(*world_, *model_, {},
+                                                {kT0 + 20})
+        .value();
+  }
+
+  std::unique_ptr<world::World> world_;
+  std::vector<source::SourceSpec> specs_;
+  std::vector<source::SourceHistory> histories_;
+  std::unique_ptr<estimation::WorldChangeModel> model_;
+  std::vector<estimation::SourceProfile> profiles_;
+};
+
+TEST_F(OnlineFixture, CreateValidates) {
+  EXPECT_FALSE(
+      OnlineSelector::Create(nullptr, OnlineSelector::Config{}).ok());
+
+  estimation::QualityEstimator dirty = MakeEstimator();
+  ASSERT_TRUE(dirty.AddSource(&profiles_[0], 1).ok());
+  EXPECT_FALSE(
+      OnlineSelector::Create(&dirty, OnlineSelector::Config{}).ok());
+
+  estimation::QualityEstimator clean = MakeEstimator();
+  OnlineSelector::Config bad;
+  bad.reoptimize_every = -1;
+  EXPECT_FALSE(OnlineSelector::Create(&clean, bad).ok());
+  EXPECT_TRUE(
+      OnlineSelector::Create(&clean, OnlineSelector::Config{}).ok());
+}
+
+TEST_F(OnlineFixture, SelectionGrowsAsSourcesArrive) {
+  estimation::QualityEstimator estimator = MakeEstimator();
+  OnlineSelector selector =
+      OnlineSelector::Create(&estimator, OnlineSelector::Config{}).value();
+  double prev_profit = -1e18;
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    ASSERT_TRUE(selector.AddSource(&profiles_[i], 10.0).ok());
+    // With normalization-stable costs the profit should never collapse;
+    // allow small dips from renormalization but require overall growth.
+    prev_profit = selector.profit();
+  }
+  EXPECT_EQ(selector.arrivals(), 10);
+  EXPECT_EQ(selector.universe_size(), 10u);
+  EXPECT_FALSE(selector.selection().empty());
+  EXPECT_GT(prev_profit, 0.0);
+}
+
+TEST_F(OnlineFixture, TracksFromScratchSelectionClosely) {
+  estimation::QualityEstimator online_est = MakeEstimator();
+  OnlineSelector::Config config;
+  config.reoptimize_every = 4;
+  OnlineSelector selector =
+      OnlineSelector::Create(&online_est, config).value();
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    ASSERT_TRUE(selector.AddSource(&profiles_[i], 10.0 + i).ok());
+  }
+
+  // From-scratch MaxSub on the full final universe.
+  estimation::QualityEstimator offline_est = MakeEstimator();
+  std::vector<double> costs;
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    ASSERT_TRUE(offline_est.AddSource(&profiles_[i], 1).ok());
+    costs.push_back(10.0 + i);
+  }
+  ProfitOracle::Config oracle_config;
+  oracle_config.gain = GainModel(GainFamily::kLinear,
+                                 QualityMetric::kCoverage);
+  ProfitOracle oracle =
+      ProfitOracle::Create(&offline_est, costs, oracle_config).value();
+  SelectionResult offline = MaxSub(oracle);
+
+  EXPECT_GE(selector.profit(), 0.95 * offline.profit - 1e-9);
+}
+
+TEST_F(OnlineFixture, IncrementalUpdateIsCheap) {
+  estimation::QualityEstimator estimator = MakeEstimator();
+  OnlineSelector::Config config;
+  config.reoptimize_every = 0;  // Pure incremental mode.
+  OnlineSelector selector =
+      OnlineSelector::Create(&estimator, config).value();
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    ASSERT_TRUE(selector.AddSource(&profiles_[i], 10.0).ok());
+  }
+  // Each arrival costs O(|selection|) oracle calls; with 10 arrivals and
+  // selections of at most 10, a loose bound is 10 * (2 + 10 + const).
+  EXPECT_LT(selector.total_oracle_calls(), 200u);
+}
+
+TEST_F(OnlineFixture, ExplicitReoptimizeNeverHurts) {
+  estimation::QualityEstimator estimator = MakeEstimator();
+  OnlineSelector::Config config;
+  config.reoptimize_every = 0;
+  OnlineSelector selector =
+      OnlineSelector::Create(&estimator, config).value();
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    ASSERT_TRUE(selector.AddSource(&profiles_[i], 10.0).ok());
+  }
+  const double before = selector.profit();
+  selector.Reoptimize();
+  EXPECT_GE(selector.profit(), before - 1e-9);
+}
+
+TEST_F(OnlineFixture, SupportsFrequencyVersions) {
+  estimation::QualityEstimator estimator = MakeEstimator();
+  OnlineSelector selector =
+      OnlineSelector::Create(&estimator, OnlineSelector::Config{}).value();
+  // The same source arriving as two frequency versions.
+  ASSERT_TRUE(selector.AddSource(&profiles_[0], 20.0, 1).ok());
+  Result<SourceHandle> slow = selector.AddSource(
+      &profiles_[0], selection::CostModel::DiscountForDivisor(20.0, 4), 4);
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(selector.universe_size(), 2u);
+}
+
+}  // namespace
+}  // namespace freshsel::selection

@@ -1,0 +1,70 @@
+#include "source/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace freshsel::source {
+namespace {
+
+TEST(UpdateScheduleTest, DailySchedule) {
+  UpdateSchedule s{1, 0};
+  EXPECT_EQ(s.LatestUpdateAt(5), 5);
+  EXPECT_EQ(s.NextUpdateAtOrAfter(5), 5);
+  EXPECT_TRUE(s.IsUpdateDay(0));
+  EXPECT_TRUE(s.IsUpdateDay(123));
+  EXPECT_DOUBLE_EQ(s.frequency(), 1.0);
+}
+
+TEST(UpdateScheduleTest, WeeklyWithPhase) {
+  UpdateSchedule s{7, 3};  // Updates at 3, 10, 17, ...
+  EXPECT_EQ(s.LatestUpdateAt(3), 3);
+  EXPECT_EQ(s.LatestUpdateAt(9), 3);
+  EXPECT_EQ(s.LatestUpdateAt(10), 10);
+  EXPECT_EQ(s.LatestUpdateAt(16), 10);
+  EXPECT_EQ(s.NextUpdateAtOrAfter(4), 10);
+  EXPECT_EQ(s.NextUpdateAtOrAfter(10), 10);
+  EXPECT_EQ(s.NextUpdateAtOrAfter(11), 17);
+  EXPECT_TRUE(s.IsUpdateDay(17));
+  EXPECT_FALSE(s.IsUpdateDay(16));
+}
+
+TEST(UpdateScheduleTest, BeforeFirstUpdate) {
+  UpdateSchedule s{7, 3};
+  // Latest update before t=2 is phase - period = -4.
+  EXPECT_EQ(s.LatestUpdateAt(2), -4);
+  EXPECT_EQ(s.NextUpdateAtOrAfter(0), 3);
+  EXPECT_EQ(s.NextUpdateAtOrAfter(-10), -4);
+}
+
+TEST(UpdateScheduleTest, WithDivisorCoarsensPeriod) {
+  UpdateSchedule s{3, 1};
+  UpdateSchedule half = s.WithDivisor(2);
+  EXPECT_EQ(half.period, 6);
+  EXPECT_EQ(half.phase, 1);
+  // Updates at 1, 7, 13, ...
+  EXPECT_EQ(half.LatestUpdateAt(12), 7);
+  EXPECT_EQ(half.NextUpdateAtOrAfter(8), 13);
+}
+
+TEST(UpdateScheduleTest, DivisorOneIsIdentity) {
+  UpdateSchedule s{5, 2};
+  UpdateSchedule same = s.WithDivisor(1);
+  for (TimePoint t = -10; t <= 30; ++t) {
+    EXPECT_EQ(s.LatestUpdateAt(t), same.LatestUpdateAt(t));
+  }
+}
+
+TEST(UpdateScheduleTest, LatestAndNextAreConsistent) {
+  UpdateSchedule s{4, 2};
+  for (TimePoint t = -20; t <= 40; ++t) {
+    const TimePoint latest = s.LatestUpdateAt(t);
+    const TimePoint next = s.NextUpdateAtOrAfter(t);
+    EXPECT_LE(latest, t);
+    EXPECT_GE(next, t);
+    EXPECT_EQ((latest - s.phase) % s.period, 0);
+    EXPECT_EQ((next - s.phase) % s.period, 0);
+    EXPECT_TRUE(next == latest || next == latest + s.period);
+  }
+}
+
+}  // namespace
+}  // namespace freshsel::source

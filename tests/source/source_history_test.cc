@@ -1,0 +1,146 @@
+#include "source/source_history.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_world.h"
+
+namespace freshsel::source {
+namespace {
+
+TEST(CaptureRecordTest, ContainsAt) {
+  CaptureRecord rec;
+  rec.inserted = 5;
+  rec.deleted = 20;
+  EXPECT_FALSE(rec.ContainsAt(4));
+  EXPECT_TRUE(rec.ContainsAt(5));
+  EXPECT_TRUE(rec.ContainsAt(19));
+  EXPECT_FALSE(rec.ContainsAt(20));
+}
+
+TEST(CaptureRecordTest, KnownVersionAtTakesMaxCaptured) {
+  CaptureRecord rec;
+  rec.inserted = 0;
+  rec.version_captures = {{0, 0}, {2, 10}, {1, 15}};  // v1 arrives late.
+  EXPECT_EQ(rec.KnownVersionAt(5), 0u);
+  EXPECT_EQ(rec.KnownVersionAt(10), 2u);
+  EXPECT_EQ(rec.KnownVersionAt(20), 2u);  // Late v1 does not downgrade.
+}
+
+TEST(SourceHistoryTest, AddAndFind) {
+  world::World w = testing::MakeTestWorld();
+  SourceHistory history = testing::MakeTestSource(w);
+  EXPECT_EQ(history.records().size(), 3u);
+  EXPECT_NE(history.Find(0), nullptr);
+  EXPECT_NE(history.Find(1), nullptr);
+  EXPECT_EQ(history.Find(3), nullptr);
+  EXPECT_EQ(history.Find(999), nullptr);
+}
+
+TEST(SourceHistoryTest, RejectsDuplicatesAndOutOfRange) {
+  SourceSpec spec;
+  spec.name = "s";
+  SourceHistory history(spec, 3);
+  CaptureRecord rec;
+  rec.entity = 1;
+  rec.inserted = 0;
+  EXPECT_TRUE(history.AddRecord(rec).ok());
+  EXPECT_FALSE(history.AddRecord(rec).ok());  // Duplicate.
+  CaptureRecord out_of_range;
+  out_of_range.entity = 10;
+  out_of_range.inserted = 0;
+  EXPECT_FALSE(history.AddRecord(out_of_range).ok());
+}
+
+TEST(SourceHistoryTest, SkipsNeverInsertedRecords) {
+  SourceSpec spec;
+  SourceHistory history(spec, 3);
+  CaptureRecord rec;
+  rec.entity = 0;
+  rec.inserted = world::kNever;
+  EXPECT_TRUE(history.AddRecord(rec).ok());
+  EXPECT_EQ(history.records().size(), 0u);
+  EXPECT_EQ(history.Find(0), nullptr);
+}
+
+TEST(SourceHistoryTest, ContentCountAt) {
+  world::World w = testing::MakeTestWorld();
+  SourceHistory history = testing::MakeTestSource(w);
+  EXPECT_EQ(history.ContentCountAt(0), 1);   // Entity 1 from day 0.
+  EXPECT_EQ(history.ContentCountAt(2), 2);   // + entity 0.
+  EXPECT_EQ(history.ContentCountAt(10), 3);  // + entity 2 (day 8).
+  EXPECT_EQ(history.ContentCountAt(60), 2);  // Entity 0 deleted at 55.
+}
+
+TEST(SourceHistoryTest, WithAcquisitionDivisorAlignsCaptures) {
+  world::World w = testing::MakeTestWorld();
+  SourceHistory history = testing::MakeTestSource(w, /*period=*/1);
+  SourceHistory slower = history.WithAcquisitionDivisor(10);
+  EXPECT_EQ(slower.schedule().period, 10);
+
+  // Entity 0's v1 capture at day 12 realigns to day 20.
+  const CaptureRecord* rec = slower.Find(0);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->KnownVersionAt(19), 0u);
+  EXPECT_EQ(rec->KnownVersionAt(20), 1u);
+  // Deletion at 55 realigns to 60.
+  EXPECT_TRUE(rec->ContainsAt(59));
+  EXPECT_FALSE(rec->ContainsAt(60));
+}
+
+TEST(SourceHistoryTest, DivisorNeverAcceleratesCaptures) {
+  world::World w = testing::MakeTestWorld();
+  SourceHistory history = testing::MakeTestSource(w);
+  SourceHistory slower = history.WithAcquisitionDivisor(7);
+  for (const CaptureRecord& rec : history.records()) {
+    const CaptureRecord* slow = slower.Find(rec.entity);
+    if (slow == nullptr) continue;  // Dropped entirely: fine.
+    EXPECT_GE(slow->inserted, rec.inserted);
+    if (rec.deleted != world::kNever && slow->deleted != world::kNever) {
+      EXPECT_GE(slow->deleted, rec.deleted);
+    }
+  }
+}
+
+TEST(SourceHistoryTest, DivisorDropsCapturesAfterDeletion) {
+  // Build a record where realignment pushes an update past the deletion.
+  SourceSpec spec;
+  spec.schedule.period = 1;
+  SourceHistory history(spec, 1);
+  CaptureRecord rec;
+  rec.entity = 0;
+  rec.inserted = 0;
+  rec.deleted = 12;
+  rec.version_captures = {{0, 0}, {1, 11}};
+  ASSERT_TRUE(history.AddRecord(rec).ok());
+  // Divisor 10: acquisition days 0, 10, 20. v1 at 11 -> 20, delete 12 -> 20.
+  SourceHistory slower = history.WithAcquisitionDivisor(10);
+  const CaptureRecord* slow = slower.Find(0);
+  ASSERT_NE(slow, nullptr);
+  EXPECT_EQ(slow->version_captures.size(), 1u);  // v1 dropped.
+  EXPECT_EQ(slow->deleted, 20);
+}
+
+TEST(SourceHistoryTest, RestrictedToFiltersBySubdomain) {
+  world::World w = testing::MakeTestWorld();
+  SourceHistory history = testing::MakeTestSource(w);
+  // Scope of the test source is {0, 1}; entities 0, 1 live in sub 0 and
+  // entity 2 in sub 1.
+  SourceHistory slice = history.RestrictedTo({0}, "-slice");
+  EXPECT_EQ(slice.records().size(), 2u);
+  EXPECT_NE(slice.Find(0), nullptr);
+  EXPECT_NE(slice.Find(1), nullptr);
+  EXPECT_EQ(slice.Find(2), nullptr);
+  EXPECT_EQ(slice.spec().scope, (std::vector<world::SubdomainId>{0}));
+  EXPECT_EQ(slice.name(), "test-source-slice");
+}
+
+TEST(SourceHistoryTest, RestrictedToDisjointSubdomainsIsEmpty) {
+  world::World w = testing::MakeTestWorld();
+  SourceHistory history = testing::MakeTestSource(w);
+  SourceHistory slice = history.RestrictedTo({2, 3}, "-x");
+  EXPECT_EQ(slice.records().size(), 0u);
+  EXPECT_TRUE(slice.spec().scope.empty());
+}
+
+}  // namespace
+}  // namespace freshsel::source

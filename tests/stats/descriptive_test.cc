@@ -1,0 +1,64 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace freshsel::stats {
+namespace {
+
+TEST(DescriptiveTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(DescriptiveTest, VarianceUnbiased) {
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({7.0}), 0.0);
+  // Sample {1, 3}: mean 2, variance (1 + 1)/(2-1) = 2.
+  EXPECT_DOUBLE_EQ(Variance({1.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0, 3.0}), std::sqrt(2.0));
+}
+
+TEST(DescriptiveTest, QuantileInterpolates) {
+  std::vector<double> values{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+  // Out-of-range q is clamped.
+  EXPECT_DOUBLE_EQ(Quantile(values, 2.0), 40.0);
+}
+
+TEST(DescriptiveTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(RelativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(5.0, 5.0), 0.0);
+  // Zero actual: guarded by epsilon, stays finite.
+  EXPECT_TRUE(std::isfinite(RelativeError(1.0, 0.0)));
+}
+
+TEST(RunningStatsTest, TracksMoments) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  for (double v : {2.0, 4.0, 6.0}) stats.Add(v);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 6.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // ((2)^2+(0)^2+(2)^2)/2.
+}
+
+TEST(RunningStatsTest, MatchesBatchComputation) {
+  std::vector<double> values{1.5, -2.0, 3.25, 0.0, 7.75, -1.0};
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  EXPECT_NEAR(stats.mean(), Mean(values), 1e-12);
+  EXPECT_NEAR(stats.variance(), Variance(values), 1e-12);
+}
+
+}  // namespace
+}  // namespace freshsel::stats

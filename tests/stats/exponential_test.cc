@@ -1,0 +1,93 @@
+#include "stats/exponential.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace freshsel::stats {
+namespace {
+
+TEST(ExponentialDistributionTest, CreateValidates) {
+  EXPECT_FALSE(ExponentialDistribution::Create(0.0).ok());
+  EXPECT_FALSE(ExponentialDistribution::Create(-1.0).ok());
+  EXPECT_TRUE(ExponentialDistribution::Create(0.5).ok());
+}
+
+TEST(ExponentialDistributionTest, PdfCdfSurvival) {
+  ExponentialDistribution e = ExponentialDistribution::Create(2.0).value();
+  EXPECT_DOUBLE_EQ(e.mean(), 0.5);
+  EXPECT_NEAR(e.Pdf(0.0), 2.0, 1e-12);
+  EXPECT_NEAR(e.Cdf(1.0), 1.0 - std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(e.Survival(1.0), std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(e.Pdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.Cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.Survival(-1.0), 1.0);
+}
+
+TEST(FitExponentialCensoredMleTest, MatchesPaperEquation7) {
+  // Equation 7: rate^-1 = total lifespan / #disappeared.
+  // Total duration 10 + 20 + 30(censored) = 60, events 2 -> rate = 1/30.
+  std::vector<CensoredObservation> obs{{10, true}, {20, true}, {30, false}};
+  EXPECT_NEAR(FitExponentialCensoredMle(obs).value(), 2.0 / 60.0, 1e-12);
+}
+
+TEST(FitExponentialCensoredMleTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(FitExponentialCensoredMle({}).ok());
+  EXPECT_FALSE(FitExponentialCensoredMle({{5.0, false}}).ok());  // No event.
+  EXPECT_FALSE(FitExponentialCensoredMle({{0.0, true}}).ok());   // Zero time.
+  EXPECT_FALSE(FitExponentialCensoredMle({{-1.0, true}}).ok());
+}
+
+TEST(FitExponentialMleTest, UncensoredIsInverseMean) {
+  EXPECT_NEAR(FitExponentialMle({1.0, 2.0, 3.0}).value(), 0.5, 1e-12);
+}
+
+class CensoredRecoveryTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CensoredRecoveryTest, RecoversRateUnderCensoring) {
+  const auto [rate, censor_horizon] = GetParam();
+  Rng rng(113);
+  std::vector<CensoredObservation> obs;
+  for (int i = 0; i < 40000; ++i) {
+    const double duration = rng.Exponential(rate);
+    if (duration > censor_horizon) {
+      obs.push_back({censor_horizon, false});  // Right-censored.
+    } else {
+      obs.push_back({duration, true});
+    }
+  }
+  const double fitted = FitExponentialCensoredMle(obs).value();
+  EXPECT_NEAR(fitted, rate, 0.05 * rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatesAndHorizons, CensoredRecoveryTest,
+    ::testing::Values(std::make_tuple(0.01, 100.0),
+                      std::make_tuple(0.01, 50.0),   // Heavy censoring.
+                      std::make_tuple(0.1, 20.0),
+                      std::make_tuple(1.0, 2.0),
+                      std::make_tuple(2.0, 10.0)));  // Light censoring.
+
+TEST(ExponentialKsDistanceTest, SmallForCorrectModel) {
+  Rng rng(127);
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) sample.push_back(rng.Exponential(0.5));
+  EXPECT_LT(ExponentialKsDistance(sample, 0.5).value(), 0.02);
+}
+
+TEST(ExponentialKsDistanceTest, LargeForWrongModel) {
+  Rng rng(131);
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) sample.push_back(rng.Exponential(0.5));
+  EXPECT_GT(ExponentialKsDistance(sample, 5.0).value(), 0.3);
+}
+
+TEST(ExponentialKsDistanceTest, RejectsEmptySample) {
+  EXPECT_FALSE(ExponentialKsDistance({}, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace freshsel::stats

@@ -1,0 +1,106 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace freshsel::stats {
+namespace {
+
+TEST(HistogramTest, CreateValidatesArguments) {
+  EXPECT_FALSE(Histogram::Create(1.0, 1.0, 10).ok());
+  EXPECT_FALSE(Histogram::Create(2.0, 1.0, 10).ok());
+  EXPECT_FALSE(Histogram::Create(0.0, 1.0, 0).ok());
+  EXPECT_TRUE(Histogram::Create(0.0, 1.0, 4).ok());
+}
+
+TEST(HistogramTest, BinsValues) {
+  Histogram h = Histogram::Create(0.0, 10.0, 5).value();
+  h.Add(0.5);   // bin 0
+  h.Add(2.0);   // bin 1
+  h.Add(9.99);  // bin 4
+  EXPECT_DOUBLE_EQ(h.BinWeight(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.BinWeight(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.BinWeight(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.BinLowerEdge(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 1.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdgeBins) {
+  Histogram h = Histogram::Create(0.0, 10.0, 5).value();
+  h.Add(-3.0);
+  h.Add(42.0);
+  EXPECT_DOUBLE_EQ(h.BinWeight(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.BinWeight(4), 1.0);
+}
+
+TEST(HistogramTest, WeightsAccumulate) {
+  Histogram h = Histogram::Create(0.0, 1.0, 1).value();
+  h.Add(0.5, 2.5);
+  h.Add(0.5, 0.5);
+  EXPECT_DOUBLE_EQ(h.BinWeight(0), 3.0);
+}
+
+TEST(HistogramTest, NormalizedMassSumsToOne) {
+  Histogram h = Histogram::Create(0.0, 4.0, 4).value();
+  h.Add(0.1);
+  h.Add(1.1);
+  h.Add(1.2);
+  h.Add(3.9);
+  std::vector<double> mass = h.NormalizedMass();
+  EXPECT_NEAR(std::accumulate(mass.begin(), mass.end(), 0.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mass[1], 0.5);
+}
+
+TEST(HistogramTest, EmptyNormalizedMassIsZero) {
+  Histogram h = Histogram::Create(0.0, 1.0, 3).value();
+  for (double m : h.NormalizedMass()) EXPECT_DOUBLE_EQ(m, 0.0);
+}
+
+TEST(HistogramTest, DensityIntegratesToOne) {
+  Histogram h = Histogram::Create(0.0, 10.0, 5).value();
+  for (int i = 0; i < 10; ++i) h.Add(static_cast<double>(i));
+  std::vector<double> density = h.Density();
+  double integral = 0.0;
+  for (double d : density) integral += d * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(CountHistogramTest, CountsOutcomes) {
+  CountHistogram h;
+  h.Add(0);
+  h.Add(2);
+  h.Add(2);
+  h.Add(5);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.max_value(), 5);
+  EXPECT_EQ(h.CountOf(2), 2u);
+  EXPECT_EQ(h.CountOf(1), 0u);
+  EXPECT_EQ(h.CountOf(99), 0u);
+  EXPECT_EQ(h.CountOf(-1), 0u);
+}
+
+TEST(CountHistogramTest, EmpiricalPmf) {
+  CountHistogram h;
+  h.Add(0);
+  h.Add(0);
+  h.Add(1);
+  h.Add(3);
+  std::vector<double> pmf = h.EmpiricalPmf();
+  ASSERT_EQ(pmf.size(), 4u);
+  EXPECT_DOUBLE_EQ(pmf[0], 0.5);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.25);
+  EXPECT_DOUBLE_EQ(pmf[2], 0.0);
+  EXPECT_DOUBLE_EQ(pmf[3], 0.25);
+}
+
+TEST(CountHistogramTest, NegativeClampsToZero) {
+  CountHistogram h;
+  h.Add(-5);
+  EXPECT_EQ(h.CountOf(0), 1u);
+}
+
+}  // namespace
+}  // namespace freshsel::stats

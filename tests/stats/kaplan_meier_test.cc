@@ -1,0 +1,180 @@
+#include "stats/kaplan_meier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace freshsel::stats {
+namespace {
+
+TEST(KaplanMeierTest, RequiresObservations) {
+  KaplanMeierEstimator km;
+  EXPECT_FALSE(km.Fit().ok());
+}
+
+TEST(KaplanMeierTest, AllCensoredGivesZeroFunction) {
+  KaplanMeierEstimator km;
+  km.Add(5.0, false);
+  km.Add(7.0, false);
+  StepFunction f = km.Fit().value();
+  EXPECT_DOUBLE_EQ(f.Evaluate(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.FinalValue(), 0.0);
+}
+
+TEST(KaplanMeierTest, NoCensoringMatchesEmpiricalCdf) {
+  KaplanMeierEstimator km;
+  for (double d : {1.0, 2.0, 3.0, 4.0}) km.Add(d, true);
+  StepFunction f = km.Fit().value();
+  EXPECT_DOUBLE_EQ(f.Evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f.Evaluate(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f.Evaluate(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(f.Evaluate(4.0), 1.0);
+}
+
+TEST(KaplanMeierTest, TiedEventsHandled) {
+  KaplanMeierEstimator km;
+  km.Add(2.0, true);
+  km.Add(2.0, true);
+  km.Add(5.0, true);
+  StepFunction f = km.Fit().value();
+  EXPECT_NEAR(f.Evaluate(2.0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(f.Evaluate(5.0), 1.0, 1e-12);
+}
+
+TEST(KaplanMeierTest, TextbookCensoredExample) {
+  // Durations: 1 (event), 2 (censored), 3 (event), 4 (event).
+  // S(1) = 3/4. At t=3 risk set {3,4}: S(3) = 3/4 * 1/2 = 3/8.
+  // At t=4 risk set {4}: S(4) = 0.
+  KaplanMeierEstimator km;
+  km.Add(1.0, true);
+  km.Add(2.0, false);
+  km.Add(3.0, true);
+  km.Add(4.0, true);
+  StepFunction f = km.Fit().value();
+  EXPECT_NEAR(f.Evaluate(1.0), 0.25, 1e-12);
+  EXPECT_NEAR(f.Evaluate(3.0), 1.0 - 0.375, 1e-12);
+  EXPECT_NEAR(f.Evaluate(4.0), 1.0, 1e-12);
+}
+
+TEST(KaplanMeierTest, CensoredTieProcessedAfterEvent) {
+  // At t=2 one event and one censoring: censored subject counts as at risk,
+  // so S(2) = 1 - 1/2 = 1/2 and the censored one leaves afterwards.
+  KaplanMeierEstimator km;
+  km.Add(2.0, true);
+  km.Add(2.0, false);
+  StepFunction f = km.Fit().value();
+  EXPECT_NEAR(f.Evaluate(2.0), 0.5, 1e-12);
+  EXPECT_NEAR(f.FinalValue(), 0.5, 1e-12);
+}
+
+TEST(KaplanMeierTest, PlateauBelowOneWhenTailCensored) {
+  KaplanMeierEstimator km;
+  km.Add(1.0, true);
+  km.Add(10.0, false);
+  km.Add(10.0, false);
+  StepFunction f = km.Fit().value();
+  EXPECT_NEAR(f.FinalValue(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KaplanMeierTest, NegativeDurationsClampToZero) {
+  KaplanMeierEstimator km;
+  km.Add(-3.0, true);
+  km.Add(1.0, true);
+  StepFunction f = km.Fit().value();
+  EXPECT_NEAR(f.Evaluate(0.0), 0.5, 1e-12);
+}
+
+class KmRecoveryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(KmRecoveryTest, RecoversExponentialCdfUnderCensoring) {
+  // Delays ~ Exp(rate), censored at a fixed horizon; the KM estimate must
+  // track the true CDF well inside the horizon.
+  const double rate = GetParam();
+  const double horizon = 3.0 / rate;
+  Rng rng(139);
+  KaplanMeierEstimator km;
+  for (int i = 0; i < 30000; ++i) {
+    const double d = rng.Exponential(rate);
+    if (d > horizon) {
+      km.Add(horizon, false);
+    } else {
+      km.Add(d, true);
+    }
+  }
+  StepFunction f = km.Fit().value();
+  ExponentialDistribution truth =
+      ExponentialDistribution::Create(rate).value();
+  for (double x : {0.2 / rate, 0.5 / rate, 1.0 / rate, 2.0 / rate}) {
+    EXPECT_NEAR(f.Evaluate(x), truth.Cdf(x), 0.015)
+        << "rate=" << rate << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, KmRecoveryTest,
+                         ::testing::Values(0.05, 0.2, 1.0, 4.0));
+
+TEST(KaplanMeierTest, FitWithStdErrorMatchesFitKnots) {
+  Rng rng(151);
+  KaplanMeierEstimator km;
+  for (int i = 0; i < 400; ++i) {
+    km.Add(rng.Exponential(0.2), rng.Bernoulli(0.8));
+  }
+  StepFunction cdf = km.Fit().value();
+  std::vector<KaplanMeierEstimator::KnotWithError> knots =
+      km.FitWithStdError().value();
+  ASSERT_EQ(knots.size(), cdf.knots().size());
+  for (std::size_t i = 0; i < knots.size(); ++i) {
+    EXPECT_DOUBLE_EQ(knots[i].time, cdf.knots()[i].first);
+    EXPECT_DOUBLE_EQ(knots[i].cdf, cdf.knots()[i].second);
+    EXPECT_GE(knots[i].std_error, 0.0);
+  }
+}
+
+TEST(KaplanMeierTest, GreenwoodKnownExample) {
+  // Events at 1, 2 with 3 subjects (third censored at 3):
+  // t=1: S=2/3, Var = S^2 * [1/(3*2)] -> se = (2/3) sqrt(1/6).
+  KaplanMeierEstimator km;
+  km.Add(1.0, true);
+  km.Add(2.0, true);
+  km.Add(3.0, false);
+  std::vector<KaplanMeierEstimator::KnotWithError> knots =
+      km.FitWithStdError().value();
+  ASSERT_EQ(knots.size(), 2u);
+  EXPECT_NEAR(knots[0].std_error,
+              (2.0 / 3.0) * std::sqrt(1.0 / 6.0), 1e-12);
+  // t=2: S = 2/3 * 1/2 = 1/3, Var = S^2 [1/6 + 1/(2*1)].
+  EXPECT_NEAR(knots[1].std_error,
+              (1.0 / 3.0) * std::sqrt(1.0 / 6.0 + 0.5), 1e-12);
+}
+
+TEST(KaplanMeierTest, StdErrorShrinksWithSampleSize) {
+  auto band_at_median = [](int n) {
+    Rng rng(157);
+    KaplanMeierEstimator km;
+    for (int i = 0; i < n; ++i) km.Add(rng.Exponential(1.0), true);
+    std::vector<KaplanMeierEstimator::KnotWithError> knots =
+        km.FitWithStdError().value();
+    return knots[knots.size() / 2].std_error;
+  };
+  EXPECT_GT(band_at_median(50), band_at_median(5000));
+}
+
+TEST(KaplanMeierTest, FitIsMonotoneNonDecreasing) {
+  Rng rng(149);
+  KaplanMeierEstimator km;
+  for (int i = 0; i < 500; ++i) {
+    km.Add(rng.Exponential(0.3), rng.Bernoulli(0.7));
+  }
+  StepFunction f = km.Fit().value();
+  double prev = -1.0;
+  for (const auto& [x, y] : f.knots()) {
+    EXPECT_GE(y, prev);
+    prev = y;
+  }
+}
+
+}  // namespace
+}  // namespace freshsel::stats

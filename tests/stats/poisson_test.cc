@@ -1,0 +1,109 @@
+#include "stats/poisson.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace freshsel::stats {
+namespace {
+
+TEST(PoissonDistributionTest, CreateValidates) {
+  EXPECT_FALSE(PoissonDistribution::Create(-1.0).ok());
+  EXPECT_FALSE(PoissonDistribution::Create(
+                   std::numeric_limits<double>::infinity())
+                   .ok());
+  EXPECT_TRUE(PoissonDistribution::Create(0.0).ok());
+}
+
+TEST(PoissonDistributionTest, PmfKnownValues) {
+  PoissonDistribution p = PoissonDistribution::Create(2.0).value();
+  EXPECT_NEAR(p.Pmf(0), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(p.Pmf(1), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(p.Pmf(2), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(p.Pmf(-1), 0.0);
+}
+
+TEST(PoissonDistributionTest, ZeroLambdaDegenerate) {
+  PoissonDistribution p = PoissonDistribution::Create(0.0).value();
+  EXPECT_DOUBLE_EQ(p.Pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.Pmf(1), 0.0);
+  EXPECT_DOUBLE_EQ(p.Cdf(0), 1.0);
+}
+
+TEST(PoissonDistributionTest, PmfSumsToOne) {
+  PoissonDistribution p = PoissonDistribution::Create(4.5).value();
+  double total = 0.0;
+  for (int k = 0; k < 100; ++k) total += p.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-10);
+  EXPECT_NEAR(p.Cdf(99), 1.0, 1e-10);
+}
+
+TEST(PoissonDistributionTest, CdfIsMonotone) {
+  PoissonDistribution p = PoissonDistribution::Create(3.0).value();
+  double prev = -1.0;
+  for (int k = 0; k < 20; ++k) {
+    const double cdf = p.Cdf(k);
+    EXPECT_GE(cdf, prev);
+    prev = cdf;
+  }
+  EXPECT_DOUBLE_EQ(p.Cdf(-1), 0.0);
+}
+
+TEST(FitPoissonMleTest, IsSampleMean) {
+  EXPECT_DOUBLE_EQ(FitPoissonMle({2, 4, 6}).value(), 4.0);
+  EXPECT_DOUBLE_EQ(FitPoissonMle({0, 0, 0}).value(), 0.0);
+}
+
+TEST(FitPoissonMleTest, RejectsBadInput) {
+  EXPECT_FALSE(FitPoissonMle({}).ok());
+  EXPECT_FALSE(FitPoissonMle({1, -2}).ok());
+}
+
+class PoissonMleRecoveryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMleRecoveryTest, RecoversIntensity) {
+  const double lambda = GetParam();
+  Rng rng(91);
+  std::vector<std::int64_t> counts;
+  for (int i = 0; i < 20000; ++i) counts.push_back(rng.Poisson(lambda));
+  const double fitted = FitPoissonMle(counts).value();
+  EXPECT_NEAR(fitted, lambda, 0.05 * std::max(1.0, lambda));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, PoissonMleRecoveryTest,
+                         ::testing::Values(0.2, 1.0, 3.0, 12.0, 50.0));
+
+TEST(PoissonChiSquareTest, GoodFitHasSmallReducedStatistic) {
+  Rng rng(101);
+  CountHistogram observed;
+  const double lambda = 6.0;
+  for (int i = 0; i < 20000; ++i) observed.Add(rng.Poisson(lambda));
+  ChiSquareResult result = PoissonChiSquare(observed, lambda).value();
+  EXPECT_GT(result.cells, 3u);
+  // Reduced chi-square near 1 for a correct model; allow generous headroom.
+  EXPECT_LT(result.reduced, 3.0);
+}
+
+TEST(PoissonChiSquareTest, WrongModelHasLargeStatistic) {
+  Rng rng(103);
+  CountHistogram observed;
+  for (int i = 0; i < 20000; ++i) observed.Add(rng.Poisson(6.0));
+  ChiSquareResult bad = PoissonChiSquare(observed, 2.0).value();
+  ChiSquareResult good = PoissonChiSquare(observed, 6.0).value();
+  EXPECT_GT(bad.reduced, 10.0 * good.reduced);
+}
+
+TEST(PoissonChiSquareTest, RejectsEmptyAndDegenerate) {
+  CountHistogram empty;
+  EXPECT_FALSE(PoissonChiSquare(empty, 1.0).ok());
+
+  CountHistogram tiny;  // All mass on one outcome: too few cells.
+  tiny.Add(0);
+  tiny.Add(0);
+  EXPECT_FALSE(PoissonChiSquare(tiny, 0.001).ok());
+}
+
+}  // namespace
+}  // namespace freshsel::stats

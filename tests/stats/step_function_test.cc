@@ -1,0 +1,66 @@
+#include "stats/step_function.h"
+
+#include <gtest/gtest.h>
+
+namespace freshsel::stats {
+namespace {
+
+TEST(StepFunctionTest, ConstantFunction) {
+  StepFunction f = StepFunction::Constant(0.4);
+  EXPECT_DOUBLE_EQ(f.Evaluate(-1.0), 0.0);  // Negative inputs are 0.
+  EXPECT_DOUBLE_EQ(f.Evaluate(0.0), 0.4);
+  EXPECT_DOUBLE_EQ(f.Evaluate(1e9), 0.4);
+  EXPECT_DOUBLE_EQ(f.FinalValue(), 0.4);
+}
+
+TEST(StepFunctionTest, ConstantClampsToUnitInterval) {
+  EXPECT_DOUBLE_EQ(StepFunction::Constant(2.0).Evaluate(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(StepFunction::Constant(-0.5).Evaluate(0.0), 0.0);
+}
+
+TEST(StepFunctionTest, FromKnotsEvaluatesRightContinuously) {
+  StepFunction f =
+      StepFunction::FromKnots({{1.0, 0.3}, {4.0, 0.7}, {9.0, 1.0}}).value();
+  EXPECT_DOUBLE_EQ(f.Evaluate(0.0), 0.0);   // Before first knot: initial.
+  EXPECT_DOUBLE_EQ(f.Evaluate(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(f.Evaluate(1.0), 0.3);   // Right-continuous at knots.
+  EXPECT_DOUBLE_EQ(f.Evaluate(3.99), 0.3);
+  EXPECT_DOUBLE_EQ(f.Evaluate(4.0), 0.7);
+  EXPECT_DOUBLE_EQ(f.Evaluate(8.0), 0.7);
+  EXPECT_DOUBLE_EQ(f.Evaluate(9.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.Evaluate(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.FinalValue(), 1.0);
+}
+
+TEST(StepFunctionTest, InitialValueRespected) {
+  StepFunction f = StepFunction::FromKnots({{2.0, 0.9}}, 0.5).value();
+  EXPECT_DOUBLE_EQ(f.Evaluate(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(f.Evaluate(2.0), 0.9);
+}
+
+TEST(StepFunctionTest, ValidatesKnots) {
+  // Non-increasing x.
+  EXPECT_FALSE(StepFunction::FromKnots({{2.0, 0.1}, {2.0, 0.2}}).ok());
+  EXPECT_FALSE(StepFunction::FromKnots({{3.0, 0.1}, {1.0, 0.2}}).ok());
+  // Negative x.
+  EXPECT_FALSE(StepFunction::FromKnots({{-1.0, 0.1}}).ok());
+  // Decreasing y.
+  EXPECT_FALSE(StepFunction::FromKnots({{1.0, 0.5}, {2.0, 0.3}}).ok());
+  // y above 1.
+  EXPECT_FALSE(StepFunction::FromKnots({{1.0, 1.5}}).ok());
+  // Bad initial.
+  EXPECT_FALSE(StepFunction::FromKnots({}, -0.1).ok());
+  EXPECT_FALSE(StepFunction::FromKnots({}, 1.1).ok());
+  // Empty knots with valid initial is fine.
+  EXPECT_TRUE(StepFunction::FromKnots({}, 0.0).ok());
+}
+
+TEST(StepFunctionTest, ZeroDelayKnotApplies) {
+  // A capture with zero delay (knot at x=0) should fire at x=0.
+  StepFunction f = StepFunction::FromKnots({{0.0, 0.25}}).value();
+  EXPECT_DOUBLE_EQ(f.Evaluate(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(f.Evaluate(-0.001), 0.0);
+}
+
+}  // namespace
+}  // namespace freshsel::stats

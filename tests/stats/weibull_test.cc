@@ -1,0 +1,112 @@
+#include "stats/weibull.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace freshsel::stats {
+namespace {
+
+double DrawWeibull(double shape, double scale, Rng& rng) {
+  double u;
+  do {
+    u = rng.NextDouble();
+  } while (u <= 0.0);
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+TEST(WeibullDistributionTest, CreateValidates) {
+  EXPECT_FALSE(WeibullDistribution::Create(0.0, 1.0).ok());
+  EXPECT_FALSE(WeibullDistribution::Create(1.0, 0.0).ok());
+  EXPECT_FALSE(WeibullDistribution::Create(-1.0, 1.0).ok());
+  EXPECT_TRUE(WeibullDistribution::Create(2.0, 3.0).ok());
+}
+
+TEST(WeibullDistributionTest, ShapeOneIsExponential) {
+  WeibullDistribution w = WeibullDistribution::Create(1.0, 2.0).value();
+  ExponentialDistribution e = ExponentialDistribution::Create(0.5).value();
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(w.Cdf(x), e.Cdf(x), 1e-9);
+    EXPECT_NEAR(w.Pdf(x), e.Pdf(x), 1e-6);
+  }
+  EXPECT_NEAR(w.Mean(), 2.0, 1e-12);
+}
+
+TEST(WeibullDistributionTest, CdfBasics) {
+  WeibullDistribution w = WeibullDistribution::Create(2.0, 1.0).value();
+  EXPECT_DOUBLE_EQ(w.Cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.Cdf(-1.0), 0.0);
+  EXPECT_NEAR(w.Cdf(1.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(w.Survival(1.0), std::exp(-1.0), 1e-12);
+  // Mean = Gamma(1.5) ~ 0.8862.
+  EXPECT_NEAR(w.Mean(), std::tgamma(1.5), 1e-12);
+}
+
+TEST(FitWeibullTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(FitWeibullCensoredMle({}).ok());
+  EXPECT_FALSE(FitWeibullCensoredMle({{5.0, false}}).ok());
+  EXPECT_FALSE(FitWeibullCensoredMle({{-1.0, true}}).ok());
+}
+
+class WeibullRecoveryTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(WeibullRecoveryTest, RecoversShapeAndScaleUnderCensoring) {
+  const auto [shape, scale] = GetParam();
+  Rng rng(601);
+  const double censor_at = 2.5 * scale;
+  std::vector<CensoredObservation> obs;
+  for (int i = 0; i < 30000; ++i) {
+    const double x = DrawWeibull(shape, scale, rng);
+    if (x > censor_at) {
+      obs.push_back({censor_at, false});
+    } else {
+      obs.push_back({x, true});
+    }
+  }
+  WeibullDistribution fit = FitWeibullCensoredMle(obs).value();
+  EXPECT_NEAR(fit.shape(), shape, 0.06 * shape);
+  EXPECT_NEAR(fit.scale(), scale, 0.06 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WeibullRecoveryTest,
+    ::testing::Values(std::make_tuple(0.7, 10.0),
+                      std::make_tuple(1.0, 50.0),
+                      std::make_tuple(1.5, 5.0),
+                      std::make_tuple(2.5, 100.0)));
+
+TEST(FitWeibullTest, ExponentialSampleYieldsShapeNearOne) {
+  Rng rng(607);
+  std::vector<CensoredObservation> obs;
+  for (int i = 0; i < 20000; ++i) {
+    obs.push_back({rng.Exponential(0.1), true});
+  }
+  WeibullDistribution fit = FitWeibullCensoredMle(obs).value();
+  EXPECT_NEAR(fit.shape(), 1.0, 0.05);
+  EXPECT_NEAR(fit.scale(), 10.0, 0.5);
+}
+
+TEST(WeibullLogLikelihoodTest, TrueModelBeatsWrongModel) {
+  Rng rng(613);
+  std::vector<CensoredObservation> obs;
+  for (int i = 0; i < 5000; ++i) {
+    obs.push_back({DrawWeibull(2.0, 10.0, rng), true});
+  }
+  const double true_ll = WeibullCensoredLogLikelihood(obs, 2.0, 10.0);
+  const double exp_ll = WeibullCensoredLogLikelihood(
+      obs, 1.0, 10.0 * std::tgamma(1.5));  // Exponential with same mean.
+  EXPECT_GT(true_ll, exp_ll);
+}
+
+TEST(WeibullLogLikelihoodTest, CensoredObservationsUseSurvival) {
+  std::vector<CensoredObservation> censored{{5.0, false}};
+  WeibullDistribution w = WeibullDistribution::Create(1.0, 10.0).value();
+  EXPECT_NEAR(WeibullCensoredLogLikelihood(censored, 1.0, 10.0),
+              std::log(w.Survival(5.0)), 1e-12);
+}
+
+}  // namespace
+}  // namespace freshsel::stats

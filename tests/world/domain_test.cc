@@ -1,0 +1,60 @@
+#include "world/domain.h"
+
+#include <gtest/gtest.h>
+
+namespace freshsel::world {
+namespace {
+
+TEST(DataDomainTest, CreateValidates) {
+  EXPECT_FALSE(DataDomain::Create("a", 0, "b", 3).ok());
+  EXPECT_FALSE(DataDomain::Create("a", 3, "b", 0).ok());
+  EXPECT_TRUE(DataDomain::Create("a", 1, "b", 1).ok());
+}
+
+TEST(DataDomainTest, SubdomainMappingRoundTrips) {
+  DataDomain d = DataDomain::Create("loc", 5, "cat", 7).value();
+  EXPECT_EQ(d.subdomain_count(), 35u);
+  for (std::uint32_t l = 0; l < 5; ++l) {
+    for (std::uint32_t c = 0; c < 7; ++c) {
+      const SubdomainId id = d.SubdomainOf(l, c);
+      EXPECT_LT(id, d.subdomain_count());
+      EXPECT_EQ(d.Dim1Of(id), l);
+      EXPECT_EQ(d.Dim2Of(id), c);
+    }
+  }
+}
+
+TEST(DataDomainTest, SubdomainIdsAreDenseAndUnique) {
+  DataDomain d = DataDomain::Create("loc", 3, "cat", 4).value();
+  std::vector<bool> seen(d.subdomain_count(), false);
+  for (std::uint32_t l = 0; l < 3; ++l) {
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      const SubdomainId id = d.SubdomainOf(l, c);
+      EXPECT_FALSE(seen[id]);
+      seen[id] = true;
+    }
+  }
+}
+
+TEST(DataDomainTest, SubdomainsInDim1CoversAllCategories) {
+  DataDomain d = DataDomain::Create("loc", 4, "cat", 3).value();
+  std::vector<SubdomainId> subs = d.SubdomainsInDim1(2);
+  ASSERT_EQ(subs.size(), 3u);
+  for (SubdomainId sub : subs) EXPECT_EQ(d.Dim1Of(sub), 2u);
+}
+
+TEST(DataDomainTest, SubdomainsInDim2CoversAllLocations) {
+  DataDomain d = DataDomain::Create("loc", 4, "cat", 3).value();
+  std::vector<SubdomainId> subs = d.SubdomainsInDim2(1);
+  ASSERT_EQ(subs.size(), 4u);
+  for (SubdomainId sub : subs) EXPECT_EQ(d.Dim2Of(sub), 1u);
+}
+
+TEST(DataDomainTest, NamesPreserved) {
+  DataDomain d = DataDomain::Create("state", 2, "type", 2).value();
+  EXPECT_EQ(d.dim1_name(), "state");
+  EXPECT_EQ(d.dim2_name(), "type");
+}
+
+}  // namespace
+}  // namespace freshsel::world
