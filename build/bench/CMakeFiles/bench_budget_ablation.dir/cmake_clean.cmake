@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_budget_ablation.dir/bench_budget_ablation.cpp.o"
+  "CMakeFiles/bench_budget_ablation.dir/bench_budget_ablation.cpp.o.d"
+  "bench_budget_ablation"
+  "bench_budget_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_budget_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

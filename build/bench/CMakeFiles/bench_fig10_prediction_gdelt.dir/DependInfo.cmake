@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_prediction_gdelt.cpp" "bench/CMakeFiles/bench_fig10_prediction_gdelt.dir/bench_fig10_prediction_gdelt.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10_prediction_gdelt.dir/bench_fig10_prediction_gdelt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/freshsel_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/freshsel_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/freshsel_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/freshsel_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/freshsel_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/integration/CMakeFiles/freshsel_integration.dir/DependInfo.cmake"
+  "/root/repo/build/src/source/CMakeFiles/freshsel_source.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/freshsel_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/freshsel_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/freshsel_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/freshsel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_prediction_gdelt.dir/bench_fig10_prediction_gdelt.cpp.o"
+  "CMakeFiles/bench_fig10_prediction_gdelt.dir/bench_fig10_prediction_gdelt.cpp.o.d"
+  "bench_fig10_prediction_gdelt"
+  "bench_fig10_prediction_gdelt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_prediction_gdelt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_source_quality_bl.dir/bench_fig11_source_quality_bl.cpp.o"
+  "CMakeFiles/bench_fig11_source_quality_bl.dir/bench_fig11_source_quality_bl.cpp.o.d"
+  "bench_fig11_source_quality_bl"
+  "bench_fig11_source_quality_bl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_source_quality_bl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

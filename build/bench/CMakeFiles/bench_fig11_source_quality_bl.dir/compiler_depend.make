@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig11_source_quality_bl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_selected_source_types.
+# This may be replaced when dependencies are built.

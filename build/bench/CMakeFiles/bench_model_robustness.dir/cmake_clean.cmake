@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_robustness.dir/bench_model_robustness.cpp.o"
+  "CMakeFiles/bench_model_robustness.dir/bench_model_robustness.cpp.o.d"
+  "bench_model_robustness"
+  "bench_model_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_table2_bl_selection.dir/bench_table1_table2_bl_selection.cpp.o"
+  "CMakeFiles/bench_table1_table2_bl_selection.dir/bench_table1_table2_bl_selection.cpp.o.d"
+  "bench_table1_table2_bl_selection"
+  "bench_table1_table2_bl_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_table2_bl_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_7_varfreq.dir/bench_table6_7_varfreq.cpp.o"
+  "CMakeFiles/bench_table6_7_varfreq.dir/bench_table6_7_varfreq.cpp.o.d"
+  "bench_table6_7_varfreq"
+  "bench_table6_7_varfreq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_7_varfreq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

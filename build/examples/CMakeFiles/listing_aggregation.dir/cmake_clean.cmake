@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listing_aggregation.dir/listing_aggregation.cpp.o"
+  "CMakeFiles/listing_aggregation.dir/listing_aggregation.cpp.o.d"
+  "listing_aggregation"
+  "listing_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listing_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_sources.dir/online_sources.cpp.o"
+  "CMakeFiles/online_sources.dir/online_sources.cpp.o.d"
+  "online_sources"
+  "online_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

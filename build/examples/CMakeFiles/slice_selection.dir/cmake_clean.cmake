@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slice_selection.dir/slice_selection.cpp.o"
+  "CMakeFiles/slice_selection.dir/slice_selection.cpp.o.d"
+  "slice_selection"
+  "slice_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slice_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("world")
+subdirs("source")
+subdirs("integration")
+subdirs("io")
+subdirs("metrics")
+subdirs("estimation")
+subdirs("selection")
+subdirs("workloads")
+subdirs("harness")
+subdirs("cli")

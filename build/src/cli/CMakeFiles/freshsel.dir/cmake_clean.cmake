@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshsel.dir/tools/freshsel_main.cc.o"
+  "CMakeFiles/freshsel.dir/tools/freshsel_main.cc.o.d"
+  "freshsel"
+  "freshsel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshsel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshsel_cli.dir/args.cc.o"
+  "CMakeFiles/freshsel_cli.dir/args.cc.o.d"
+  "CMakeFiles/freshsel_cli.dir/commands.cc.o"
+  "CMakeFiles/freshsel_cli.dir/commands.cc.o.d"
+  "libfreshsel_cli.a"
+  "libfreshsel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshsel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshsel_common.dir/bit_vector.cc.o"
+  "CMakeFiles/freshsel_common.dir/bit_vector.cc.o.d"
+  "CMakeFiles/freshsel_common.dir/random.cc.o"
+  "CMakeFiles/freshsel_common.dir/random.cc.o.d"
+  "CMakeFiles/freshsel_common.dir/status.cc.o"
+  "CMakeFiles/freshsel_common.dir/status.cc.o.d"
+  "CMakeFiles/freshsel_common.dir/string_util.cc.o"
+  "CMakeFiles/freshsel_common.dir/string_util.cc.o.d"
+  "CMakeFiles/freshsel_common.dir/table_printer.cc.o"
+  "CMakeFiles/freshsel_common.dir/table_printer.cc.o.d"
+  "libfreshsel_common.a"
+  "libfreshsel_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshsel_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimation/quality_estimator.cc" "src/estimation/CMakeFiles/freshsel_estimation.dir/quality_estimator.cc.o" "gcc" "src/estimation/CMakeFiles/freshsel_estimation.dir/quality_estimator.cc.o.d"
+  "/root/repo/src/estimation/source_profile.cc" "src/estimation/CMakeFiles/freshsel_estimation.dir/source_profile.cc.o" "gcc" "src/estimation/CMakeFiles/freshsel_estimation.dir/source_profile.cc.o.d"
+  "/root/repo/src/estimation/world_change_model.cc" "src/estimation/CMakeFiles/freshsel_estimation.dir/world_change_model.cc.o" "gcc" "src/estimation/CMakeFiles/freshsel_estimation.dir/world_change_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/freshsel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/freshsel_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/freshsel_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/source/CMakeFiles/freshsel_source.dir/DependInfo.cmake"
+  "/root/repo/build/src/integration/CMakeFiles/freshsel_integration.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

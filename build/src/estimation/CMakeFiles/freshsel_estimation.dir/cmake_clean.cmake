@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshsel_estimation.dir/quality_estimator.cc.o"
+  "CMakeFiles/freshsel_estimation.dir/quality_estimator.cc.o.d"
+  "CMakeFiles/freshsel_estimation.dir/source_profile.cc.o"
+  "CMakeFiles/freshsel_estimation.dir/source_profile.cc.o.d"
+  "CMakeFiles/freshsel_estimation.dir/world_change_model.cc.o"
+  "CMakeFiles/freshsel_estimation.dir/world_change_model.cc.o.d"
+  "libfreshsel_estimation.a"
+  "libfreshsel_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshsel_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

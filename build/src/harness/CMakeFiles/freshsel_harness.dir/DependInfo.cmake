@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/characterization.cc" "src/harness/CMakeFiles/freshsel_harness.dir/characterization.cc.o" "gcc" "src/harness/CMakeFiles/freshsel_harness.dir/characterization.cc.o.d"
+  "/root/repo/src/harness/learned_scenario.cc" "src/harness/CMakeFiles/freshsel_harness.dir/learned_scenario.cc.o" "gcc" "src/harness/CMakeFiles/freshsel_harness.dir/learned_scenario.cc.o.d"
+  "/root/repo/src/harness/prediction_experiment.cc" "src/harness/CMakeFiles/freshsel_harness.dir/prediction_experiment.cc.o" "gcc" "src/harness/CMakeFiles/freshsel_harness.dir/prediction_experiment.cc.o.d"
+  "/root/repo/src/harness/selection_experiment.cc" "src/harness/CMakeFiles/freshsel_harness.dir/selection_experiment.cc.o" "gcc" "src/harness/CMakeFiles/freshsel_harness.dir/selection_experiment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/freshsel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/freshsel_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/freshsel_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/source/CMakeFiles/freshsel_source.dir/DependInfo.cmake"
+  "/root/repo/build/src/integration/CMakeFiles/freshsel_integration.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/freshsel_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/freshsel_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/freshsel_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/freshsel_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshsel_harness.dir/characterization.cc.o"
+  "CMakeFiles/freshsel_harness.dir/characterization.cc.o.d"
+  "CMakeFiles/freshsel_harness.dir/learned_scenario.cc.o"
+  "CMakeFiles/freshsel_harness.dir/learned_scenario.cc.o.d"
+  "CMakeFiles/freshsel_harness.dir/prediction_experiment.cc.o"
+  "CMakeFiles/freshsel_harness.dir/prediction_experiment.cc.o.d"
+  "CMakeFiles/freshsel_harness.dir/selection_experiment.cc.o"
+  "CMakeFiles/freshsel_harness.dir/selection_experiment.cc.o.d"
+  "libfreshsel_harness.a"
+  "libfreshsel_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshsel_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

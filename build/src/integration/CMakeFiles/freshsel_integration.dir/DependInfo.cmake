@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/integration/entity_dictionary.cc" "src/integration/CMakeFiles/freshsel_integration.dir/entity_dictionary.cc.o" "gcc" "src/integration/CMakeFiles/freshsel_integration.dir/entity_dictionary.cc.o.d"
+  "/root/repo/src/integration/history_integration.cc" "src/integration/CMakeFiles/freshsel_integration.dir/history_integration.cc.o" "gcc" "src/integration/CMakeFiles/freshsel_integration.dir/history_integration.cc.o.d"
+  "/root/repo/src/integration/reconstruction_quality.cc" "src/integration/CMakeFiles/freshsel_integration.dir/reconstruction_quality.cc.o" "gcc" "src/integration/CMakeFiles/freshsel_integration.dir/reconstruction_quality.cc.o.d"
+  "/root/repo/src/integration/signatures.cc" "src/integration/CMakeFiles/freshsel_integration.dir/signatures.cc.o" "gcc" "src/integration/CMakeFiles/freshsel_integration.dir/signatures.cc.o.d"
+  "/root/repo/src/integration/union_integrator.cc" "src/integration/CMakeFiles/freshsel_integration.dir/union_integrator.cc.o" "gcc" "src/integration/CMakeFiles/freshsel_integration.dir/union_integrator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/freshsel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/freshsel_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/source/CMakeFiles/freshsel_source.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/freshsel_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshsel_integration.dir/entity_dictionary.cc.o"
+  "CMakeFiles/freshsel_integration.dir/entity_dictionary.cc.o.d"
+  "CMakeFiles/freshsel_integration.dir/history_integration.cc.o"
+  "CMakeFiles/freshsel_integration.dir/history_integration.cc.o.d"
+  "CMakeFiles/freshsel_integration.dir/reconstruction_quality.cc.o"
+  "CMakeFiles/freshsel_integration.dir/reconstruction_quality.cc.o.d"
+  "CMakeFiles/freshsel_integration.dir/signatures.cc.o"
+  "CMakeFiles/freshsel_integration.dir/signatures.cc.o.d"
+  "CMakeFiles/freshsel_integration.dir/union_integrator.cc.o"
+  "CMakeFiles/freshsel_integration.dir/union_integrator.cc.o.d"
+  "libfreshsel_integration.a"
+  "libfreshsel_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshsel_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshsel_io.dir/scenario_io.cc.o"
+  "CMakeFiles/freshsel_io.dir/scenario_io.cc.o.d"
+  "libfreshsel_io.a"
+  "libfreshsel_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshsel_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshsel_metrics.dir/quality.cc.o"
+  "CMakeFiles/freshsel_metrics.dir/quality.cc.o.d"
+  "libfreshsel_metrics.a"
+  "libfreshsel_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshsel_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

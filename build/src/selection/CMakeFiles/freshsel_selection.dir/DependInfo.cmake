@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selection/budgeted_greedy.cc" "src/selection/CMakeFiles/freshsel_selection.dir/budgeted_greedy.cc.o" "gcc" "src/selection/CMakeFiles/freshsel_selection.dir/budgeted_greedy.cc.o.d"
+  "/root/repo/src/selection/cost.cc" "src/selection/CMakeFiles/freshsel_selection.dir/cost.cc.o" "gcc" "src/selection/CMakeFiles/freshsel_selection.dir/cost.cc.o.d"
+  "/root/repo/src/selection/frequency_selection.cc" "src/selection/CMakeFiles/freshsel_selection.dir/frequency_selection.cc.o" "gcc" "src/selection/CMakeFiles/freshsel_selection.dir/frequency_selection.cc.o.d"
+  "/root/repo/src/selection/gain.cc" "src/selection/CMakeFiles/freshsel_selection.dir/gain.cc.o" "gcc" "src/selection/CMakeFiles/freshsel_selection.dir/gain.cc.o.d"
+  "/root/repo/src/selection/grasp.cc" "src/selection/CMakeFiles/freshsel_selection.dir/grasp.cc.o" "gcc" "src/selection/CMakeFiles/freshsel_selection.dir/grasp.cc.o.d"
+  "/root/repo/src/selection/greedy.cc" "src/selection/CMakeFiles/freshsel_selection.dir/greedy.cc.o" "gcc" "src/selection/CMakeFiles/freshsel_selection.dir/greedy.cc.o.d"
+  "/root/repo/src/selection/matroid.cc" "src/selection/CMakeFiles/freshsel_selection.dir/matroid.cc.o" "gcc" "src/selection/CMakeFiles/freshsel_selection.dir/matroid.cc.o.d"
+  "/root/repo/src/selection/matroid_search.cc" "src/selection/CMakeFiles/freshsel_selection.dir/matroid_search.cc.o" "gcc" "src/selection/CMakeFiles/freshsel_selection.dir/matroid_search.cc.o.d"
+  "/root/repo/src/selection/maxsub.cc" "src/selection/CMakeFiles/freshsel_selection.dir/maxsub.cc.o" "gcc" "src/selection/CMakeFiles/freshsel_selection.dir/maxsub.cc.o.d"
+  "/root/repo/src/selection/online_selector.cc" "src/selection/CMakeFiles/freshsel_selection.dir/online_selector.cc.o" "gcc" "src/selection/CMakeFiles/freshsel_selection.dir/online_selector.cc.o.d"
+  "/root/repo/src/selection/profit.cc" "src/selection/CMakeFiles/freshsel_selection.dir/profit.cc.o" "gcc" "src/selection/CMakeFiles/freshsel_selection.dir/profit.cc.o.d"
+  "/root/repo/src/selection/selector.cc" "src/selection/CMakeFiles/freshsel_selection.dir/selector.cc.o" "gcc" "src/selection/CMakeFiles/freshsel_selection.dir/selector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/freshsel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/freshsel_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/integration/CMakeFiles/freshsel_integration.dir/DependInfo.cmake"
+  "/root/repo/build/src/source/CMakeFiles/freshsel_source.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/freshsel_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/freshsel_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshsel_selection.dir/budgeted_greedy.cc.o"
+  "CMakeFiles/freshsel_selection.dir/budgeted_greedy.cc.o.d"
+  "CMakeFiles/freshsel_selection.dir/cost.cc.o"
+  "CMakeFiles/freshsel_selection.dir/cost.cc.o.d"
+  "CMakeFiles/freshsel_selection.dir/frequency_selection.cc.o"
+  "CMakeFiles/freshsel_selection.dir/frequency_selection.cc.o.d"
+  "CMakeFiles/freshsel_selection.dir/gain.cc.o"
+  "CMakeFiles/freshsel_selection.dir/gain.cc.o.d"
+  "CMakeFiles/freshsel_selection.dir/grasp.cc.o"
+  "CMakeFiles/freshsel_selection.dir/grasp.cc.o.d"
+  "CMakeFiles/freshsel_selection.dir/greedy.cc.o"
+  "CMakeFiles/freshsel_selection.dir/greedy.cc.o.d"
+  "CMakeFiles/freshsel_selection.dir/matroid.cc.o"
+  "CMakeFiles/freshsel_selection.dir/matroid.cc.o.d"
+  "CMakeFiles/freshsel_selection.dir/matroid_search.cc.o"
+  "CMakeFiles/freshsel_selection.dir/matroid_search.cc.o.d"
+  "CMakeFiles/freshsel_selection.dir/maxsub.cc.o"
+  "CMakeFiles/freshsel_selection.dir/maxsub.cc.o.d"
+  "CMakeFiles/freshsel_selection.dir/online_selector.cc.o"
+  "CMakeFiles/freshsel_selection.dir/online_selector.cc.o.d"
+  "CMakeFiles/freshsel_selection.dir/profit.cc.o"
+  "CMakeFiles/freshsel_selection.dir/profit.cc.o.d"
+  "CMakeFiles/freshsel_selection.dir/selector.cc.o"
+  "CMakeFiles/freshsel_selection.dir/selector.cc.o.d"
+  "libfreshsel_selection.a"
+  "libfreshsel_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshsel_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshsel_source.dir/source_history.cc.o"
+  "CMakeFiles/freshsel_source.dir/source_history.cc.o.d"
+  "CMakeFiles/freshsel_source.dir/source_simulator.cc.o"
+  "CMakeFiles/freshsel_source.dir/source_simulator.cc.o.d"
+  "libfreshsel_source.a"
+  "libfreshsel_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshsel_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

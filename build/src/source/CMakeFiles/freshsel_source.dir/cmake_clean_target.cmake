@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfreshsel_source.a"
+)

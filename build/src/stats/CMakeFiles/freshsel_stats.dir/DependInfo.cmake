@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/freshsel_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/freshsel_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/exponential.cc" "src/stats/CMakeFiles/freshsel_stats.dir/exponential.cc.o" "gcc" "src/stats/CMakeFiles/freshsel_stats.dir/exponential.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/freshsel_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/freshsel_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/kaplan_meier.cc" "src/stats/CMakeFiles/freshsel_stats.dir/kaplan_meier.cc.o" "gcc" "src/stats/CMakeFiles/freshsel_stats.dir/kaplan_meier.cc.o.d"
+  "/root/repo/src/stats/poisson.cc" "src/stats/CMakeFiles/freshsel_stats.dir/poisson.cc.o" "gcc" "src/stats/CMakeFiles/freshsel_stats.dir/poisson.cc.o.d"
+  "/root/repo/src/stats/step_function.cc" "src/stats/CMakeFiles/freshsel_stats.dir/step_function.cc.o" "gcc" "src/stats/CMakeFiles/freshsel_stats.dir/step_function.cc.o.d"
+  "/root/repo/src/stats/weibull.cc" "src/stats/CMakeFiles/freshsel_stats.dir/weibull.cc.o" "gcc" "src/stats/CMakeFiles/freshsel_stats.dir/weibull.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/freshsel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

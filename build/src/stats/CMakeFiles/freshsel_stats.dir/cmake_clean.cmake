@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshsel_stats.dir/descriptive.cc.o"
+  "CMakeFiles/freshsel_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/freshsel_stats.dir/exponential.cc.o"
+  "CMakeFiles/freshsel_stats.dir/exponential.cc.o.d"
+  "CMakeFiles/freshsel_stats.dir/histogram.cc.o"
+  "CMakeFiles/freshsel_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/freshsel_stats.dir/kaplan_meier.cc.o"
+  "CMakeFiles/freshsel_stats.dir/kaplan_meier.cc.o.d"
+  "CMakeFiles/freshsel_stats.dir/poisson.cc.o"
+  "CMakeFiles/freshsel_stats.dir/poisson.cc.o.d"
+  "CMakeFiles/freshsel_stats.dir/step_function.cc.o"
+  "CMakeFiles/freshsel_stats.dir/step_function.cc.o.d"
+  "CMakeFiles/freshsel_stats.dir/weibull.cc.o"
+  "CMakeFiles/freshsel_stats.dir/weibull.cc.o.d"
+  "libfreshsel_stats.a"
+  "libfreshsel_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshsel_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshsel_workloads.dir/bl_generator.cc.o"
+  "CMakeFiles/freshsel_workloads.dir/bl_generator.cc.o.d"
+  "CMakeFiles/freshsel_workloads.dir/blplus_generator.cc.o"
+  "CMakeFiles/freshsel_workloads.dir/blplus_generator.cc.o.d"
+  "CMakeFiles/freshsel_workloads.dir/gdelt_generator.cc.o"
+  "CMakeFiles/freshsel_workloads.dir/gdelt_generator.cc.o.d"
+  "CMakeFiles/freshsel_workloads.dir/scenario.cc.o"
+  "CMakeFiles/freshsel_workloads.dir/scenario.cc.o.d"
+  "CMakeFiles/freshsel_workloads.dir/slice_roster.cc.o"
+  "CMakeFiles/freshsel_workloads.dir/slice_roster.cc.o.d"
+  "libfreshsel_workloads.a"
+  "libfreshsel_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshsel_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/world/domain.cc" "src/world/CMakeFiles/freshsel_world.dir/domain.cc.o" "gcc" "src/world/CMakeFiles/freshsel_world.dir/domain.cc.o.d"
+  "/root/repo/src/world/world.cc" "src/world/CMakeFiles/freshsel_world.dir/world.cc.o" "gcc" "src/world/CMakeFiles/freshsel_world.dir/world.cc.o.d"
+  "/root/repo/src/world/world_simulator.cc" "src/world/CMakeFiles/freshsel_world.dir/world_simulator.cc.o" "gcc" "src/world/CMakeFiles/freshsel_world.dir/world_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/freshsel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/freshsel_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

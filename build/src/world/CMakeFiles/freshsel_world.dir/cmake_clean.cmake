@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshsel_world.dir/domain.cc.o"
+  "CMakeFiles/freshsel_world.dir/domain.cc.o.d"
+  "CMakeFiles/freshsel_world.dir/world.cc.o"
+  "CMakeFiles/freshsel_world.dir/world.cc.o.d"
+  "CMakeFiles/freshsel_world.dir/world_simulator.cc.o"
+  "CMakeFiles/freshsel_world.dir/world_simulator.cc.o.d"
+  "libfreshsel_world.a"
+  "libfreshsel_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshsel_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

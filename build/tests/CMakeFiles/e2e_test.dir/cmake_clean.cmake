@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_test.dir/e2e/failure_injection_test.cc.o"
+  "CMakeFiles/e2e_test.dir/e2e/failure_injection_test.cc.o.d"
+  "CMakeFiles/e2e_test.dir/e2e/seed_sweep_test.cc.o"
+  "CMakeFiles/e2e_test.dir/e2e/seed_sweep_test.cc.o.d"
+  "e2e_test"
+  "e2e_test.pdb"
+  "e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimation_test.dir/estimation/quality_estimator_test.cc.o"
+  "CMakeFiles/estimation_test.dir/estimation/quality_estimator_test.cc.o.d"
+  "CMakeFiles/estimation_test.dir/estimation/source_profile_test.cc.o"
+  "CMakeFiles/estimation_test.dir/estimation/source_profile_test.cc.o.d"
+  "CMakeFiles/estimation_test.dir/estimation/world_change_model_test.cc.o"
+  "CMakeFiles/estimation_test.dir/estimation/world_change_model_test.cc.o.d"
+  "estimation_test"
+  "estimation_test.pdb"
+  "estimation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/entity_dictionary_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/entity_dictionary_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/history_integration_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/history_integration_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/reconstruction_quality_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/reconstruction_quality_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/signatures_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/signatures_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/union_integrator_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/union_integrator_test.cc.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/selection/algorithms_test.cc" "tests/CMakeFiles/selection_test.dir/selection/algorithms_test.cc.o" "gcc" "tests/CMakeFiles/selection_test.dir/selection/algorithms_test.cc.o.d"
+  "/root/repo/tests/selection/budgeted_greedy_test.cc" "tests/CMakeFiles/selection_test.dir/selection/budgeted_greedy_test.cc.o" "gcc" "tests/CMakeFiles/selection_test.dir/selection/budgeted_greedy_test.cc.o.d"
+  "/root/repo/tests/selection/frequency_selection_test.cc" "tests/CMakeFiles/selection_test.dir/selection/frequency_selection_test.cc.o" "gcc" "tests/CMakeFiles/selection_test.dir/selection/frequency_selection_test.cc.o.d"
+  "/root/repo/tests/selection/gain_cost_test.cc" "tests/CMakeFiles/selection_test.dir/selection/gain_cost_test.cc.o" "gcc" "tests/CMakeFiles/selection_test.dir/selection/gain_cost_test.cc.o.d"
+  "/root/repo/tests/selection/matroid_test.cc" "tests/CMakeFiles/selection_test.dir/selection/matroid_test.cc.o" "gcc" "tests/CMakeFiles/selection_test.dir/selection/matroid_test.cc.o.d"
+  "/root/repo/tests/selection/online_selector_test.cc" "tests/CMakeFiles/selection_test.dir/selection/online_selector_test.cc.o" "gcc" "tests/CMakeFiles/selection_test.dir/selection/online_selector_test.cc.o.d"
+  "/root/repo/tests/selection/profit_test.cc" "tests/CMakeFiles/selection_test.dir/selection/profit_test.cc.o" "gcc" "tests/CMakeFiles/selection_test.dir/selection/profit_test.cc.o.d"
+  "/root/repo/tests/selection/selector_test.cc" "tests/CMakeFiles/selection_test.dir/selection/selector_test.cc.o" "gcc" "tests/CMakeFiles/selection_test.dir/selection/selector_test.cc.o.d"
+  "/root/repo/tests/selection/slice_frequency_test.cc" "tests/CMakeFiles/selection_test.dir/selection/slice_frequency_test.cc.o" "gcc" "tests/CMakeFiles/selection_test.dir/selection/slice_frequency_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/freshsel_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/freshsel_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/freshsel_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/freshsel_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/freshsel_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/integration/CMakeFiles/freshsel_integration.dir/DependInfo.cmake"
+  "/root/repo/build/src/source/CMakeFiles/freshsel_source.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/freshsel_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/freshsel_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/freshsel_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/freshsel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

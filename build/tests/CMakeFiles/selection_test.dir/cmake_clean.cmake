@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_test.dir/selection/algorithms_test.cc.o"
+  "CMakeFiles/selection_test.dir/selection/algorithms_test.cc.o.d"
+  "CMakeFiles/selection_test.dir/selection/budgeted_greedy_test.cc.o"
+  "CMakeFiles/selection_test.dir/selection/budgeted_greedy_test.cc.o.d"
+  "CMakeFiles/selection_test.dir/selection/frequency_selection_test.cc.o"
+  "CMakeFiles/selection_test.dir/selection/frequency_selection_test.cc.o.d"
+  "CMakeFiles/selection_test.dir/selection/gain_cost_test.cc.o"
+  "CMakeFiles/selection_test.dir/selection/gain_cost_test.cc.o.d"
+  "CMakeFiles/selection_test.dir/selection/matroid_test.cc.o"
+  "CMakeFiles/selection_test.dir/selection/matroid_test.cc.o.d"
+  "CMakeFiles/selection_test.dir/selection/online_selector_test.cc.o"
+  "CMakeFiles/selection_test.dir/selection/online_selector_test.cc.o.d"
+  "CMakeFiles/selection_test.dir/selection/profit_test.cc.o"
+  "CMakeFiles/selection_test.dir/selection/profit_test.cc.o.d"
+  "CMakeFiles/selection_test.dir/selection/selector_test.cc.o"
+  "CMakeFiles/selection_test.dir/selection/selector_test.cc.o.d"
+  "CMakeFiles/selection_test.dir/selection/slice_frequency_test.cc.o"
+  "CMakeFiles/selection_test.dir/selection/slice_frequency_test.cc.o.d"
+  "selection_test"
+  "selection_test.pdb"
+  "selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

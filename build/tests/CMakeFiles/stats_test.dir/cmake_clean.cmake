@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test.dir/stats/descriptive_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/descriptive_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/exponential_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/exponential_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/histogram_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/histogram_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/kaplan_meier_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/kaplan_meier_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/poisson_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/poisson_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/step_function_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/step_function_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/weibull_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/weibull_test.cc.o.d"
+  "stats_test"
+  "stats_test.pdb"
+  "stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
