@@ -1,0 +1,64 @@
+// freshsel_lint: repo-specific static checks for the freshsel library tree.
+//
+// Rules (see DESIGN.md, "Analysis builds"):
+//   no-rand               rand()/srand() are banned everywhere; use
+//                         freshsel::Rng so experiments stay reproducible.
+//   no-using-namespace    `using namespace` in a header leaks into every
+//                         includer; banned in .h files.
+//   no-bare-assert        library code must use FRESHSEL_CHECK*/DCHECK*
+//                         (always-on, formatted, testable) instead of
+//                         assert(); static_assert is fine.
+//   include-guard         every header carries the canonical include guard
+//                         FRESHSEL_<RELATIVE_PATH>_H_ (or #pragma once).
+//
+// Usage: freshsel_lint [--no-assert-rule] [--guard-prefix PREFIX] PATH...
+// Each PATH is a file or a directory scanned recursively for .h/.cc/.cpp.
+// Exits 0 when clean, 1 when any finding is reported, 2 on usage errors.
+
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cli/tools/lint_lib.h"
+
+int main(int argc, char** argv) {
+  freshsel::lint::LintOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--no-assert-rule") {
+      options.assert_rule = false;
+    } else if (arg == "--guard-prefix") {
+      if (i + 1 >= argc) {
+        std::cerr << "freshsel_lint: --guard-prefix needs a value\n";
+        return 2;
+      }
+      options.guard_prefix = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: freshsel_lint [--no-assert-rule] "
+                   "[--guard-prefix PREFIX] PATH...\n";
+      return 0;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "freshsel_lint: unknown flag: " << arg << "\n";
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: freshsel_lint [--no-assert-rule] "
+                 "[--guard-prefix PREFIX] PATH...\n";
+    return 2;
+  }
+  std::size_t files_scanned = 0;
+  const std::vector<freshsel::lint::Finding> findings =
+      freshsel::lint::LintPaths(paths, options, &files_scanned);
+  for (const freshsel::lint::Finding& f : findings) {
+    std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  std::cout << "freshsel_lint: " << files_scanned << " file(s), "
+            << findings.size() << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}

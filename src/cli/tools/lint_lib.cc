@@ -1,0 +1,263 @@
+#include "cli/tools/lint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+namespace freshsel::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+/// True when `line` calls `name` as a function: the identifier appears with
+/// a word boundary on the left and is followed (modulo spaces) by '('.
+bool CallsFunction(const std::string& line, std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    std::size_t after = pos + name.size();
+    while (after < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[after])) != 0) {
+      ++after;
+    }
+    if (left_ok && after < line.size() && line[after] == '(') return true;
+    pos += name.size();
+  }
+  return false;
+}
+
+bool IsHeader(const fs::path& path) { return path.extension() == ".h"; }
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+std::string FirstToken(const std::string& line, std::size_t from) {
+  std::size_t start = from;
+  while (start < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[start])) != 0) {
+    ++start;
+  }
+  std::size_t end = start;
+  while (end < line.size() && IsIdentChar(line[end])) ++end;
+  return line.substr(start, end - start);
+}
+
+void CheckIncludeGuard(const fs::path& file, const fs::path& relative,
+                       const std::vector<std::string>& lines,
+                       const LintOptions& options,
+                       std::vector<Finding>* findings) {
+  const std::string expected = ExpectedGuard(relative, options.guard_prefix);
+  std::size_t ifndef_line = 0;
+  std::string seen_guard;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::size_t hash = line.find_first_not_of(" \t");
+    if (hash == std::string::npos) continue;
+    if (line[hash] != '#') continue;
+    const std::string directive = FirstToken(line, hash + 1);
+    if (directive == "pragma" &&
+        line.find("once", hash) != std::string::npos) {
+      return;  // #pragma once is acceptable hygiene.
+    }
+    if (directive == "ifndef" && seen_guard.empty()) {
+      seen_guard = FirstToken(line, line.find("ifndef", hash) + 6);
+      ifndef_line = i + 1;
+      continue;
+    }
+    if (directive == "define" && !seen_guard.empty()) {
+      const std::string defined = FirstToken(line, line.find("define") + 6);
+      if (defined != seen_guard) {
+        findings->push_back(
+            {file.string(), i + 1, "include-guard",
+             "#define '" + defined + "' does not match #ifndef '" +
+                 seen_guard + "'"});
+      } else if (seen_guard != expected) {
+        findings->push_back(
+            {file.string(), ifndef_line, "include-guard",
+             "guard '" + seen_guard + "' should be '" + expected + "'"});
+      }
+      return;
+    }
+    // Any other directive before the #ifndef/#define pair means the guard
+    // does not wrap the whole header.
+    break;
+  }
+  findings->push_back({file.string(), 1, "include-guard",
+                       "header lacks an include guard (expected '" +
+                           expected + "' or #pragma once)"});
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& src) {
+  std::string out = src;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < src.size() && next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == quote) {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ExpectedGuard(const fs::path& relative,
+                          const std::string& prefix) {
+  std::string guard = prefix;
+  for (const fs::path& part : relative) {
+    for (char c : part.string()) {
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+        guard.push_back(static_cast<char>(
+            std::toupper(static_cast<unsigned char>(c))));
+      } else {
+        guard.push_back('_');
+      }
+    }
+    guard.push_back('_');
+  }
+  // ".../NAME_H_" is already complete: the extension's dot became '_'.
+  return guard;
+}
+
+void LintFile(const fs::path& file, const fs::path& relative,
+              const LintOptions& options, std::vector<Finding>* findings) {
+  std::ifstream in(file);
+  if (!in) {
+    findings->push_back({file.string(), 0, "io", "cannot open file"});
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string raw = buffer.str();
+  const std::vector<std::string> lines =
+      SplitLines(StripCommentsAndStrings(raw));
+  const bool header = IsHeader(file);
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (CallsFunction(line, "rand") || CallsFunction(line, "srand") ||
+        CallsFunction(line, "std::rand") ||
+        CallsFunction(line, "std::srand")) {
+      findings->push_back(
+          {file.string(), i + 1, "no-rand",
+           "rand()/srand() are banned; use freshsel::Rng for reproducible "
+           "randomness"});
+    }
+    if (options.assert_rule && CallsFunction(line, "assert")) {
+      findings->push_back(
+          {file.string(), i + 1, "no-bare-assert",
+           "bare assert() is banned in library code; use FRESHSEL_CHECK / "
+           "FRESHSEL_DCHECK (common/check.h)"});
+    }
+    if (header && line.find("using namespace") != std::string::npos) {
+      findings->push_back(
+          {file.string(), i + 1, "no-using-namespace",
+           "'using namespace' in a header leaks into every includer"});
+    }
+  }
+  if (header) {
+    CheckIncludeGuard(file, relative, SplitLines(raw), options, findings);
+  }
+}
+
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
+                               const LintOptions& options,
+                               std::size_t* files_scanned) {
+  std::vector<Finding> findings;
+  std::size_t scanned = 0;
+  for (const std::string& arg : paths) {
+    const fs::path root(arg);
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+      std::sort(files.begin(), files.end());
+      for (const fs::path& file : files) {
+        LintFile(file, fs::relative(file, root), options, &findings);
+        ++scanned;
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      LintFile(root, root.filename(), options, &findings);
+      ++scanned;
+    } else {
+      findings.push_back(
+          {arg, 0, "io", "no such file or directory"});
+    }
+  }
+  if (files_scanned != nullptr) *files_scanned = scanned;
+  return findings;
+}
+
+}  // namespace freshsel::lint

@@ -1,0 +1,51 @@
+#ifndef FRESHSEL_CLI_TOOLS_LINT_LIB_H_
+#define FRESHSEL_CLI_TOOLS_LINT_LIB_H_
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+/// Core of the `freshsel_lint` tool: repo-specific static checks enforced
+/// as a ctest (see DESIGN.md, "Analysis builds"). Split from the CLI main
+/// so the rules are unit-testable on fixture files.
+namespace freshsel::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;     ///< e.g. "no-rand", "include-guard".
+  std::string message;
+};
+
+struct LintOptions {
+  /// Enforce the no-bare-assert rule (off for test trees, where gtest
+  /// helpers legitimately assert).
+  bool assert_rule = true;
+  /// Include guards must read PREFIX + RELATIVE_PATH, uppercased.
+  std::string guard_prefix = "FRESHSEL_";
+};
+
+/// Replaces comments and string/char literal contents with spaces so pattern
+/// rules never fire on prose or quoted text; newlines are preserved.
+std::string StripCommentsAndStrings(const std::string& src);
+
+/// "common/bit_vector.h" -> "FRESHSEL_COMMON_BIT_VECTOR_H_".
+std::string ExpectedGuard(const std::filesystem::path& relative,
+                          const std::string& prefix);
+
+/// Lints one file; `relative` (to the scan root) names the expected include
+/// guard. Appends findings.
+void LintFile(const std::filesystem::path& file,
+              const std::filesystem::path& relative, const LintOptions& options,
+              std::vector<Finding>* findings);
+
+/// Scans files/directories (recursively; .h/.cc/.cpp). Returns all findings,
+/// deterministically ordered. Unreadable paths produce an "io" finding.
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
+                               const LintOptions& options,
+                               std::size_t* files_scanned);
+
+}  // namespace freshsel::lint
+
+#endif  // FRESHSEL_CLI_TOOLS_LINT_LIB_H_

@@ -1,7 +1,8 @@
 #include "common/bit_vector.h"
 
 #include <bit>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace freshsel {
 
@@ -9,18 +10,21 @@ BitVector::BitVector(std::size_t size)
     : size_(size), words_(WordCountFor(size), 0) {}
 
 void BitVector::Set(std::size_t index) {
-  assert(index < size_);
+  FRESHSEL_DCHECK(index < size_) << "bit " << index
+      << " out of range for BitVector of size " << size_;
   words_[index / kBitsPerWord] |= std::uint64_t{1} << (index % kBitsPerWord);
 }
 
 void BitVector::Reset(std::size_t index) {
-  assert(index < size_);
+  FRESHSEL_DCHECK(index < size_) << "bit " << index
+      << " out of range for BitVector of size " << size_;
   words_[index / kBitsPerWord] &=
       ~(std::uint64_t{1} << (index % kBitsPerWord));
 }
 
 bool BitVector::Test(std::size_t index) const {
-  assert(index < size_);
+  FRESHSEL_DCHECK(index < size_) << "bit " << index
+      << " out of range for BitVector of size " << size_;
   return (words_[index / kBitsPerWord] >>
           (index % kBitsPerWord)) & std::uint64_t{1};
 }
@@ -36,21 +40,24 @@ std::size_t BitVector::Count() const {
 }
 
 void BitVector::OrWith(const BitVector& other) {
-  assert(other.size_ == size_);
+  FRESHSEL_CHECK(other.size_ == size_)
+      << "BitVector size mismatch: " << other.size_ << " vs " << size_;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     words_[i] |= other.words_[i];
   }
 }
 
 void BitVector::AndNotWith(const BitVector& other) {
-  assert(other.size_ == size_);
+  FRESHSEL_CHECK(other.size_ == size_)
+      << "BitVector size mismatch: " << other.size_ << " vs " << size_;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     words_[i] &= ~other.words_[i];
   }
 }
 
 std::size_t BitVector::IntersectCount(const BitVector& other) const {
-  assert(other.size_ == size_);
+  FRESHSEL_CHECK(other.size_ == size_)
+      << "BitVector size mismatch: " << other.size_ << " vs " << size_;
   std::size_t total = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     total += std::popcount(words_[i] & other.words_[i]);
@@ -59,7 +66,8 @@ std::size_t BitVector::IntersectCount(const BitVector& other) const {
 }
 
 std::size_t BitVector::UnionCount(const BitVector& other) const {
-  assert(other.size_ == size_);
+  FRESHSEL_CHECK(other.size_ == size_)
+      << "BitVector size mismatch: " << other.size_ << " vs " << size_;
   std::size_t total = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     total += std::popcount(words_[i] | other.words_[i]);
@@ -75,7 +83,8 @@ std::size_t BitVector::UnionCountOf(
   for (std::size_t w = 0; w < words; ++w) {
     std::uint64_t acc = 0;
     for (const BitVector* v : vectors) {
-      assert(v->words_.size() == words);
+      FRESHSEL_DCHECK(v->words_.size() == words)
+          << "BitVector word-count mismatch in UnionCountOf";
       acc |= v->words_[w];
     }
     total += std::popcount(acc);

@@ -1,0 +1,41 @@
+#include "common/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace freshsel {
+namespace internal {
+
+namespace {
+
+void DefaultCheckFailureHandler(const char* message) {
+  std::fputs(message, stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<CheckFailureHandler> g_handler{&DefaultCheckFailureHandler};
+
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  if (handler == nullptr) handler = &DefaultCheckFailureHandler;
+  return g_handler.exchange(handler);
+}
+
+void CheckFailed(const char* file, int line, const char* condition,
+                 const std::string& detail) {
+  std::ostringstream message;
+  message << file << ':' << line << ": FRESHSEL_CHECK(" << condition
+          << ") failed";
+  if (!detail.empty()) message << ": " << detail;
+  g_handler.load()(message.str().c_str());
+  // A custom handler is expected to throw or longjmp; if it returns, the
+  // contract violation must still be fatal.
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace freshsel

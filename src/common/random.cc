@@ -1,7 +1,8 @@
 #include "common/random.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace freshsel {
 
@@ -46,7 +47,7 @@ double Rng::NextDouble() {
 }
 
 std::uint64_t Rng::NextBounded(std::uint64_t bound) {
-  assert(bound > 0);
+  FRESHSEL_CHECK(bound > 0) << "NextBounded needs a positive bound";
   // Lemire's multiply-shift rejection method.
   std::uint64_t x = Next();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -63,14 +64,16 @@ std::uint64_t Rng::NextBounded(std::uint64_t bound) {
 }
 
 std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  FRESHSEL_CHECK(lo <= hi)
+      << "UniformInt range is inverted: [" << lo << ", " << hi << "]";
   const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
   if (span == 0) return static_cast<std::int64_t>(Next());  // Full range.
   return lo + static_cast<std::int64_t>(NextBounded(span));
 }
 
 double Rng::UniformDouble(double lo, double hi) {
-  assert(lo <= hi);
+  FRESHSEL_CHECK(lo <= hi && std::isfinite(lo) && std::isfinite(hi))
+      << "UniformDouble range is invalid: [" << lo << ", " << hi << "]";
   return lo + (hi - lo) * NextDouble();
 }
 
@@ -81,7 +84,8 @@ bool Rng::Bernoulli(double p) {
 }
 
 double Rng::Exponential(double lambda) {
-  assert(lambda > 0.0);
+  FRESHSEL_CHECK(std::isfinite(lambda) && lambda > 0.0)
+      << "Exponential rate must be finite and positive, got " << lambda;
   double u;
   do {
     u = NextDouble();
@@ -90,7 +94,7 @@ double Rng::Exponential(double lambda) {
 }
 
 std::int64_t Rng::Poisson(double mean) {
-  assert(mean >= 0.0);
+  FRESHSEL_CHECK_NONNEG(mean);
   if (mean == 0.0) return 0;
   if (mean < 30.0) {
     // Knuth: multiply uniforms until product drops below e^-mean.
@@ -135,7 +139,8 @@ double Rng::Normal(double mean, double stddev) {
 
 std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
                                                        std::size_t k) {
-  assert(k <= n);
+  FRESHSEL_CHECK(k <= n)
+      << "cannot sample " << k << " items from a population of " << n;
   // Partial Fisher-Yates over an index vector; O(n) setup which is fine for
   // the library's workloads (n = #locations or #sources).
   std::vector<std::size_t> indices(n);

@@ -1,10 +1,10 @@
 #ifndef FRESHSEL_COMMON_RESULT_H_
 #define FRESHSEL_COMMON_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace freshsel {
@@ -25,7 +25,8 @@ class Result {
   /// Implicit construction from an error status makes
   /// `return Status::InvalidArgument(...);` work.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    FRESHSEL_DCHECK(!status_.ok())
+        << "Result constructed from OK status without value";
     if (status_.ok()) {
       status_ = Status::Internal("Result constructed from OK status");
     }
@@ -39,17 +40,19 @@ class Result {
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
-  /// Pre: ok().
+  /// Pre: ok(). Dereferencing an error Result is a contract violation; the
+  /// check is always on because the fallout (reading an empty optional) is
+  /// undefined behaviour.
   const T& value() const& {
-    assert(ok());
+    CheckOk();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CheckOk();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckOk();
     return std::move(*value_);
   }
 
@@ -64,6 +67,10 @@ class Result {
   }
 
  private:
+  void CheckOk() const {
+    FRESHSEL_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+  }
+
   std::optional<T> value_;
   Status status_;  // OK iff value_ present.
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace freshsel::estimation {
 
 Result<QualityEstimator> QualityEstimator::Create(
@@ -125,6 +127,11 @@ EstimatedQuality QualityEstimator::Estimate(
     const std::vector<SourceHandle>& set, TimePoint t) const {
   EstimatedQuality q;
   if (t < t0_) return q;
+  for (SourceHandle handle : set) {
+    FRESHSEL_CHECK(handle < sources_.size())
+        << "unknown source handle " << handle << " (registered: "
+        << sources_.size() << ")";
+  }
 
   // Union signature counts at t0.
   scratch_up_.Clear();
@@ -278,6 +285,15 @@ EstimatedQuality QualityEstimator::Estimate(
   const double union_size =
       std::max(expected_world - covered_est + expected_result, 1.0);
   q.accuracy = std::clamp(expected_up / union_size, 0.0, 1.0);
+  // Post-conditions: every published metric is a probability and every
+  // expectation is finite (Eqs. 12-19 preserve both by construction).
+  FRESHSEL_DCHECK_PROB(q.coverage);
+  FRESHSEL_DCHECK_PROB(q.local_freshness);
+  FRESHSEL_DCHECK_PROB(q.global_freshness);
+  FRESHSEL_DCHECK_PROB(q.accuracy);
+  FRESHSEL_DCHECK_FINITE(q.expected_world);
+  FRESHSEL_DCHECK_FINITE(q.expected_result);
+  FRESHSEL_DCHECK_FINITE(q.expected_up);
   return q;
 }
 

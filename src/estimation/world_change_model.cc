@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "stats/exponential.h"
 
 namespace freshsel::estimation {
@@ -73,6 +74,13 @@ Result<WorldChangeModel> WorldChangeModel::Learn(const world::World& world,
         stats::FitExponentialCensoredMle(tally.update_gaps);
     model.gamma_update = gamma_u.ok() ? *gamma_u : 0.0;
     model.count_at_t0 = world.CountAt(sub, t0);
+    // Learned rates feed survival exponentials and the Eq. 14 balance; a
+    // negative or non-finite rate would silently poison every prediction.
+    FRESHSEL_CHECK_NONNEG(model.lambda_insert);
+    FRESHSEL_CHECK_NONNEG(model.lambda_disappear);
+    FRESHSEL_CHECK_NONNEG(model.lambda_update);
+    FRESHSEL_CHECK_NONNEG(model.gamma_disappear);
+    FRESHSEL_CHECK_NONNEG(model.gamma_update);
   }
   return WorldChangeModel(t0, std::move(models));
 }
@@ -84,6 +92,8 @@ SubdomainChangeModel WorldChangeModel::Aggregate(
   double gamma_d_weighted = 0.0;
   double gamma_u_weighted = 0.0;
   for (world::SubdomainId sub : subs) {
+    FRESHSEL_CHECK(sub < models_.size())
+        << "subdomain " << sub << " out of range (" << models_.size() << ")";
     const SubdomainChangeModel& m = models_[sub];
     out.lambda_insert += m.lambda_insert;
     out.lambda_disappear += m.lambda_disappear;

@@ -1,5 +1,6 @@
 #include "harness/prediction_experiment.h"
 
+#include "common/check.h"
 #include "estimation/quality_estimator.h"
 #include "integration/signatures.h"
 #include "metrics/quality.h"
@@ -21,7 +22,11 @@ Result<std::vector<double>> WorldCountPredictionErrors(
         learned.world_model.PredictCount(subdomains, t);
     const double actual =
         static_cast<double>(learned.world().CountAtIn(subdomains, t));
-    errors.push_back(stats::RelativeError(predicted, actual));
+    const double error = stats::RelativeError(predicted, actual);
+    // RelativeError's epsilon floor guarantees a finite ratio; a NaN here
+    // means the change model produced a non-finite prediction.
+    FRESHSEL_DCHECK_FINITE(error);
+    errors.push_back(error);
   }
   return errors;
 }

@@ -3,11 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace freshsel::integration {
 
 ReconstructionQuality EvaluateReconstruction(
     const world::World& truth, const ReconstructionResult& result,
     const ReconstructionQualityOptions& options) {
+  // A non-positive stride would make the population sweep below loop
+  // forever; tolerances are distances and must be non-negative.
+  FRESHSEL_CHECK(options.population_stride > 0)
+      << "population_stride must be positive, got "
+      << options.population_stride;
+  FRESHSEL_CHECK_NONNEG(options.appearance_tolerance);
+  FRESHSEL_CHECK_NONNEG(options.update_tolerance);
   ReconstructionQuality quality;
   std::size_t matched = 0;
   std::size_t appearance_hits = 0;
@@ -103,6 +112,10 @@ ReconstructionQuality EvaluateReconstruction(
   if (samples > 0) {
     quality.mean_population_error = population_error_total / samples;
   }
+  FRESHSEL_DCHECK_PROB(quality.entity_recall);
+  FRESHSEL_DCHECK_PROB(quality.appearance_accuracy);
+  FRESHSEL_DCHECK_PROB(quality.disappearance_recall);
+  FRESHSEL_DCHECK_PROB(quality.update_recall);
   return quality;
 }
 

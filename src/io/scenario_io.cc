@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <fstream>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace freshsel::io {
@@ -52,6 +53,10 @@ Status WriteWorldCsv(const world::World& world, const std::string& path) {
       << world.horizon() << '\n';
   out << "id,subdomain,birth,death,updates\n";
   for (const world::EntityRecord& entity : world.entities()) {
+    // A record violating the lifespan invariant means the in-memory world is
+    // corrupt; refuse to persist it rather than round-trip garbage.
+    FRESHSEL_DCHECK(entity.death == world::kNever ||
+                    entity.death >= entity.birth);
     out << entity.id << ',' << entity.subdomain << ',' << entity.birth
         << ',';
     if (entity.death != world::kNever) out << entity.death;

@@ -1,5 +1,7 @@
 #include "metrics/quality.h"
 
+#include "common/check.h"
+
 namespace freshsel::metrics {
 
 QualityMetrics MetricsFromCounts(const QualityCounts& counts) {
@@ -21,6 +23,12 @@ QualityMetrics MetricsFromCounts(const QualityCounts& counts) {
     m.accuracy =
         static_cast<double>(counts.up) / static_cast<double>(union_size);
   }
+  // Count-derived ratios are probabilities by construction (up <= covered
+  // <= world_total and up <= in_result); a violation means corrupt counts.
+  FRESHSEL_DCHECK_PROB(m.coverage);
+  FRESHSEL_DCHECK_PROB(m.global_freshness);
+  FRESHSEL_DCHECK_PROB(m.local_freshness);
+  FRESHSEL_DCHECK_PROB(m.accuracy);
   return m;
 }
 

@@ -1,10 +1,13 @@
 #include "selection/cost.h"
 
+#include "common/check.h"
+
 namespace freshsel::selection {
 
 std::vector<double> CostModel::ItemShareCosts(
     const std::vector<const estimation::SourceProfile*>& profiles,
     double item_price) {
+  FRESHSEL_CHECK_NONNEG(item_price);
   std::vector<double> costs(profiles.size(), 0.0);
   if (profiles.empty()) return costs;
   const std::size_t width = profiles[0]->sig_t0.all.size();
@@ -28,6 +31,8 @@ std::vector<double> CostModel::ItemShareCosts(
 }
 
 double CostModel::DiscountForDivisor(double base_cost, std::int64_t divisor) {
+  FRESHSEL_CHECK(divisor >= 1) << "acquisition divisor must be >= 1, got "
+                               << divisor;
   return base_cost / (1.0 + static_cast<double>(divisor) / 10.0);
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace freshsel::selection {
 
 double GainModel::MetricValue(const estimation::EstimatedQuality& q) const {
@@ -43,6 +45,8 @@ double GainModel::Curve(GainFamily family, double quality) {
 }
 
 double GainModel::Evaluate(const estimation::EstimatedQuality& q) const {
+  FRESHSEL_DCHECK_PROB(q.coverage);
+  FRESHSEL_DCHECK_NONNEG(q.expected_world);
   if (family_ == GainFamily::kData) {
     // $item_value per covered item: 10 * Cov* * E[|Omega|_t].
     return kItemValue * q.coverage * q.expected_world;

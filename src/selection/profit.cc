@@ -1,6 +1,9 @@
 #include "selection/profit.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
 
 namespace freshsel::selection {
 
@@ -20,7 +23,12 @@ Result<ProfitOracle> ProfitOracle::Create(
 
   // Normalize costs so the whole universe costs 1.
   double total_cost = 0.0;
-  for (double c : costs) total_cost += c;
+  for (double c : costs) {
+    if (!std::isfinite(c) || c < 0.0) {
+      return Status::InvalidArgument("source costs must be finite and >= 0");
+    }
+    total_cost += c;
+  }
   if (total_cost > 0.0) {
     for (double& c : costs) c /= total_cost;
   }
@@ -42,7 +50,10 @@ Result<ProfitOracle> ProfitOracle::Create(
 
 double ProfitOracle::Cost(const std::vector<SourceHandle>& set) const {
   double total = 0.0;
-  for (SourceHandle h : set) total += costs_[h];
+  for (SourceHandle h : set) {
+    FRESHSEL_DCHECK(h < costs_.size()) << "unknown source handle " << h;
+    total += costs_[h];
+  }
   return total;
 }
 
@@ -56,6 +67,7 @@ double ProfitOracle::Gain(const std::vector<SourceHandle>& set) const {
   for (TimePoint t : times) {
     const double gain =
         config_.gain.Evaluate(estimator_->Estimate(set, t));
+    FRESHSEL_DCHECK_FINITE(gain);
     total += gain;
     best = std::max(best, gain);
     worst = std::min(worst, gain);

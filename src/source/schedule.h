@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/check.h"
 #include "common/time_types.h"
 
 namespace freshsel::source {
@@ -18,11 +19,15 @@ struct UpdateSchedule {
   std::int64_t period = 1;  ///< Days between updates; >= 1.
   TimePoint phase = 0;      ///< First update day; in [0, period).
 
-  double frequency() const { return 1.0 / static_cast<double>(period); }
+  double frequency() const {
+    FRESHSEL_DCHECK(period >= 1);
+    return 1.0 / static_cast<double>(period);
+  }
 
   /// Latest update day <= t; may be negative (phase - period) when the
   /// source has not updated yet by t.
   TimePoint LatestUpdateAt(TimePoint t) const {
+    FRESHSEL_DCHECK(period >= 1);
     // Floor division that is correct for t < phase.
     TimePoint diff = t - phase;
     TimePoint q = diff >= 0 ? diff / period : -((-diff + period - 1) / period);
@@ -39,6 +44,7 @@ struct UpdateSchedule {
 
   /// Schedule of acquiring every `divisor`-th update. Pre: divisor >= 1.
   UpdateSchedule WithDivisor(std::int64_t divisor) const {
+    FRESHSEL_CHECK(divisor >= 1) << "divisor=" << divisor;
     return UpdateSchedule{period * divisor, phase};
   }
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace freshsel::stats {
 
 double Mean(const std::vector<double>& values) {
@@ -36,6 +38,9 @@ double Quantile(std::vector<double> values, double q) {
 }
 
 double RelativeError(double predicted, double actual, double epsilon) {
+  // With epsilon <= 0 and actual == 0 this would divide 0 by 0; the floor
+  // exists precisely to keep the paper's error metric finite.
+  FRESHSEL_CHECK(epsilon > 0.0) << "epsilon must be positive, got " << epsilon;
   const double denom = std::max(std::fabs(actual), epsilon);
   return std::fabs(predicted - actual) / denom;
 }

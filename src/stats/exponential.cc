@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace freshsel::stats {
 
 Result<ExponentialDistribution> ExponentialDistribution::Create(double rate) {
@@ -19,7 +21,9 @@ double ExponentialDistribution::Pdf(double x) const {
 
 double ExponentialDistribution::Cdf(double x) const {
   if (x < 0.0) return 0.0;
-  return 1.0 - std::exp(-rate_ * x);
+  const double cdf = 1.0 - std::exp(-rate_ * x);
+  FRESHSEL_DCHECK_PROB(cdf);
+  return cdf;
 }
 
 double ExponentialDistribution::Survival(double x) const {

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace freshsel::stats {
 
 void KaplanMeierEstimator::Add(double duration, bool observed) {
+  FRESHSEL_CHECK_FINITE(duration);
   if (duration < 0.0) duration = 0.0;
   observations_.push_back({duration, observed});
   if (observed) ++observed_events_;
@@ -15,6 +18,12 @@ Result<std::vector<KaplanMeierEstimator::KnotWithError>>
 KaplanMeierEstimator::FitWithStdError() const {
   if (observations_.empty()) {
     return Status::FailedPrecondition("Kaplan-Meier fit needs observations");
+  }
+  if (observed_events_ == 0) {
+    // Fully right-censored sample: there is no event-time knot to attach a
+    // Greenwood error to, so report that instead of an empty band.
+    return Status::FailedPrecondition(
+        "Kaplan-Meier standard errors need at least one observed event");
   }
   std::vector<CensoredObservation> sorted = observations_;
   std::sort(sorted.begin(), sorted.end(),
@@ -44,6 +53,7 @@ KaplanMeierEstimator::FitWithStdError() const {
       const double d = static_cast<double>(events);
       survival *= 1.0 - d / n;
       if (n > d) greenwood += d / (n * (n - d));
+      FRESHSEL_DCHECK_PROB(survival);
       const double variance =
           survival * survival * greenwood;  // Greenwood's formula.
       knots.push_back({t, 1.0 - survival, std::sqrt(variance)});
@@ -89,6 +99,11 @@ Result<StepFunction> KaplanMeierEstimator::Fit() const {
     if (events > 0) {
       survival *= 1.0 - static_cast<double>(events) /
                             static_cast<double>(at_risk);
+      // The KM estimate must stay a monotone step function in [0, 1]
+      // (Section 4.1.2): each factor is in [0, 1), so survival only falls.
+      FRESHSEL_DCHECK_PROB(survival);
+      FRESHSEL_DCHECK(knots.empty() || 1.0 - survival >= knots.back().second)
+          << "Kaplan-Meier CDF must be non-decreasing";
       knots.emplace_back(t, 1.0 - survival);
     }
     at_risk -= events + censored;

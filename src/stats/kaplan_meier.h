@@ -44,7 +44,9 @@ class KaplanMeierEstimator {
   };
 
   /// Fit() plus Greenwood standard errors per event-time knot - the
-  /// uncertainty band around a learned effectiveness distribution.
+  /// uncertainty band around a learned effectiveness distribution. Returns
+  /// FailedPrecondition when there is no observation or when every
+  /// observation is right-censored (no event-time knot exists).
   Result<std::vector<KnotWithError>> FitWithStdError() const;
 
  private:

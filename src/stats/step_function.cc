@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace freshsel::stats {
 
 StepFunction StepFunction::Constant(double value) {
@@ -36,6 +38,7 @@ Result<StepFunction> StepFunction::FromKnots(
 }
 
 double StepFunction::Evaluate(double x) const {
+  FRESHSEL_DCHECK(!std::isnan(x)) << "StepFunction::Evaluate(NaN)";
   if (x < 0.0) return 0.0;
   // First knot with knot.x > x; the value is carried by the previous knot.
   auto it = std::upper_bound(

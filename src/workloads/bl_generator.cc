@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "source/source_simulator.h"
@@ -53,6 +54,8 @@ source::CaptureSpec DrawCapture(Rng& rng, double delay_lo, double delay_hi,
   source::CaptureSpec cap;
   cap.delay_mean_days = rng.UniformDouble(delay_lo, delay_hi);
   cap.miss_prob = rng.UniformDouble(miss_lo, miss_hi);
+  FRESHSEL_DCHECK_NONNEG(cap.delay_mean_days);
+  FRESHSEL_DCHECK_PROB(cap.miss_prob);
   return cap;
 }
 

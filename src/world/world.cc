@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace freshsel::world {
@@ -97,6 +98,9 @@ Status World::Finalize() {
 
 const std::vector<EntityId>& World::EntitiesInSubdomain(
     SubdomainId sub) const {
+  FRESHSEL_CHECK(sub < by_subdomain_.size())
+      << "subdomain " << sub << " out of range ("
+      << by_subdomain_.size() << ")";
   return by_subdomain_[sub];
 }
 
@@ -107,6 +111,9 @@ TimePoint World::ClampDay(TimePoint t) const {
 }
 
 std::int64_t World::CountAt(SubdomainId sub, TimePoint t) const {
+  FRESHSEL_CHECK(finalized_) << "CountAt before World::Finalize";
+  FRESHSEL_CHECK(sub < counts_.size())
+      << "subdomain " << sub << " out of range (" << counts_.size() << ")";
   return counts_[sub][static_cast<std::size_t>(ClampDay(t))];
 }
 

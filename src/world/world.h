@@ -47,7 +47,11 @@ class World {
   bool finalized() const { return finalized_; }
 
   std::size_t entity_count() const { return entities_.size(); }
-  const EntityRecord& entity(EntityId id) const { return entities_[id]; }
+  const EntityRecord& entity(EntityId id) const {
+    FRESHSEL_DCHECK(id < entities_.size())
+        << "entity " << id << " out of range (" << entities_.size() << ")";
+    return entities_[id];
+  }
   const std::vector<EntityRecord>& entities() const { return entities_; }
 
   /// Ids of entities whose subdomain is `sub` (any lifetime).

@@ -1,0 +1,194 @@
+#include "cli/tools/lint_lib.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace freshsel::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fixture files carrying the banned patterns are generated into a fresh
+/// temp directory at runtime, so the repository itself never contains them
+/// (the lint_tree ctest scans the committed tree).
+class FreshselLintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("freshsel_lint_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path WriteFixture(const std::string& relative,
+                        const std::string& contents) {
+    const fs::path path = root_ / relative;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path);
+    out << contents;
+    return path;
+  }
+
+  std::vector<Finding> Lint(const LintOptions& options = LintOptions()) {
+    return LintPaths({root_.string()}, options, nullptr);
+  }
+
+  static std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+    std::vector<std::string> rules;
+    rules.reserve(findings.size());
+    for (const Finding& f : findings) rules.push_back(f.rule);
+    return rules;
+  }
+
+  static bool HasRule(const std::vector<Finding>& findings,
+                      const std::string& rule) {
+    return std::any_of(
+        findings.begin(), findings.end(),
+        [&](const Finding& f) { return f.rule == rule; });
+  }
+
+  fs::path root_;
+};
+
+TEST_F(FreshselLintTest, CleanFilePasses) {
+  WriteFixture("good.cc",
+               "#include \"common/check.h\"\n"
+               "int Work(int x) {\n"
+               "  FRESHSEL_CHECK(x >= 0);\n"
+               "  return x + 1;\n"
+               "}\n");
+  WriteFixture("good.h",
+               "#ifndef FRESHSEL_GOOD_H_\n"
+               "#define FRESHSEL_GOOD_H_\n"
+               "int Work(int x);\n"
+               "#endif  // FRESHSEL_GOOD_H_\n");
+  EXPECT_TRUE(Lint().empty()) << "unexpected: " << Rules(Lint()).size();
+}
+
+TEST_F(FreshselLintTest, FlagsRandAndSrand) {
+  WriteFixture("bad_rand.cc",
+               "#include <cstdlib>\n"
+               "int Roll() { return rand() % 6; }\n"
+               "void Seed() { srand(42); }\n"
+               "int Roll2() { return std::rand() % 6; }\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "no-rand");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[1].line, 3u);
+}
+
+TEST_F(FreshselLintTest, DoesNotFlagRandomOrRngIdentifiers) {
+  WriteFixture("ok_random.cc",
+               "#include \"common/random.h\"\n"
+               "double Draw(freshsel::Rng& rng) { return rng.NextDouble(); }\n"
+               "int spread(int operand) { return operand; }\n");
+  EXPECT_TRUE(Lint().empty());
+}
+
+TEST_F(FreshselLintTest, FlagsBareAssertButNotStaticAssert) {
+  WriteFixture("bad_assert.cc",
+               "#include <cassert>\n"
+               "static_assert(sizeof(int) >= 4, \"int\");\n"
+               "void Check(int x) { assert(x > 0); }\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-bare-assert");
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST_F(FreshselLintTest, AssertRuleCanBeDisabledForTestTrees) {
+  WriteFixture("test_helper.cc", "void F(int x) { assert(x); }\n");
+  LintOptions options;
+  options.assert_rule = false;
+  EXPECT_TRUE(Lint(options).empty());
+}
+
+TEST_F(FreshselLintTest, FlagsUsingNamespaceInHeadersOnly) {
+  WriteFixture("bad_using.h",
+               "#ifndef FRESHSEL_BAD_USING_H_\n"
+               "#define FRESHSEL_BAD_USING_H_\n"
+               "using namespace std;\n"
+               "#endif  // FRESHSEL_BAD_USING_H_\n");
+  WriteFixture("ok_using.cc", "using namespace std;\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-using-namespace");
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST_F(FreshselLintTest, FlagsMissingAndMismatchedIncludeGuards) {
+  WriteFixture("sub/no_guard.h", "int F();\n");
+  WriteFixture("sub/wrong_guard.h",
+               "#ifndef WRONG_NAME_H_\n"
+               "#define WRONG_NAME_H_\n"
+               "#endif\n");
+  WriteFixture("sub/mismatched.h",
+               "#ifndef FRESHSEL_SUB_MISMATCHED_H_\n"
+               "#define FRESHSEL_SUB_OTHER_H_\n"
+               "#endif\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "include-guard");
+}
+
+TEST_F(FreshselLintTest, AcceptsCanonicalGuardAndPragmaOnce) {
+  WriteFixture("sub/guarded.h",
+               "#ifndef FRESHSEL_SUB_GUARDED_H_\n"
+               "#define FRESHSEL_SUB_GUARDED_H_\n"
+               "#endif  // FRESHSEL_SUB_GUARDED_H_\n");
+  WriteFixture("pragma.h", "#pragma once\nint F();\n");
+  EXPECT_TRUE(Lint().empty());
+}
+
+TEST_F(FreshselLintTest, IgnoresPatternsInCommentsAndStrings) {
+  WriteFixture("ok_comments.cc",
+               "// assert(x) and rand() in a comment are fine\n"
+               "/* srand(7); using namespace std; */\n"
+               "const char* kDoc = \"call rand() then assert(ok)\";\n");
+  EXPECT_TRUE(Lint().empty());
+}
+
+TEST_F(FreshselLintTest, ExpectedGuardDerivation) {
+  EXPECT_EQ(ExpectedGuard(fs::path("common/bit_vector.h"), "FRESHSEL_"),
+            "FRESHSEL_COMMON_BIT_VECTOR_H_");
+  EXPECT_EQ(ExpectedGuard(fs::path("freshsel.h"), "FRESHSEL_"),
+            "FRESHSEL_FRESHSEL_H_");
+  EXPECT_EQ(ExpectedGuard(fs::path("cli/tools/lint_lib.h"), "FRESHSEL_"),
+            "FRESHSEL_CLI_TOOLS_LINT_LIB_H_");
+}
+
+TEST_F(FreshselLintTest, MissingPathReportsIoFinding) {
+  const std::vector<Finding> findings =
+      LintPaths({(root_ / "does_not_exist").string()}, LintOptions(), nullptr);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "io");
+}
+
+TEST_F(FreshselLintTest, RealLibraryTreeIsClean) {
+  const char* source_root = FRESHSEL_SOURCE_ROOT;
+  const fs::path src = fs::path(source_root) / "src";
+  ASSERT_TRUE(fs::is_directory(src));
+  std::size_t scanned = 0;
+  const std::vector<Finding> findings =
+      LintPaths({src.string()}, LintOptions(), &scanned);
+  EXPECT_GT(scanned, 50u);
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace freshsel::lint

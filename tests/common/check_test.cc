@@ -1,0 +1,101 @@
+#include "common/check.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace freshsel {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  FRESHSEL_CHECK(1 + 1 == 2);
+  FRESHSEL_CHECK(true) << "detail is not evaluated on success";
+  FRESHSEL_CHECK_FINITE(0.5);
+  FRESHSEL_CHECK_NONNEG(0.0);
+  FRESHSEL_CHECK_PROB(0.0);
+  FRESHSEL_CHECK_PROB(1.0);
+  FRESHSEL_DCHECK(true);
+  FRESHSEL_DCHECK_PROB(0.25);
+}
+
+TEST(CheckDeathTest, FailedCheckAbortsWithFormattedMessage) {
+  EXPECT_DEATH(FRESHSEL_CHECK(2 + 2 == 5) << "arithmetic drifted",
+               "FRESHSEL_CHECK\\(2 \\+ 2 == 5\\) failed: arithmetic drifted");
+}
+
+TEST(CheckDeathTest, MessageNamesFileAndCondition) {
+  EXPECT_DEATH(FRESHSEL_CHECK(false), "check_test.cc");
+}
+
+TEST(CheckDeathTest, CheckProbRejectsOutOfRangeAndNan) {
+  EXPECT_DEATH(FRESHSEL_CHECK_PROB(1.5), "must be a probability");
+  EXPECT_DEATH(FRESHSEL_CHECK_PROB(-0.1), "must be a probability");
+  EXPECT_DEATH(FRESHSEL_CHECK_PROB(std::nan("")), "must be a probability");
+}
+
+TEST(CheckDeathTest, CheckFiniteRejectsInfAndNan) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DEATH(FRESHSEL_CHECK_FINITE(inf), "is not finite");
+  EXPECT_DEATH(FRESHSEL_CHECK_FINITE(std::nan("")), "is not finite");
+}
+
+TEST(CheckDeathTest, CheckNonnegRejectsNegative) {
+  EXPECT_DEATH(FRESHSEL_CHECK_NONNEG(-1e-9), "finite and non-negative");
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckFiresInDebugBuilds) {
+  EXPECT_DEATH(FRESHSEL_DCHECK(false) << "debug contract", "debug contract");
+  EXPECT_DEATH(FRESHSEL_DCHECK_PROB(2.0), "must be a probability");
+}
+#else
+TEST(CheckTest, DcheckIsCompiledOutInReleaseBuilds) {
+  // Must not abort, and must not evaluate the condition's side effects.
+  int evaluations = 0;
+  FRESHSEL_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 0);
+  FRESHSEL_DCHECK_PROB(42.0);
+}
+#endif
+
+void ThrowingHandler(const char* message) {
+  throw std::runtime_error(message);
+}
+
+TEST(CheckTest, FailureHandlerHookObservesFailuresWithoutDying) {
+  internal::CheckFailureHandler previous =
+      internal::SetCheckFailureHandler(&ThrowingHandler);
+  try {
+    EXPECT_THROW(
+        { FRESHSEL_CHECK(false) << "observed by handler, x=" << 7; },
+        std::runtime_error);
+    try {
+      FRESHSEL_CHECK_PROB(3.0);
+      FAIL() << "CHECK_PROB(3.0) did not fire";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("must be a probability in [0, 1]"),
+                std::string::npos)
+          << what;
+      EXPECT_NE(what.find("check_test.cc"), std::string::npos) << what;
+    }
+  } catch (...) {
+    internal::SetCheckFailureHandler(previous);
+    throw;
+  }
+  internal::SetCheckFailureHandler(previous);
+}
+
+TEST(CheckTest, SetHandlerReturnsPreviousAndNullRestoresDefault) {
+  internal::CheckFailureHandler defaulted =
+      internal::SetCheckFailureHandler(&ThrowingHandler);
+  EXPECT_EQ(internal::SetCheckFailureHandler(nullptr), &ThrowingHandler);
+  // After restoring via nullptr, installing again returns the default, not
+  // the throwing handler.
+  EXPECT_EQ(internal::SetCheckFailureHandler(defaulted), defaulted);
+}
+
+}  // namespace
+}  // namespace freshsel

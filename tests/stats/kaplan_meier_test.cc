@@ -116,6 +116,20 @@ TEST_P(KmRecoveryTest, RecoversExponentialCdfUnderCensoring) {
 INSTANTIATE_TEST_SUITE_P(Rates, KmRecoveryTest,
                          ::testing::Values(0.05, 0.2, 1.0, 4.0));
 
+TEST(KaplanMeierTest, FullyCensoredSampleYieldsZeroFitButStdErrorFails) {
+  KaplanMeierEstimator km;
+  km.Add(3.0, false);
+  km.Add(7.0, false);
+  // Fit falls back to the constant-zero effectiveness distribution...
+  StepFunction f = km.Fit().value();
+  EXPECT_EQ(f.Evaluate(100.0), 0.0);
+  // ...but there is no event-time knot to attach a Greenwood error to.
+  Result<std::vector<KaplanMeierEstimator::KnotWithError>> band =
+      km.FitWithStdError();
+  ASSERT_FALSE(band.ok());
+  EXPECT_EQ(band.status().code(), StatusCode::kFailedPrecondition);
+}
+
 TEST(KaplanMeierTest, FitWithStdErrorMatchesFitKnots) {
   Rng rng(151);
   KaplanMeierEstimator km;
