@@ -4,14 +4,17 @@
 //  (b) run time vs the size of the queried data domain (number of
 //      (location, category) pairs), on BL, for coverage and accuracy gains.
 
+#include <cstdint>
 #include <iostream>
 
 #include "bench_util.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "harness/learned_scenario.h"
 #include "harness/selection_experiment.h"
+#include "selection/cached_oracle.h"
 #include "selection/cost.h"
 #include "selection/selector.h"
 #include "workloads/blplus_generator.h"
@@ -186,6 +189,114 @@ Status PanelB(const workloads::Scenario& bl,
   return Status::OK();
 }
 
+/// One configuration of the oracle-acceleration ablation in Panel C.
+struct AccelVariant {
+  const char* label;
+  selection::Algorithm algorithm;
+  int kappa;
+  int restarts;
+  bool lazy;       ///< CELF lazy greedy (vs eager full re-scan).
+  bool use_pool;   ///< Shared thread pool for GRASP candidate marginals.
+  bool use_cache;  ///< Wrap the oracle in CachedProfitOracle.
+  int baseline;    ///< Index of the unaccelerated row to compare, or -1.
+};
+
+/// Panel (c): same pipeline as Panel (a) at fixed roster sizes, isolating
+/// the acceleration layer. Every variant returns identical selections; the
+/// table shows what each one pays for them.
+Status PanelC(const workloads::Scenario& bl) {
+  std::vector<std::uint32_t> micro_counts = {5, 20};
+  if (bench::FullMode()) micro_counts.push_back(100);
+
+  const std::vector<AccelVariant> variants = {
+      {"greedy-eager", selection::Algorithm::kGreedy, 1, 1,
+       false, false, false, -1},
+      {"greedy-lazy", selection::Algorithm::kGreedy, 1, 1,
+       true, false, false, 0},
+      {"grasp(2,10)", selection::Algorithm::kGrasp, 2, 10,
+       true, false, false, -1},
+      {"grasp(2,10)+pool", selection::Algorithm::kGrasp, 2, 10,
+       true, true, false, 2},
+      {"grasp(2,10)+cache", selection::Algorithm::kGrasp, 2, 10,
+       true, false, true, 2},
+  };
+
+  TablePrinter table(
+      "Fig 13(c): oracle-acceleration ablation (BL+, coverage gain)",
+      {"#sources", "variant", "ms", "oracle_calls", "calls_saved",
+       "hit_rate", "speedup"});
+
+  std::vector<harness::DomainPoint> point =
+      harness::LargestSubdomainPoints(bl.world, bl.t0, 1);
+  TimePoints eval_times;
+  for (int i = 1; i <= 10; ++i) eval_times.push_back(bl.t0 + 7 * i);
+
+  for (std::uint32_t micro : micro_counts) {
+    FRESHSEL_ASSIGN_OR_RETURN(
+        workloads::MicroRoster roster,
+        workloads::GenerateBlPlusRoster(bl, micro, /*seed=*/101));
+    FRESHSEL_ASSIGN_OR_RETURN(
+        harness::LearnedScenario learned,
+        harness::LearnScenarioWithSources(bl, roster.sources));
+    FRESHSEL_ASSIGN_OR_RETURN(
+        estimation::QualityEstimator estimator,
+        estimation::QualityEstimator::Create(bl.world, learned.world_model,
+                                             point[0].subdomains,
+                                             eval_times));
+    std::vector<const estimation::SourceProfile*> profiles;
+    for (const auto& p : learned.profiles) profiles.push_back(&p);
+    for (const auto* p : profiles) {
+      FRESHSEL_ASSIGN_OR_RETURN(auto handle, estimator.AddSource(p, 1));
+      (void)handle;
+    }
+    std::vector<double> costs =
+        selection::CostModel::ItemShareCosts(profiles);
+    selection::ProfitOracle::Config oracle_config;
+    oracle_config.gain = selection::GainModel(
+        selection::GainFamily::kLinear, selection::QualityMetric::kCoverage);
+    FRESHSEL_ASSIGN_OR_RETURN(
+        selection::ProfitOracle oracle,
+        selection::ProfitOracle::Create(&estimator, costs, oracle_config));
+
+    std::vector<double> times(variants.size(), 0.0);
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      const AccelVariant& v = variants[i];
+      selection::SelectorConfig config;
+      config.algorithm = v.algorithm;
+      config.grasp_kappa = v.kappa;
+      config.grasp_restarts = v.restarts;
+      config.lazy_greedy = v.lazy;
+      if (v.use_pool) config.pool = &ThreadPool::Shared();
+      oracle.ResetCallCount();
+      WallTimer timer;
+      selection::SelectionResult result;
+      if (v.use_cache) {
+        selection::CachedProfitOracle cached(oracle);
+        FRESHSEL_ASSIGN_OR_RETURN(result,
+                                  selection::SelectSources(cached, config));
+        result.cache_hit_rate = cached.stats().hit_rate();
+      } else {
+        FRESHSEL_ASSIGN_OR_RETURN(result,
+                                  selection::SelectSources(oracle, config));
+      }
+      times[i] = timer.ElapsedMillis();
+      const double speedup =
+          v.baseline >= 0 && times[i] > 0.0 ? times[v.baseline] / times[i]
+                                            : 1.0;
+      table.AddRow({std::to_string(roster.sources.size()), v.label,
+                    FormatDouble(times[i], 1),
+                    std::to_string(result.oracle_calls),
+                    std::to_string(result.oracle_calls_saved),
+                    FormatDouble(result.cache_hit_rate, 2),
+                    FormatDouble(speedup, 2) + "x"});
+    }
+  }
+  table.Print(std::cout);
+  std::printf("(all variants return identical selections; lazy/cache/pool "
+              "only change what the answer costs)\n");
+  return Status::OK();
+}
+
 }  // namespace
 }  // namespace freshsel
 
@@ -207,6 +318,12 @@ int main() {
   Status b = PanelB(*bl, *learned);
   if (!b.ok()) {
     std::fprintf(stderr, "panel (b): %s\n", b.ToString().c_str());
+    return 1;
+  }
+  std::printf("\n");
+  Status c = PanelC(*bl);
+  if (!c.ok()) {
+    std::fprintf(stderr, "panel (c): %s\n", c.ToString().c_str());
     return 1;
   }
   return 0;

@@ -1,6 +1,7 @@
 #include "cli/args.h"
 
 #include <charconv>
+#include <cstdint>
 
 namespace freshsel::cli {
 

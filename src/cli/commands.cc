@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 
 #include "common/string_util.h"

@@ -10,6 +10,11 @@
 //                         assert(); static_assert is fine.
 //   include-guard         every header carries the canonical include guard
 //                         FRESHSEL_<RELATIVE_PATH>_H_ (or #pragma once).
+//   iwyu-spot             spot include-what-you-use checks for the two
+//                         headers most often picked up transitively:
+//                         std::numeric_limits needs a direct
+//                         #include <limits>, and the std::[u]intN_t
+//                         aliases need a direct #include <cstdint>.
 //
 // Usage: freshsel_lint [--no-assert-rule] [--guard-prefix PREFIX] PATH...
 // Each PATH is a file or a directory scanned recursively for .h/.cc/.cpp.

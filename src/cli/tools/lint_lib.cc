@@ -47,6 +47,78 @@ bool CallsFunction(const std::string& line, std::string_view name) {
   return false;
 }
 
+/// True when `line` uses `name` as a complete token (word boundaries on
+/// both sides; ':' counts as part of a qualified name on the left so
+/// "mystd::numeric_limits" never matches "std::numeric_limits").
+bool UsesToken(const std::string& line, std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string::npos) {
+    const bool left_ok =
+        pos == 0 || (!IsIdentChar(line[pos - 1]) && line[pos - 1] != ':');
+    const std::size_t after = pos + name.size();
+    const bool right_ok = after >= line.size() || !IsIdentChar(line[after]);
+    if (left_ok && right_ok) return true;
+    pos += name.size();
+  }
+  return false;
+}
+
+/// True when the file has a direct `#include <header>` line.
+bool HasDirectInclude(const std::vector<std::string>& lines,
+                      std::string_view header) {
+  const std::string needle = std::string("<") + std::string(header) + ">";
+  for (const std::string& line : lines) {
+    const std::size_t hash = line.find_first_not_of(" \t");
+    if (hash == std::string::npos || line[hash] != '#') continue;
+    std::size_t directive = hash + 1;
+    while (directive < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[directive])) != 0) {
+      ++directive;
+    }
+    if (line.compare(directive, 7, "include") != 0) continue;
+    if (line.find(needle, directive) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Spot include-what-you-use rule for the two headers most often pulled in
+/// transitively and silently lost in refactors: <limits> (for
+/// std::numeric_limits) and <cstdint> (for the std::[u]intN_t aliases).
+/// Flags the first use per header when the direct #include is missing.
+void CheckIwyuSpot(const fs::path& file,
+                   const std::vector<std::string>& lines,
+                   std::vector<Finding>* findings) {
+  struct SpotHeader {
+    const char* header;
+    std::vector<std::string_view> tokens;
+  };
+  static const std::vector<SpotHeader>& kSpots = *new std::vector<SpotHeader>{
+      {"limits", {"std::numeric_limits"}},
+      {"cstdint",
+       {"std::int8_t", "std::int16_t", "std::int32_t", "std::int64_t",
+        "std::uint8_t", "std::uint16_t", "std::uint32_t",
+        "std::uint64_t"}},
+  };
+  for (const SpotHeader& spot : kSpots) {
+    if (HasDirectInclude(lines, spot.header)) continue;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::string_view used;
+      for (std::string_view token : spot.tokens) {
+        if (UsesToken(lines[i], token)) {
+          used = token;
+          break;
+        }
+      }
+      if (used.empty()) continue;
+      findings->push_back(
+          {file.string(), i + 1, "iwyu-spot",
+           std::string(used) + " used without a direct #include <" +
+               spot.header + ">"});
+      break;  // One finding per missing header is enough.
+    }
+  }
+}
+
 bool IsHeader(const fs::path& path) { return path.extension() == ".h"; }
 
 bool IsSourceFile(const fs::path& path) {
@@ -223,6 +295,7 @@ void LintFile(const fs::path& file, const fs::path& relative,
            "'using namespace' in a header leaks into every includer"});
     }
   }
+  CheckIwyuSpot(file, lines, findings);
   if (header) {
     CheckIncludeGuard(file, relative, SplitLines(raw), options, findings);
   }

@@ -1,6 +1,7 @@
 #include "common/bit_vector.h"
 
 #include <bit>
+#include <cstdint>
 
 #include "common/check.h"
 

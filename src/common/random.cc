@@ -1,6 +1,7 @@
 #include "common/random.h"
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/check.h"
 

@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace freshsel {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(threads, 1);
+  if (n == 1) return;  // Inline execution; no workers.
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] {
+      return shutdown_ || (has_batch_ && batch_.next < batch_.chunks);
+    });
+    if (shutdown_) return;
+    RunChunks(lock);
+  }
+}
+
+void ThreadPool::RunChunks(std::unique_lock<std::mutex>& lock) {
+  while (has_batch_ && batch_.next < batch_.chunks) {
+    const std::size_t index = batch_.next++;
+    const std::size_t begin = index * batch_.chunk;
+    const std::size_t end = std::min(begin + batch_.chunk, batch_.n);
+    const auto* body = batch_.body;
+    lock.unlock();
+    (*body)(begin, end);
+    lock.lock();
+    if (++batch_.done == batch_.chunks) {
+      has_batch_ = false;
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads_.empty()) {
+    body(0, n);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_.body = &body;
+  batch_.n = n;
+  batch_.chunks = std::min(n, threads_.size() + 1);
+  batch_.chunk = (n + batch_.chunks - 1) / batch_.chunks;
+  // Recompute: with ceil-sized chunks the last chunk may be empty; derive
+  // the true chunk count from the chunk size.
+  batch_.chunks = (n + batch_.chunk - 1) / batch_.chunk;
+  batch_.next = 0;
+  batch_.done = 0;
+  has_batch_ = true;
+  work_cv_.notify_all();
+  // The caller helps: claim chunks like a worker, then wait for stragglers.
+  RunChunks(lock);
+  done_cv_.wait(lock, [this] { return !has_batch_; });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t n =
+        std::min<std::size_t>(8, std::max<std::size_t>(2, hw));
+    return new ThreadPool(n);
+  }();
+  return *pool;
+}
+
+}  // namespace freshsel

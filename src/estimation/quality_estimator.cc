@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "common/check.h"
 
@@ -56,9 +60,7 @@ Result<QualityEstimator> QualityEstimator::Create(
     }
   }
   est.compact_size_ = next;
-  est.scratch_up_ = BitVector(next);
-  est.scratch_cov_ = BitVector(next);
-  est.scratch_all_ = BitVector(next);
+  est.sync_ = std::make_unique<SyncState>();
   return est;
 }
 
@@ -113,9 +115,38 @@ QualityEstimator::ComputeEffectiveness(const RegisteredSource& src,
   return vectors;
 }
 
+QualityEstimator::Scratch QualityEstimator::AcquireScratch() const {
+  {
+    std::lock_guard<std::mutex> lock(sync_->mutex);
+    if (!sync_->scratch_pool.empty()) {
+      Scratch scratch = std::move(sync_->scratch_pool.back());
+      sync_->scratch_pool.pop_back();
+      scratch.up.Clear();
+      scratch.cov.Clear();
+      scratch.all.Clear();
+      return scratch;
+    }
+  }
+  Scratch scratch;
+  scratch.up = BitVector(compact_size_);
+  scratch.cov = BitVector(compact_size_);
+  scratch.all = BitVector(compact_size_);
+  return scratch;
+}
+
+void QualityEstimator::ReleaseScratch(Scratch&& scratch) const {
+  std::lock_guard<std::mutex> lock(sync_->mutex);
+  sync_->scratch_pool.push_back(std::move(scratch));
+}
+
 const QualityEstimator::EffectivenessVectors&
 QualityEstimator::EffectivenessFor(SourceHandle handle, TimePoint t,
                                    std::size_t t_index) const {
+  // The fill runs under the mutex so concurrent callers of the same
+  // (source, time) slot see either nothing or a fully built value; a
+  // filled slot is never rewritten, so the returned reference may be used
+  // after the lock is dropped.
+  std::lock_guard<std::mutex> lock(sync_->mutex);
   std::optional<EffectivenessVectors>& slot = cache_[handle][t_index];
   if (!slot.has_value()) {
     slot = ComputeEffectiveness(sources_[handle], t);
@@ -133,19 +164,19 @@ EstimatedQuality QualityEstimator::Estimate(
         << sources_.size() << ")";
   }
 
-  // Union signature counts at t0.
-  scratch_up_.Clear();
-  scratch_cov_.Clear();
-  scratch_all_.Clear();
+  // Union signature counts at t0, on bitvectors leased from the shared
+  // pool (each concurrent Estimate call gets its own set).
+  Scratch scratch = AcquireScratch();
   for (SourceHandle handle : set) {
     const RegisteredSource& src = sources_[handle];
-    scratch_up_.OrWith(src.up);
-    scratch_cov_.OrWith(src.cov);
-    scratch_all_.OrWith(src.all);
+    scratch.up.OrWith(src.up);
+    scratch.cov.OrWith(src.cov);
+    scratch.all.OrWith(src.all);
   }
-  const double up0 = static_cast<double>(scratch_up_.Count());
-  const double cov0 = static_cast<double>(scratch_cov_.Count());
-  const double all0 = static_cast<double>(scratch_all_.Count());
+  const double up0 = static_cast<double>(scratch.up.Count());
+  const double cov0 = static_cast<double>(scratch.cov.Count());
+  const double all0 = static_cast<double>(scratch.all.Count());
+  ReleaseScratch(std::move(scratch));
 
   const SubdomainChangeModel& agg = aggregate_;
   const double delta = static_cast<double>(t - t0_);

@@ -2,6 +2,8 @@
 #define FRESHSEL_ESTIMATION_QUALITY_ESTIMATOR_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -41,7 +43,13 @@ struct EstimatedQuality {
 /// `Estimate` is the value oracle the selection algorithms call; it costs
 /// O(|set| * (t - t0)) with small constants, with the per-source
 /// effectiveness lookups memoized per (source, t) when caching is enabled.
-/// Not thread-safe (uses internal scratch buffers and a memo cache).
+///
+/// Thread safety: `Create` and `AddSource` must run single-threaded, but
+/// once registration is done the evaluation path (`Estimate`,
+/// `EstimateAverage` and the const getters) may be called concurrently -
+/// scratch bitvectors are leased from an internal pool and the
+/// effectiveness memo cache is filled under a mutex, so the parallel
+/// selection paths can share one estimator.
 class QualityEstimator {
  public:
   using SourceHandle = std::uint32_t;
@@ -143,7 +151,24 @@ class QualityEstimator {
     std::vector<double> remove;
   };
 
+  /// One Estimate call's worth of union-signature scratch space.
+  struct Scratch {
+    BitVector up;
+    BitVector cov;
+    BitVector all;
+  };
+
+  /// Mutable evaluation state shared by concurrent Estimate calls. Held
+  /// behind a unique_ptr so the estimator stays movable (mutexes are not).
+  struct SyncState {
+    std::mutex mutex;
+    std::vector<Scratch> scratch_pool;  ///< Free list, guarded by mutex.
+  };
+
   QualityEstimator() = default;
+
+  Scratch AcquireScratch() const;
+  void ReleaseScratch(Scratch&& scratch) const;
 
   const EffectivenessVectors& EffectivenessFor(SourceHandle handle,
                                                TimePoint t,
@@ -162,12 +187,13 @@ class QualityEstimator {
   std::size_t compact_size_ = 0;
   std::vector<RegisteredSource> sources_;
 
-  // Scratch + memo state (see class comment re thread safety).
-  mutable BitVector scratch_up_;
-  mutable BitVector scratch_cov_;
-  mutable BitVector scratch_all_;
+  // Shared evaluation state (see class comment re thread safety). The
+  // memo cache is indexed [handle][eval time index]; inner vectors are
+  // sized at AddSource and never resized, and a filled slot is never
+  // rewritten, so references returned by EffectivenessFor stay valid.
+  mutable std::unique_ptr<SyncState> sync_;
   mutable std::vector<std::vector<std::optional<EffectivenessVectors>>>
-      cache_;  // [handle][eval time index]
+      cache_;
 };
 
 }  // namespace freshsel::estimation

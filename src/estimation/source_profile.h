@@ -1,6 +1,7 @@
 #ifndef FRESHSEL_ESTIMATION_SOURCE_PROFILE_H_
 #define FRESHSEL_ESTIMATION_SOURCE_PROFILE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #include "estimation/world_change_model.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/check.h"
 #include "stats/exponential.h"

@@ -1,6 +1,7 @@
 #ifndef FRESHSEL_ESTIMATION_WORLD_CHANGE_MODEL_H_
 #define FRESHSEL_ESTIMATION_WORLD_CHANGE_MODEL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"

@@ -1,5 +1,7 @@
 #include "harness/characterization.h"
 
+#include <cstdint>
+
 #include "metrics/quality.h"
 
 namespace freshsel::harness {

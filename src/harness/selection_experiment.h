@@ -1,6 +1,8 @@
 #ifndef FRESHSEL_HARNESS_SELECTION_EXPERIMENT_H_
 #define FRESHSEL_HARNESS_SELECTION_EXPERIMENT_H_
 
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>

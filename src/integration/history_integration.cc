@@ -1,6 +1,7 @@
 #include "integration/history_integration.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 
 namespace freshsel::integration {

@@ -1,5 +1,6 @@
 #include "integration/union_integrator.h"
 
+#include <cstdint>
 #include <unordered_map>
 
 namespace freshsel::integration {

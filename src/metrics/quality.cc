@@ -1,5 +1,7 @@
 #include "metrics/quality.h"
 
+#include <cstdint>
+
 #include "common/check.h"
 
 namespace freshsel::metrics {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "selection/matroid.h"
 #include "selection/profit.h"
 
@@ -15,14 +16,36 @@ struct SelectionResult {
   std::vector<SourceHandle> selected;  ///< Sorted ascending.
   double profit = 0.0;
   std::uint64_t oracle_calls = 0;  ///< Oracle calls made by this run.
+  /// Full candidate evaluations the lazy (CELF) paths skipped relative to
+  /// a plain greedy that re-scores every feasible candidate each round.
+  /// Zero for algorithms without a lazy path.
+  std::uint64_t oracle_calls_saved = 0;
+  /// Hit rate of the `CachedProfitOracle` the run was given, when the
+  /// caller surfaces it (see `bench_micro_selection`); 0 otherwise.
+  double cache_hit_rate = 0.0;
+};
+
+/// Tuning knobs for `Greedy`.
+struct GreedyOptions {
+  /// Use the lazy (CELF) evaluation order: keep candidates in a priority
+  /// queue of stale upper-bound marginal gains and re-score only the top
+  /// until it stays on top. Exact for submodular profits (the stale gain
+  /// of a grown set only shrinks, so a re-scored top is the true argmax)
+  /// and identical to the eager scan's argmax/lowest-handle tie-breaks.
+  /// Set false to force the eager full re-scan as an exact-equivalence
+  /// fallback for oracles that are not submodular.
+  bool lazy = true;
 };
 
 /// The greedy baseline of Dong et al. [3]: starting from the empty set,
 /// repeatedly add the feasible source with the largest profit improvement
-/// until no addition improves the profit. `matroid` (optional) constrains
-/// feasibility.
+/// until no addition improves the profit by more than
+/// `internal::kImprovementEps`. `matroid` (optional) constrains
+/// feasibility. By default candidates are evaluated in the lazy CELF order
+/// (Leskovec et al., KDD 2007); see `GreedyOptions::lazy`.
 SelectionResult Greedy(const ProfitFunction& oracle,
-                       const PartitionMatroid* matroid = nullptr);
+                       const PartitionMatroid* matroid = nullptr,
+                       const GreedyOptions& options = {});
 
 /// Algorithm 1 (MaxSub): Feige-Mirrokni local search for unconstrained
 /// submodular maximization. Starts from the best singleton, applies
@@ -59,10 +82,16 @@ SelectionResult MaxSubMatroid(
 /// construction (picking uniformly from the top-`kappa` positive-marginal
 /// candidates) followed by best-improvement local search (add / remove /
 /// swap). (kappa=1, restarts=1) degenerates to hill climbing.
+///
+/// When `pool` is set and the oracle reports `thread_safe()`, candidate
+/// marginals inside the construction and the local search are evaluated in
+/// parallel; the reduction over candidates stays serial in handle order,
+/// so parallel runs are bit-identical to serial runs for a given seed.
 struct GraspParams {
   int kappa = 1;
   int restarts = 1;
   std::uint64_t seed = 42;
+  ThreadPool* pool = nullptr;  ///< Optional; not owned.
 };
 SelectionResult Grasp(const ProfitFunction& oracle, const GraspParams& params,
                       const PartitionMatroid* matroid = nullptr);
@@ -73,11 +102,23 @@ SelectionResult BruteForce(const ProfitFunction& oracle,
 
 namespace internal {
 
-/// Local-search improvement test with the multiplicative threshold
-/// candidate > (1 + slack) * current for positive current values and a
-/// small absolute guard otherwise (keeps the search finite when profits are
-/// near zero or negative).
-bool ImprovesBy(double candidate, double current, double slack);
+/// One randomized GRASP construction round (exposed for the oracle-call
+/// accounting tests): repeatedly score every feasible candidate, form the
+/// restricted candidate list of the `kappa` best positive-marginal
+/// candidates, and add one of them uniformly at random. Makes exactly
+/// 1 + sum over rounds of (#feasible unselected candidates) oracle calls.
+std::vector<SourceHandle> GraspConstruct(const ProfitFunction& oracle,
+                                         int kappa,
+                                         const PartitionMatroid* matroid,
+                                         Rng& rng,
+                                         ThreadPool* pool = nullptr);
+
+/// Best-improvement local search over add / remove / swap moves (exposed
+/// for the equivalence tests). Returns the profit of the final `selected`.
+double GraspLocalSearch(const ProfitFunction& oracle,
+                        const PartitionMatroid* matroid,
+                        std::vector<SourceHandle>& selected,
+                        ThreadPool* pool = nullptr);
 
 }  // namespace internal
 

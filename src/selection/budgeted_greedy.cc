@@ -1,38 +1,71 @@
 #include "selection/budgeted_greedy.h"
 
+#include <cstdint>
 #include <limits>
+#include <queue>
+#include <vector>
 
 #include "selection/set_util.h"
 
 namespace freshsel::selection {
 
-SelectionResult BudgetedGreedy(const ProfitOracle& oracle) {
-  const std::size_t n = oracle.universe_size();
-  const double budget = oracle.config().budget;
-  const std::uint64_t calls_before = oracle.call_count();
+namespace {
 
-  // Phase 1: cost-benefit greedy.
+constexpr double kBudgetSlack = 1e-12;
+
+/// Ratio of a marginal gain to an element cost; zero-cost elements with
+/// positive gain are always worth taking.
+double Ratio(double marginal, double cost) {
+  return cost > internal::kImprovementEps
+             ? marginal / cost
+             : std::numeric_limits<double>::infinity();
+}
+
+std::uint64_t CountAffordable(const std::vector<double>& singleton_costs,
+                              const std::vector<SourceHandle>& selected,
+                              double current_cost, double budget) {
+  std::uint64_t affordable = 0;
+  for (std::size_t e = 0; e < singleton_costs.size(); ++e) {
+    const SourceHandle handle = static_cast<SourceHandle>(e);
+    if (internal::Contains(selected, handle)) continue;
+    if (current_cost + singleton_costs[e] > budget + kBudgetSlack) continue;
+    ++affordable;
+  }
+  return affordable;
+}
+
+struct Phase1Result {
   std::vector<SourceHandle> selected;
-  double current_gain = oracle.Gain(selected);
+  double gain = 0.0;
+  std::uint64_t saved = 0;
+};
+
+/// Eager cost-benefit greedy: re-score every affordable candidate's
+/// marginal each round and take the best ratio (strict >, ties keep the
+/// lowest handle).
+Phase1Result EagerPhase1(const GainCostFunction& oracle,
+                         const std::vector<double>& singleton_costs,
+                         double budget) {
+  const std::size_t n = oracle.universe_size();
+  Phase1Result out;
+  out.gain = oracle.Gain(out.selected);
   double current_cost = 0.0;
   while (true) {
     double best_ratio = 0.0;
     SourceHandle best_element = 0;
-    double best_gain = current_gain;
+    double best_gain = out.gain;
     bool found = false;
     for (std::size_t e = 0; e < n; ++e) {
       const SourceHandle handle = static_cast<SourceHandle>(e);
-      if (internal::Contains(selected, handle)) continue;
-      const double added_cost = oracle.Cost({handle});
-      if (current_cost + added_cost > budget + 1e-12) continue;
+      if (internal::Contains(out.selected, handle)) continue;
+      if (current_cost + singleton_costs[e] > budget + kBudgetSlack) {
+        continue;
+      }
       const double gain =
-          oracle.Gain(internal::WithAdded(selected, handle));
-      const double marginal = gain - current_gain;
-      if (marginal <= 1e-12) continue;
-      // Zero-cost elements with positive gain are always worth taking.
-      const double ratio = added_cost > 1e-12
-                               ? marginal / added_cost
-                               : std::numeric_limits<double>::infinity();
+          oracle.Gain(internal::WithAdded(out.selected, handle));
+      const double marginal = gain - out.gain;
+      if (marginal <= internal::kImprovementEps) continue;
+      const double ratio = Ratio(marginal, singleton_costs[e]);
       if (ratio > best_ratio) {
         best_ratio = ratio;
         best_element = handle;
@@ -41,10 +74,98 @@ SelectionResult BudgetedGreedy(const ProfitOracle& oracle) {
       }
     }
     if (!found) break;
-    current_cost += oracle.Cost({best_element});
-    selected = internal::WithAdded(selected, best_element);
-    current_gain = best_gain;
+    current_cost += singleton_costs[best_element];
+    out.selected = internal::WithAdded(out.selected, best_element);
+    out.gain = best_gain;
   }
+  return out;
+}
+
+/// Lazy (CELF) cost-benefit greedy: stale marginal/cost ratios are upper
+/// bounds for submodular gains (the cost is fixed per element), so only
+/// queue tops need re-scoring. Selections match EagerPhase1 bit for bit on
+/// submodular gains (same ratio values, same lowest-handle tie-break).
+Phase1Result LazyPhase1(const GainCostFunction& oracle,
+                        const std::vector<double>& singleton_costs,
+                        double budget) {
+  const std::size_t n = oracle.universe_size();
+  Phase1Result out;
+  out.gain = oracle.Gain(out.selected);
+  double current_cost = 0.0;
+
+  struct Entry {
+    double ratio;
+    double marginal;
+    double gain;          // Gain of selected + {handle} at evaluation time.
+    SourceHandle handle;
+    std::uint32_t round;
+  };
+  struct StalerFirst {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.ratio != b.ratio) return a.ratio < b.ratio;
+      return a.handle > b.handle;  // Ties pop the lowest handle first.
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, StalerFirst> queue;
+
+  for (std::size_t e = 0; e < n; ++e) {
+    const SourceHandle handle = static_cast<SourceHandle>(e);
+    if (singleton_costs[e] > budget + kBudgetSlack) continue;
+    const double gain = oracle.Gain({handle});
+    const double marginal = gain - out.gain;
+    // Submodularity: a marginal below the improvement threshold never
+    // recovers, so such elements are dropped for good.
+    if (marginal <= internal::kImprovementEps) continue;
+    queue.push({Ratio(marginal, singleton_costs[e]), marginal, gain, handle,
+                0});
+  }
+
+  for (std::uint32_t round = 0; !queue.empty();) {
+    const Entry top = queue.top();
+    queue.pop();
+    // Spent budget only grows: once unaffordable, always unaffordable.
+    if (current_cost + singleton_costs[top.handle] > budget + kBudgetSlack) {
+      continue;
+    }
+    if (top.round == round) {
+      current_cost += singleton_costs[top.handle];
+      out.selected = internal::WithAdded(out.selected, top.handle);
+      out.gain = top.gain;
+      ++round;
+      out.saved += CountAffordable(singleton_costs, out.selected,
+                                   current_cost, budget);
+      continue;
+    }
+    const double gain =
+        oracle.Gain(internal::WithAdded(out.selected, top.handle));
+    --out.saved;  // One of this round's budgeted re-scores actually ran.
+    const double marginal = gain - out.gain;
+    if (marginal <= internal::kImprovementEps) continue;
+    queue.push({Ratio(marginal, singleton_costs[top.handle]), marginal, gain,
+                top.handle, round});
+  }
+  return out;
+}
+
+}  // namespace
+
+SelectionResult BudgetedGreedy(const GainCostFunction& oracle,
+                               const BudgetedGreedyOptions& options) {
+  const std::size_t n = oracle.universe_size();
+  const double budget = oracle.budget();
+  const std::uint64_t calls_before = oracle.call_count();
+
+  // Singleton costs, evaluated once: O(n) cost-oracle calls total instead
+  // of several per element per greedy round.
+  std::vector<double> singleton_costs(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    singleton_costs[e] = oracle.Cost({static_cast<SourceHandle>(e)});
+  }
+
+  // Phase 1: cost-benefit greedy.
+  Phase1Result phase1 = options.lazy
+                            ? LazyPhase1(oracle, singleton_costs, budget)
+                            : EagerPhase1(oracle, singleton_costs, budget);
 
   // Phase 2: the best affordable singleton can beat the ratio greedy when
   // one expensive element dominates.
@@ -52,7 +173,7 @@ SelectionResult BudgetedGreedy(const ProfitOracle& oracle) {
   SourceHandle best_single = 0;
   for (std::size_t e = 0; e < n; ++e) {
     const SourceHandle handle = static_cast<SourceHandle>(e);
-    if (oracle.Cost({handle}) > budget + 1e-12) continue;
+    if (singleton_costs[e] > budget + kBudgetSlack) continue;
     const double gain = oracle.Gain({handle});
     if (gain > best_single_gain) {
       best_single_gain = gain;
@@ -61,14 +182,14 @@ SelectionResult BudgetedGreedy(const ProfitOracle& oracle) {
   }
 
   SelectionResult result;
-  if (best_single_gain > current_gain) {
+  if (best_single_gain > phase1.gain) {
     result.selected = {best_single};
-    result.profit = oracle.Profit(result.selected);
   } else {
-    result.selected = std::move(selected);
-    result.profit = oracle.Profit(result.selected);
+    result.selected = std::move(phase1.selected);
   }
+  result.profit = oracle.Profit(result.selected);
   result.oracle_calls = oracle.call_count() - calls_before;
+  result.oracle_calls_saved = phase1.saved;
   return result;
 }
 

@@ -5,6 +5,16 @@
 
 namespace freshsel::selection {
 
+/// Tuning knobs for `BudgetedGreedy`.
+struct BudgetedGreedyOptions {
+  /// Lazy (CELF) evaluation of the marginal-gain / cost ratios: with a
+  /// submodular gain and fixed per-element costs, a stale ratio is an
+  /// upper bound on the current one, so only queue tops need re-scoring.
+  /// Set false for the eager full re-scan (exact-equivalence fallback for
+  /// non-submodular gains).
+  bool lazy = true;
+};
+
 /// Budgeted source selection (the budget-bound regime of Definition 3):
 /// maximizes the *gain* subject to cost(S) <= budget, using the classic
 /// cost-benefit greedy for budgeted submodular maximization - repeatedly
@@ -13,9 +23,13 @@ namespace freshsel::selection {
 /// singleton (the Khuller-Moss-Naor safeguard; for monotone submodular
 /// gains the combination is a constant-factor approximation).
 ///
+/// Singleton costs are evaluated once up front (O(n) cost-oracle calls
+/// total, independent of the number of greedy rounds).
+///
 /// This complements the local-search algorithms, whose -infinity treatment
 /// of infeasible sets makes them blind near a tight budget boundary.
-SelectionResult BudgetedGreedy(const ProfitOracle& oracle);
+SelectionResult BudgetedGreedy(const GainCostFunction& oracle,
+                               const BudgetedGreedyOptions& options = {});
 
 }  // namespace freshsel::selection
 

@@ -1,0 +1,87 @@
+#include "selection/cached_oracle.h"
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace freshsel::selection {
+
+std::size_t CachedProfitOracle::SetHash::operator()(
+    const std::vector<SourceHandle>& set) const {
+  // FNV-1a over the handles. Sets are canonical sorted vectors, so equal
+  // sets hash equal without normalization.
+  std::uint64_t h = 1469598103934665603ull;
+  for (SourceHandle e : set) {
+    h ^= static_cast<std::uint64_t>(e);
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+CachedProfitOracle::CachedProfitOracle(const ProfitFunction& base)
+    : base_(&base),
+      gain_cost_(dynamic_cast<const GainCostFunction*>(&base)) {}
+
+template <typename Eval>
+double CachedProfitOracle::Memoize(Cache& cache,
+                                   const std::vector<SourceHandle>& set,
+                                   const Eval& eval) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache.find(set);
+    if (it != cache.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  // Evaluate outside the lock so concurrent misses on a thread-safe base
+  // proceed in parallel. A racing duplicate evaluation of the same set is
+  // benign: both compute the identical deterministic value.
+  const double value = eval();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    cache.emplace(set, value);
+  }
+  return value;
+}
+
+double CachedProfitOracle::Profit(
+    const std::vector<SourceHandle>& set) const {
+  return Memoize(profit_cache_, set, [&] { return base_->Profit(set); });
+}
+
+double CachedProfitOracle::Gain(const std::vector<SourceHandle>& set) const {
+  FRESHSEL_CHECK(gain_cost_ != nullptr)
+      << "CachedProfitOracle::Gain needs a GainCostFunction base";
+  return Memoize(gain_cache_, set, [&] { return gain_cost_->Gain(set); });
+}
+
+double CachedProfitOracle::Cost(const std::vector<SourceHandle>& set) const {
+  FRESHSEL_CHECK(gain_cost_ != nullptr)
+      << "CachedProfitOracle::Cost needs a GainCostFunction base";
+  return Memoize(cost_cache_, set, [&] { return gain_cost_->Cost(set); });
+}
+
+double CachedProfitOracle::budget() const {
+  FRESHSEL_CHECK(gain_cost_ != nullptr)
+      << "CachedProfitOracle::budget needs a GainCostFunction base";
+  return gain_cost_->budget();
+}
+
+CachedProfitOracle::Stats CachedProfitOracle::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void CachedProfitOracle::ClearCaches() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  profit_cache_.clear();
+  gain_cache_.clear();
+  cost_cache_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace freshsel::selection

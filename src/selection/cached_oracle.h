@@ -1,0 +1,87 @@
+#ifndef FRESHSEL_SELECTION_CACHED_ORACLE_H_
+#define FRESHSEL_SELECTION_CACHED_ORACLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "selection/profit.h"
+
+namespace freshsel::selection {
+
+/// Memoizing decorator around a profit oracle. Selection runs re-evaluate
+/// the same sets constantly - GRASP restarts revisit construction prefixes,
+/// the local search re-probes neighbors of a slowly moving incumbent, and
+/// BudgetedGreedy's phase 2 re-scores singletons phase 1 already saw - so a
+/// transparent cache in front of the oracle removes a large share of the
+/// expensive estimator evaluations without touching the algorithms.
+///
+/// Cache keys are the canonical sorted-handle vectors the selection layer
+/// already maintains (see set_util.h): every caller that builds a set via
+/// WithAdded/WithRemoved produces the same representation for the same
+/// mathematical set, so one map lookup per evaluation suffices and no
+/// re-sorting is needed.
+///
+/// `Profit`, `Gain` and `Cost` are cached independently. The decorator's
+/// own `call_count()` counts *misses only* (evaluations forwarded to the
+/// wrapped oracle), so existing oracle-call telemetry measures real work.
+/// Hits and misses are tallied in `Stats`.
+///
+/// Thread-safe (maps are mutex-guarded) when the wrapped oracle is; shares
+/// the wrapped oracle's `thread_safe()` verdict.
+class CachedProfitOracle : public GainCostFunction {
+ public:
+  /// Wraps `base` (not owned; must outlive the decorator). Gain/Cost/budget
+  /// forward to `base` when it implements `GainCostFunction`; calling them
+  /// on a plain-profit base is a contract violation.
+  explicit CachedProfitOracle(const ProfitFunction& base);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    }
+  };
+
+  std::size_t universe_size() const override { return base_->universe_size(); }
+  double Profit(const std::vector<SourceHandle>& set) const override;
+  double Gain(const std::vector<SourceHandle>& set) const override;
+  double Cost(const std::vector<SourceHandle>& set) const override;
+  double budget() const override;
+  bool thread_safe() const override { return base_->thread_safe(); }
+
+  /// Hit/miss tallies across all three cached evaluations.
+  Stats stats() const;
+
+  /// Drops every memoized value and zeroes the tallies (the wrapped
+  /// oracle's call counter is left alone).
+  void ClearCaches();
+
+ private:
+  struct SetHash {
+    std::size_t operator()(const std::vector<SourceHandle>& set) const;
+  };
+  using Cache =
+      std::unordered_map<std::vector<SourceHandle>, double, SetHash>;
+
+  template <typename Eval>
+  double Memoize(Cache& cache, const std::vector<SourceHandle>& set,
+                 const Eval& eval) const;
+
+  const ProfitFunction* base_;
+  const GainCostFunction* gain_cost_;  // Null when base is profit-only.
+
+  mutable std::mutex mutex_;
+  mutable Cache profit_cache_;
+  mutable Cache gain_cache_;
+  mutable Cache cost_cache_;
+  mutable Stats stats_;
+};
+
+}  // namespace freshsel::selection
+
+#endif  // FRESHSEL_SELECTION_CACHED_ORACLE_H_

@@ -1,5 +1,7 @@
 #include "selection/cost.h"
 
+#include <cstdint>
+
 #include "common/check.h"
 
 namespace freshsel::selection {

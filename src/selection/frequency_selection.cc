@@ -1,5 +1,7 @@
 #include "selection/frequency_selection.h"
 
+#include <cstdint>
+
 namespace freshsel::selection {
 
 Result<AugmentedUniverse> BuildAugmentedUniverse(

@@ -1,6 +1,9 @@
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "selection/algorithms.h"
 #include "selection/set_util.h"
@@ -14,26 +17,103 @@ bool Feasible(const PartitionMatroid* matroid,
   return matroid == nullptr || matroid->CanAdd(set, add);
 }
 
-/// One randomized greedy construction: repeatedly evaluate the marginal
-/// profit of every feasible candidate, form the restricted candidate list
-/// of the `kappa` best positive-marginal candidates, and add one of them
-/// uniformly at random.
-std::vector<SourceHandle> Construct(const ProfitFunction& oracle, int kappa,
-                                    const PartitionMatroid* matroid,
-                                    Rng& rng) {
+/// True when candidate marginals may be fanned out across `pool`.
+bool UseParallel(const ProfitFunction& oracle, ThreadPool* pool) {
+  return pool != nullptr && pool->size() > 1 && oracle.thread_safe();
+}
+
+/// Evaluates Profit(selected + {candidates[i]}) for every i, in parallel
+/// when allowed. Results land in index order, so downstream reductions are
+/// independent of the schedule.
+std::vector<double> ScoreAdditions(
+    const ProfitFunction& oracle, const std::vector<SourceHandle>& selected,
+    const std::vector<SourceHandle>& candidates, ThreadPool* pool) {
+  std::vector<double> profits(candidates.size());
+  auto score = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      profits[i] =
+          oracle.Profit(internal::WithAdded(selected, candidates[i]));
+    }
+  };
+  if (UseParallel(oracle, pool)) {
+    pool->ParallelFor(candidates.size(), score);
+  } else {
+    score(0, candidates.size());
+  }
+  return profits;
+}
+
+/// The best add / remove / swap move rooted at element `e`, under the
+/// canonical intra-element order (removal before swaps, swaps by ascending
+/// replacement handle; strict > keeps the first of tied gains).
+struct Move {
+  double gain = -std::numeric_limits<double>::infinity();
+  double profit = 0.0;
+  std::vector<SourceHandle> set;
+};
+
+Move BestMoveAt(const ProfitFunction& oracle, const PartitionMatroid* matroid,
+                const std::vector<SourceHandle>& selected, double current,
+                SourceHandle handle) {
+  const std::size_t n = oracle.universe_size();
+  Move best;
+  if (!internal::Contains(selected, handle)) {
+    if (!Feasible(matroid, selected, handle)) return best;
+    std::vector<SourceHandle> next = internal::WithAdded(selected, handle);
+    const double profit = oracle.Profit(next);
+    best.gain = profit - current;
+    best.profit = profit;
+    best.set = std::move(next);
+    return best;
+  }
+  std::vector<SourceHandle> without =
+      internal::WithRemoved(selected, handle);
+  const double removal_profit = oracle.Profit(without);
+  best.gain = removal_profit - current;
+  best.profit = removal_profit;
+  best.set = without;
+  // Swaps: replace `handle` with one outside element.
+  for (std::size_t d = 0; d < n; ++d) {
+    const SourceHandle other = static_cast<SourceHandle>(d);
+    if (internal::Contains(selected, other)) continue;
+    if (!Feasible(matroid, without, other)) continue;
+    std::vector<SourceHandle> swapped = internal::WithAdded(without, other);
+    const double profit = oracle.Profit(swapped);
+    if (profit - current > best.gain) {
+      best.gain = profit - current;
+      best.profit = profit;
+      best.set = std::move(swapped);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::vector<SourceHandle> GraspConstruct(const ProfitFunction& oracle,
+                                         int kappa,
+                                         const PartitionMatroid* matroid,
+                                         Rng& rng, ThreadPool* pool) {
   const std::size_t n = oracle.universe_size();
   std::vector<SourceHandle> selected;
   double current = oracle.Profit(selected);
   while (true) {
-    std::vector<std::pair<double, SourceHandle>> candidates;
+    std::vector<SourceHandle> feasible;
     for (std::size_t e = 0; e < n; ++e) {
       const SourceHandle handle = static_cast<SourceHandle>(e);
       if (internal::Contains(selected, handle)) continue;
       if (!Feasible(matroid, selected, handle)) continue;
-      const double profit =
-          oracle.Profit(internal::WithAdded(selected, handle));
-      if (profit > current + 1e-12) {
-        candidates.emplace_back(profit, handle);
+      feasible.push_back(handle);
+    }
+    if (feasible.empty()) break;
+    const std::vector<double> profits =
+        ScoreAdditions(oracle, selected, feasible, pool);
+    std::vector<std::pair<double, SourceHandle>> candidates;
+    for (std::size_t i = 0; i < feasible.size(); ++i) {
+      if (profits[i] - current > kImprovementEps) {
+        candidates.emplace_back(profits[i], feasible[i]);
       }
     }
     if (candidates.empty()) break;
@@ -42,72 +122,58 @@ std::vector<SourceHandle> Construct(const ProfitFunction& oracle, int kappa,
     std::partial_sort(candidates.begin(), candidates.begin() + rcl_size,
                       candidates.end(),
                       [](const auto& a, const auto& b) {
-                        return a.first > b.first;
+                        if (a.first != b.first) return a.first > b.first;
+                        return a.second < b.second;
                       });
     const auto& pick =
         candidates[static_cast<std::size_t>(rng.NextBounded(rcl_size))];
     selected = internal::WithAdded(selected, pick.second);
-    current = oracle.Profit(selected);
+    // The picked candidate's profit was just evaluated; reuse it instead
+    // of a redundant oracle call per round.
+    current = pick.first;
   }
   return selected;
 }
 
-/// Best-improvement local search over add / remove / swap moves.
-double LocalSearch(const ProfitFunction& oracle,
-                   const PartitionMatroid* matroid,
-                   std::vector<SourceHandle>& selected) {
+double GraspLocalSearch(const ProfitFunction& oracle,
+                        const PartitionMatroid* matroid,
+                        std::vector<SourceHandle>& selected,
+                        ThreadPool* pool) {
   const std::size_t n = oracle.universe_size();
   double current = oracle.Profit(selected);
-  bool improved = true;
-  while (improved) {
-    improved = false;
-    double best_profit = current;
-    std::vector<SourceHandle> best_set;
-
+  const bool parallel = UseParallel(oracle, pool);
+  std::vector<Move> moves(n);
+  while (true) {
+    // Best move rooted at each element, then a serial reduction in handle
+    // order (strict >, first-wins), so parallel and serial runs pick the
+    // same move.
+    auto score = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t e = begin; e < end; ++e) {
+        moves[e] = BestMoveAt(oracle, matroid, selected, current,
+                              static_cast<SourceHandle>(e));
+      }
+    };
+    if (parallel) {
+      pool->ParallelFor(n, score);
+    } else {
+      score(0, n);
+    }
+    std::size_t best = n;
+    double best_gain = -std::numeric_limits<double>::infinity();
     for (std::size_t e = 0; e < n; ++e) {
-      const SourceHandle handle = static_cast<SourceHandle>(e);
-      if (!internal::Contains(selected, handle)) {
-        if (!Feasible(matroid, selected, handle)) continue;
-        std::vector<SourceHandle> next =
-            internal::WithAdded(selected, handle);
-        const double profit = oracle.Profit(next);
-        if (profit > best_profit + 1e-12) {
-          best_profit = profit;
-          best_set = std::move(next);
-        }
-      } else {
-        std::vector<SourceHandle> without =
-            internal::WithRemoved(selected, handle);
-        const double removal_profit = oracle.Profit(without);
-        if (removal_profit > best_profit + 1e-12) {
-          best_profit = removal_profit;
-          best_set = without;
-        }
-        // Swaps: replace `handle` with one outside element.
-        for (std::size_t d = 0; d < n; ++d) {
-          const SourceHandle other = static_cast<SourceHandle>(d);
-          if (internal::Contains(selected, other)) continue;
-          if (!Feasible(matroid, without, other)) continue;
-          std::vector<SourceHandle> swapped =
-              internal::WithAdded(without, other);
-          const double profit = oracle.Profit(swapped);
-          if (profit > best_profit + 1e-12) {
-            best_profit = profit;
-            best_set = std::move(swapped);
-          }
-        }
+      if (moves[e].gain > best_gain) {
+        best_gain = moves[e].gain;
+        best = e;
       }
     }
-    if (best_profit > current + 1e-12) {
-      selected = std::move(best_set);
-      current = best_profit;
-      improved = true;
-    }
+    if (best == n || best_gain <= kImprovementEps) break;
+    selected = std::move(moves[best].set);
+    current = moves[best].profit;
   }
   return current;
 }
 
-}  // namespace
+}  // namespace internal
 
 SelectionResult Grasp(const ProfitFunction& oracle, const GraspParams& params,
                       const PartitionMatroid* matroid) {
@@ -117,9 +183,10 @@ SelectionResult Grasp(const ProfitFunction& oracle, const GraspParams& params,
   best.profit = -std::numeric_limits<double>::infinity();
   const int restarts = std::max(params.restarts, 1);
   for (int r = 0; r < restarts; ++r) {
-    std::vector<SourceHandle> selected =
-        Construct(oracle, params.kappa, matroid, rng);
-    const double profit = LocalSearch(oracle, matroid, selected);
+    std::vector<SourceHandle> selected = internal::GraspConstruct(
+        oracle, params.kappa, matroid, rng, params.pool);
+    const double profit = internal::GraspLocalSearch(oracle, matroid,
+                                                     selected, params.pool);
     if (profit > best.profit) {
       best.profit = profit;
       best.selected = selected;

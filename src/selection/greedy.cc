@@ -1,50 +1,153 @@
-#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <vector>
 
 #include "selection/algorithms.h"
 #include "selection/set_util.h"
 
 namespace freshsel::selection {
 
-namespace internal {
+namespace {
 
-bool ImprovesBy(double candidate, double current, double slack) {
-  if (!std::isfinite(candidate)) return false;
-  // Multiplicative threshold when current is meaningfully positive; a small
-  // absolute guard otherwise so improvements near zero still terminate.
-  const double margin = slack * std::max(std::fabs(current), 1e-3);
-  return candidate > current + margin;
+bool Feasible(const PartitionMatroid* matroid,
+              const std::vector<SourceHandle>& set, SourceHandle add) {
+  return matroid == nullptr || matroid->CanAdd(set, add);
 }
 
-}  // namespace internal
+/// Candidates still eligible this round (not selected, matroid-feasible):
+/// the number of oracle calls the eager scan would spend on the round.
+std::uint64_t CountFeasible(std::size_t n,
+                            const std::vector<SourceHandle>& selected,
+                            const PartitionMatroid* matroid) {
+  std::uint64_t feasible = 0;
+  for (std::size_t e = 0; e < n; ++e) {
+    const SourceHandle handle = static_cast<SourceHandle>(e);
+    if (internal::Contains(selected, handle)) continue;
+    if (!Feasible(matroid, selected, handle)) continue;
+    ++feasible;
+  }
+  return feasible;
+}
 
-SelectionResult Greedy(const ProfitFunction& oracle,
-                       const PartitionMatroid* matroid) {
+/// Eager greedy: re-score every feasible candidate each round, take the
+/// argmax (ties -> lowest handle), accept while the marginal gain beats
+/// kImprovementEps. The exact-equivalence fallback for the lazy path.
+SelectionResult EagerGreedy(const ProfitFunction& oracle,
+                            const PartitionMatroid* matroid) {
   const std::size_t n = oracle.universe_size();
   const std::uint64_t calls_before = oracle.call_count();
 
   std::vector<SourceHandle> selected;
   double current = oracle.Profit(selected);
   while (true) {
-    double best_profit = current;
+    double best_gain = -std::numeric_limits<double>::infinity();
+    double best_profit = 0.0;
     SourceHandle best_element = 0;
     bool found = false;
     for (std::size_t e = 0; e < n; ++e) {
       const SourceHandle handle = static_cast<SourceHandle>(e);
       if (internal::Contains(selected, handle)) continue;
-      if (matroid != nullptr && !matroid->CanAdd(selected, handle)) continue;
+      if (!Feasible(matroid, selected, handle)) continue;
       const double profit =
           oracle.Profit(internal::WithAdded(selected, handle));
-      if (profit > best_profit + 1e-12) {
+      const double gain = profit - current;
+      if (gain > best_gain) {
+        best_gain = gain;
         best_profit = profit;
         best_element = handle;
         found = true;
       }
     }
-    if (!found) break;
+    if (!found || best_gain <= internal::kImprovementEps) break;
     selected = internal::WithAdded(selected, best_element);
     current = best_profit;
   }
-  return {std::move(selected), current, oracle.call_count() - calls_before};
+  SelectionResult result;
+  result.selected = std::move(selected);
+  result.profit = current;
+  result.oracle_calls = oracle.call_count() - calls_before;
+  return result;
+}
+
+/// Lazy (CELF) greedy: candidates live in a priority queue keyed by their
+/// last-computed marginal gain, which for a submodular profit is an upper
+/// bound on the current one. Each round, re-score only the top entry until
+/// a just-scored entry stays on top - that entry is the exact argmax, so
+/// selections match EagerGreedy bit for bit (same gain values, same
+/// lowest-handle tie-break).
+SelectionResult LazyGreedy(const ProfitFunction& oracle,
+                           const PartitionMatroid* matroid) {
+  const std::size_t n = oracle.universe_size();
+  const std::uint64_t calls_before = oracle.call_count();
+
+  struct Entry {
+    double gain;           // Marginal at evaluation time (stale bound).
+    double profit;         // Oracle value of selected + {handle} then.
+    SourceHandle handle;
+    std::uint32_t round;   // Selection round of the last evaluation.
+  };
+  struct StalerFirst {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.gain != b.gain) return a.gain < b.gain;
+      return a.handle > b.handle;  // Ties pop the lowest handle first.
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, StalerFirst> queue;
+
+  std::vector<SourceHandle> selected;
+  double current = oracle.Profit(selected);
+  std::uint64_t saved = 0;
+
+  // Round 0 seeds the queue with one exact evaluation per feasible
+  // candidate - exactly what the eager scan's first round costs.
+  for (std::size_t e = 0; e < n; ++e) {
+    const SourceHandle handle = static_cast<SourceHandle>(e);
+    if (!Feasible(matroid, selected, handle)) continue;
+    const double profit =
+        oracle.Profit(internal::WithAdded(selected, handle));
+    queue.push({profit - current, profit, handle, 0});
+  }
+
+  for (std::uint32_t round = 0; !queue.empty();) {
+    const Entry top = queue.top();
+    queue.pop();
+    // A partition matroid only gets tighter as the set grows, so an entry
+    // that is infeasible now never becomes feasible again: drop it.
+    if (!Feasible(matroid, selected, top.handle)) continue;
+    if (top.round == round) {
+      // Just scored and still on top: the exact best candidate.
+      if (top.gain <= internal::kImprovementEps) break;
+      selected = internal::WithAdded(selected, top.handle);
+      current = top.profit;
+      ++round;
+      // The eager scan would have re-scored every remaining feasible
+      // candidate to find this winner; the next round's re-scores are
+      // counted as they happen.
+      saved += CountFeasible(n, selected, matroid);
+      continue;
+    }
+    const double profit =
+        oracle.Profit(internal::WithAdded(selected, top.handle));
+    --saved;  // One of this round's budgeted re-scores actually ran.
+    queue.push({profit - current, profit, top.handle, round});
+  }
+
+  SelectionResult result;
+  result.selected = std::move(selected);
+  result.profit = current;
+  result.oracle_calls = oracle.call_count() - calls_before;
+  result.oracle_calls_saved = saved;
+  return result;
+}
+
+}  // namespace
+
+SelectionResult Greedy(const ProfitFunction& oracle,
+                       const PartitionMatroid* matroid,
+                       const GreedyOptions& options) {
+  return options.lazy ? LazyGreedy(oracle, matroid)
+                      : EagerGreedy(oracle, matroid);
 }
 
 SelectionResult BruteForce(const ProfitFunction& oracle,

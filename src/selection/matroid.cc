@@ -1,5 +1,7 @@
 #include "selection/matroid.h"
 
+#include <cstdint>
+
 namespace freshsel::selection {
 
 Result<PartitionMatroid> PartitionMatroid::Create(

@@ -1,5 +1,6 @@
 #include <cmath>
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <limits>
 

@@ -2,6 +2,7 @@
 #define FRESHSEL_SELECTION_ONLINE_SELECTOR_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 

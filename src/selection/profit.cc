@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
@@ -58,7 +59,7 @@ double ProfitOracle::Cost(const std::vector<SourceHandle>& set) const {
 }
 
 double ProfitOracle::Gain(const std::vector<SourceHandle>& set) const {
-  ++calls_;
+  calls_.fetch_add(1, std::memory_order_relaxed);
   const TimePoints& times = estimator_->eval_times();
   if (times.empty()) return 0.0;
   double total = 0.0;

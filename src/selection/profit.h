@@ -1,6 +1,7 @@
 #ifndef FRESHSEL_SELECTION_PROFIT_H_
 #define FRESHSEL_SELECTION_PROFIT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -16,7 +17,9 @@ using SourceHandle = estimation::QualityEstimator::SourceHandle;
 /// Abstract set-function oracle the selection algorithms maximize. Concrete
 /// instances: `ProfitOracle` (the real estimator-backed profit) and the
 /// synthetic submodular functions used by the tests and microbenches.
-/// Implementations count their oracle calls for the runtime experiments.
+/// Implementations count their oracle calls for the runtime experiments;
+/// the counter is atomic so one oracle can be shared by the parallel
+/// candidate-evaluation paths without losing counts.
 class ProfitFunction {
  public:
   virtual ~ProfitFunction() = default;
@@ -27,11 +30,48 @@ class ProfitFunction {
   /// Value of a set; -infinity marks an infeasible set.
   virtual double Profit(const std::vector<SourceHandle>& set) const = 0;
 
-  std::uint64_t call_count() const { return calls_; }
-  void ResetCallCount() const { calls_ = 0; }
+  /// True when `Profit` (and `Gain`/`Cost` where present) may be called
+  /// concurrently from several threads. The parallel evaluation paths
+  /// consult this before fanning out; implementations with unguarded
+  /// mutable scratch state must leave it false.
+  virtual bool thread_safe() const { return false; }
+
+  std::uint64_t call_count() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  void ResetCallCount() const {
+    calls_.store(0, std::memory_order_relaxed);
+  }
 
  protected:
-  mutable std::uint64_t calls_ = 0;
+  ProfitFunction() = default;
+  // std::atomic is neither copyable nor movable; oracles are moved through
+  // Result<T>, so transfer the counter value by hand.
+  ProfitFunction(const ProfitFunction& other)
+      : calls_(other.call_count()) {}
+  ProfitFunction& operator=(const ProfitFunction& other) {
+    calls_.store(other.call_count(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  mutable std::atomic<std::uint64_t> calls_{0};
+};
+
+/// Profit oracles that additionally expose the gain/cost decomposition
+/// profit = gain - weight * cost and a cost budget. `BudgetedGreedy` and
+/// the cached decorator operate on this interface so they work with both
+/// the estimator-backed `ProfitOracle` and synthetic test functions.
+class GainCostFunction : public ProfitFunction {
+ public:
+  /// Gain component of a set (monotone submodular for the paper's
+  /// coverage / global-freshness metrics).
+  virtual double Gain(const std::vector<SourceHandle>& set) const = 0;
+
+  /// Additive cost of a set.
+  virtual double Cost(const std::vector<SourceHandle>& set) const = 0;
+
+  /// Budget on `Cost`; +infinity when unconstrained.
+  virtual double budget() const = 0;
 };
 
 /// How per-time-point gains are aggregated over T_f (the paper's A in
@@ -54,7 +94,11 @@ enum class AggregateMode {
 /// Sets over the cost budget evaluate to -infinity (infeasible).
 ///
 /// Oracle calls are counted for the runtime/telemetry experiments.
-class ProfitOracle : public ProfitFunction {
+///
+/// Thread-safe once construction finishes: `Profit`/`Gain`/`Cost` only
+/// read oracle state and the estimator's evaluation path is internally
+/// synchronized, so the parallel selection paths may share one oracle.
+class ProfitOracle : public GainCostFunction {
  public:
   struct Config {
     GainModel gain{GainFamily::kLinear, QualityMetric::kCoverage};
@@ -75,13 +119,18 @@ class ProfitOracle : public ProfitFunction {
   std::size_t universe_size() const override { return costs_.size(); }
 
   /// Normalized cost of a set.
-  double Cost(const std::vector<SourceHandle>& set) const;
+  double Cost(const std::vector<SourceHandle>& set) const override;
 
   /// Normalized average gain of a set over the eval times.
-  double Gain(const std::vector<SourceHandle>& set) const;
+  double Gain(const std::vector<SourceHandle>& set) const override;
 
   /// profit = Gain - cost_weight * Cost, or -infinity over budget.
   double Profit(const std::vector<SourceHandle>& set) const override;
+
+  bool thread_safe() const override { return true; }
+
+  /// Budget on normalized cost (from the config; +infinity by default).
+  double budget() const override { return config_.budget; }
 
   bool WithinBudget(const std::vector<SourceHandle>& set) const {
     return Cost(set) <= config_.budget + 1e-12;

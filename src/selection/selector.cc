@@ -22,8 +22,11 @@ Result<SelectionResult> SelectSources(const ProfitFunction& oracle,
                                       const SelectorConfig& config,
                                       const PartitionMatroid* matroid) {
   switch (config.algorithm) {
-    case Algorithm::kGreedy:
-      return Greedy(oracle, matroid);
+    case Algorithm::kGreedy: {
+      GreedyOptions options;
+      options.lazy = config.lazy_greedy;
+      return Greedy(oracle, matroid, options);
+    }
     case Algorithm::kMaxSub:
       if (matroid != nullptr) {
         return MaxSubMatroid(oracle, {matroid}, config.epsilon);
@@ -34,6 +37,7 @@ Result<SelectionResult> SelectSources(const ProfitFunction& oracle,
       params.kappa = config.grasp_kappa;
       params.restarts = config.grasp_restarts;
       params.seed = config.seed;
+      params.pool = config.pool;
       return Grasp(oracle, params, matroid);
     }
     case Algorithm::kHillClimb: {
@@ -41,6 +45,7 @@ Result<SelectionResult> SelectSources(const ProfitFunction& oracle,
       params.kappa = 1;
       params.restarts = 1;
       params.seed = config.seed;
+      params.pool = config.pool;
       return Grasp(oracle, params, matroid);
     }
   }

@@ -1,6 +1,7 @@
 #ifndef FRESHSEL_SELECTION_SELECTOR_H_
 #define FRESHSEL_SELECTION_SELECTOR_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"
@@ -26,6 +27,13 @@ struct SelectorConfig {
   int grasp_kappa = 1;
   int grasp_restarts = 1;
   std::uint64_t seed = 42;
+  /// Lazy (CELF) candidate evaluation for the greedy baseline; selections
+  /// are identical either way (see GreedyOptions::lazy), false forces the
+  /// eager full re-scan.
+  bool lazy_greedy = true;
+  /// Optional thread pool (not owned) for GRASP's parallel candidate
+  /// evaluation; used only when the oracle reports thread_safe().
+  ThreadPool* pool = nullptr;
 };
 
 /// Runs the configured algorithm on `oracle`, constrained by `matroid` when

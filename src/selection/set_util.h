@@ -2,11 +2,31 @@
 #define FRESHSEL_SELECTION_SET_UTIL_H_
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "selection/profit.h"
 
 namespace freshsel::selection::internal {
+
+/// The one absolute improvement threshold shared by the greedy family
+/// (Greedy, GRASP construction/local search, BudgetedGreedy): a move must
+/// improve the objective by more than this to count, so near-zero marginal
+/// chatter terminates instead of cycling. The Feige-Mirrokni local searches
+/// use the paper's multiplicative (1 + eps/n^k) thresholds via `ImprovesBy`
+/// below instead.
+inline constexpr double kImprovementEps = 1e-12;
+
+/// Local-search improvement test with the multiplicative threshold
+/// candidate > (1 + slack) * current for meaningfully positive current
+/// values and a small absolute guard otherwise (keeps the search finite
+/// when profits are near zero or negative). Used by MaxSub (slack =
+/// eps/n^2) and the matroid local search (slack = eps/n^4).
+inline bool ImprovesBy(double candidate, double current, double slack) {
+  if (!std::isfinite(candidate)) return false;
+  const double margin = slack * std::max(std::fabs(current), 1e-3);
+  return candidate > current + margin;
+}
 
 /// Sorted-vector set helpers shared by the selection algorithms.
 

@@ -1,6 +1,7 @@
 #include "source/source_history.h"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace freshsel::source {
 

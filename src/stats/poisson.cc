@@ -1,6 +1,7 @@
 #include "stats/poisson.h"
 
 #include <cmath>
+#include <cstdint>
 
 namespace freshsel::stats {
 

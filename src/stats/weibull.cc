@@ -1,6 +1,7 @@
 #include "stats/weibull.h"
 
 #include <cmath>
+#include <limits>
 
 namespace freshsel::stats {
 

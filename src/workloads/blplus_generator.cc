@@ -1,6 +1,7 @@
 #include "workloads/blplus_generator.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 
 #include "common/random.h"

@@ -1,6 +1,7 @@
 #include "workloads/scenario.h"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace freshsel::workloads {
 

@@ -1,5 +1,7 @@
 #include "world/domain.h"
 
+#include <cstdint>
+
 namespace freshsel::world {
 
 Result<DataDomain> DataDomain::Create(std::string dim1_name,

@@ -1,6 +1,7 @@
 #include "world/world.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/check.h"
 #include "common/string_util.h"

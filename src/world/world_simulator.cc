@@ -1,6 +1,7 @@
 #include "world/world_simulator.h"
 
 #include <cmath>
+#include <cstdint>
 
 namespace freshsel::world {
 

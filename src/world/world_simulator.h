@@ -1,6 +1,7 @@
 #ifndef FRESHSEL_WORLD_WORLD_SIMULATOR_H_
 #define FRESHSEL_WORLD_WORLD_SIMULATOR_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/random.h"

@@ -160,6 +160,50 @@ TEST_F(FreshselLintTest, IgnoresPatternsInCommentsAndStrings) {
   EXPECT_TRUE(Lint().empty());
 }
 
+TEST_F(FreshselLintTest, FlagsNumericLimitsWithoutDirectLimitsInclude) {
+  WriteFixture("bad_limits.cc",
+               "#include \"selection/algorithms.h\"\n"
+               "double Worst() {\n"
+               "  return -std::numeric_limits<double>::infinity();\n"
+               "}\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "iwyu-spot");
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_NE(findings[0].message.find("<limits>"), std::string::npos);
+}
+
+TEST_F(FreshselLintTest, FlagsFixedWidthIntsWithoutDirectCstdintInclude) {
+  WriteFixture("bad_cstdint.cc",
+               "#include <vector>\n"
+               "std::uint64_t Sum(const std::vector<std::uint32_t>& v) {\n"
+               "  std::uint64_t total = 0;\n"
+               "  for (std::uint32_t x : v) total += x;\n"
+               "  return total;\n"
+               "}\n");
+  const std::vector<Finding> findings = Lint();
+  // One finding per missing header, at the first use, however many uses.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "iwyu-spot");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_NE(findings[0].message.find("<cstdint>"), std::string::npos);
+}
+
+TEST_F(FreshselLintTest, AcceptsDirectIncludesAndIgnoresLookalikes) {
+  WriteFixture("ok_iwyu.cc",
+               "#include <cstdint>\n"
+               "#include <limits>\n"
+               "std::int64_t Max() {\n"
+               "  return std::numeric_limits<std::int64_t>::max();\n"
+               "}\n");
+  WriteFixture("ok_lookalike.cc",
+               "// std::numeric_limits in a comment is fine.\n"
+               "struct mystd { static int numeric_limits; };\n"
+               "int x = mystd::numeric_limits;\n"
+               "int my_uint32_t = 0;  // Not the std alias.\n");
+  EXPECT_TRUE(Lint().empty());
+}
+
 TEST_F(FreshselLintTest, ExpectedGuardDerivation) {
   EXPECT_EQ(ExpectedGuard(fs::path("common/bit_vector.h"), "FRESHSEL_"),
             "FRESHSEL_COMMON_BIT_VECTOR_H_");

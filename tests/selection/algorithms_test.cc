@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/random.h"
+#include "selection/set_util.h"
 
 namespace freshsel::selection {
 namespace {
@@ -106,6 +108,37 @@ TEST(GreedyTest, EmptyWhenEverythingHurts) {
   SelectionResult result = Greedy(f);
   EXPECT_TRUE(result.selected.empty());
   EXPECT_DOUBLE_EQ(result.profit, 0.0);
+}
+
+TEST(GreedyTest, NearZeroProfitsTerminateEmpty) {
+  // Marginals at or below the unified improvement threshold must not be
+  // taken - the greedy family shares internal::kImprovementEps, so runs on
+  // near-zero-profit instances terminate immediately instead of chaining
+  // floating-point chatter.
+  ModularFunction f({internal::kImprovementEps,
+                     internal::kImprovementEps / 2.0, 0.0});
+  for (bool lazy : {true, false}) {
+    SelectionResult result = Greedy(f, nullptr, GreedyOptions{lazy});
+    EXPECT_TRUE(result.selected.empty()) << "lazy=" << lazy;
+    EXPECT_DOUBLE_EQ(result.profit, 0.0) << "lazy=" << lazy;
+  }
+  // A marginal just above the threshold is still taken.
+  ModularFunction above({1e-9});
+  EXPECT_EQ(Greedy(above).selected, (std::vector<SourceHandle>{0}));
+}
+
+TEST(GreedyTest, EagerFallbackMatchesDefault) {
+  Rng rng(167);
+  CoverageFunction f = CoverageFunction::Random(12, 18, 0.4, rng);
+  SelectionResult lazy = Greedy(f, nullptr, GreedyOptions{true});
+  SelectionResult eager = Greedy(f, nullptr, GreedyOptions{false});
+  EXPECT_EQ(lazy.selected, eager.selected);
+  EXPECT_DOUBLE_EQ(lazy.profit, eager.profit);
+  // The lazy path must not spend more oracle calls than the eager scan,
+  // and the saved + spent accounting must reconstruct the eager total.
+  EXPECT_LE(lazy.oracle_calls, eager.oracle_calls);
+  EXPECT_EQ(lazy.oracle_calls + lazy.oracle_calls_saved,
+            eager.oracle_calls);
 }
 
 TEST(GreedyTest, RespectsMatroid) {
@@ -242,6 +275,35 @@ TEST(GraspTest, RespectsMatroid) {
       PartitionMatroid::Create({0, 0, 0, 0, 1, 1, 1, 1}, {1, 1}).value();
   SelectionResult result = Grasp(f, GraspParams{2, 8, 3}, &matroid);
   EXPECT_TRUE(matroid.IsIndependent(result.selected));
+}
+
+TEST(GraspConstructTest, ReusesPickedProfitInsteadOfReEvaluating) {
+  // Regression: Construct used to re-call oracle.Profit(selected) after
+  // adding the picked candidate although that exact value had just been
+  // computed for the pick. The per-round budget is therefore exactly the
+  // candidate scan - 1 initial call plus (#feasible unselected) per round,
+  // nothing more.
+  ModularFunction f({1.0, 2.0, 3.0});
+  Rng rng(7);
+  const std::vector<SourceHandle> selected =
+      internal::GraspConstruct(f, /*kappa=*/1, nullptr, rng, nullptr);
+  EXPECT_EQ(selected, (std::vector<SourceHandle>{0, 1, 2}));
+  // Rounds scan 3, 2, then 1 candidate; plus the initial Profit({}).
+  EXPECT_EQ(f.call_count(), 1u + 3u + 2u + 1u);
+}
+
+TEST(GraspConstructTest, CallCountScalesWithFeasibleCandidatesOnly) {
+  // Under a capacity-1 matroid only the first round scans everything; the
+  // loop then ends with no feasible candidate left, again with zero
+  // post-pick re-evaluation.
+  ModularFunction f({5.0, 4.0, 3.0, 2.0});
+  PartitionMatroid matroid =
+      PartitionMatroid::Create({0, 0, 0, 0}, {1}).value();
+  Rng rng(11);
+  const std::vector<SourceHandle> selected =
+      internal::GraspConstruct(f, /*kappa=*/1, &matroid, rng, nullptr);
+  EXPECT_EQ(selected, (std::vector<SourceHandle>{0}));
+  EXPECT_EQ(f.call_count(), 1u + 4u);
 }
 
 TEST(MaxSubFromTest, WarmStartReachesSameQualityAsColdStart) {

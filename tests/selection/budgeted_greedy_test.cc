@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <memory>
+#include <vector>
 
 #include "estimation/source_profile.h"
 #include "estimation/world_change_model.h"
@@ -131,6 +135,85 @@ TEST_F(BudgetedFixture, ZeroBudgetSelectsNothing) {
   ProfitOracle oracle = MakeOracle(0.0);
   SelectionResult result = BudgetedGreedy(oracle);
   EXPECT_TRUE(result.selected.empty());
+}
+
+TEST_F(BudgetedFixture, LazyMatchesEagerExactly) {
+  for (double budget : {0.1, 0.25, 0.46, 0.5, 0.8}) {
+    ProfitOracle oracle = MakeOracle(budget);
+    SelectionResult lazy =
+        BudgetedGreedy(oracle, BudgetedGreedyOptions{true});
+    SelectionResult eager =
+        BudgetedGreedy(oracle, BudgetedGreedyOptions{false});
+    EXPECT_EQ(lazy.selected, eager.selected) << "budget " << budget;
+    EXPECT_DOUBLE_EQ(lazy.profit, eager.profit) << "budget " << budget;
+    EXPECT_LE(lazy.oracle_calls, eager.oracle_calls) << "budget " << budget;
+  }
+}
+
+/// Synthetic gain/cost function that counts Gain and Cost calls
+/// separately, for the cost-call budget regressions.
+class CountingGainCost : public GainCostFunction {
+ public:
+  CountingGainCost(std::vector<double> weights, std::vector<double> costs,
+                   double budget)
+      : weights_(std::move(weights)),
+        costs_(std::move(costs)),
+        budget_(budget) {}
+
+  std::size_t universe_size() const override { return weights_.size(); }
+  double Gain(const std::vector<SourceHandle>& set) const override {
+    ++calls_;
+    ++gain_calls_;
+    // Concave-over-modular: sqrt of the weight sum, monotone submodular.
+    double total = 0.0;
+    for (SourceHandle e : set) total += weights_[e];
+    return std::sqrt(total);
+  }
+  double Cost(const std::vector<SourceHandle>& set) const override {
+    ++calls_;
+    ++cost_calls_;
+    double total = 0.0;
+    for (SourceHandle e : set) total += costs_[e];
+    return total;
+  }
+  double Profit(const std::vector<SourceHandle>& set) const override {
+    return Cost(set) <= budget_ + 1e-12
+               ? Gain(set)
+               : -std::numeric_limits<double>::infinity();
+  }
+  double budget() const override { return budget_; }
+
+  std::uint64_t gain_calls() const { return gain_calls_; }
+  std::uint64_t cost_calls() const { return cost_calls_; }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> costs_;
+  double budget_;
+  mutable std::uint64_t gain_calls_ = 0;
+  mutable std::uint64_t cost_calls_ = 0;
+};
+
+TEST(BudgetedGreedyCostCallsTest, SingletonCostsAreEvaluatedOncePerElement) {
+  // Regression: each round used to re-evaluate oracle.Cost({e}) for the
+  // affordability check, the ratio, and the running total - up to three
+  // times per element per round. Costs are now hoisted: exactly one
+  // Cost({e}) call per element for the whole run, in both modes, however
+  // many rounds the greedy takes.
+  const std::size_t n = 12;
+  std::vector<double> weights(n), costs(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    weights[e] = 1.0 + static_cast<double>(e % 5);
+    costs[e] = 0.5 + 0.25 * static_cast<double>(e % 3);
+  }
+  for (bool lazy : {true, false}) {
+    CountingGainCost oracle(weights, costs, /*budget=*/4.0);
+    SelectionResult result =
+        BudgetedGreedy(oracle, BudgetedGreedyOptions{lazy});
+    EXPECT_GE(result.selected.size(), 2u) << "lazy=" << lazy;
+    // One Cost call per element, plus the final Profit's cost check.
+    EXPECT_EQ(oracle.cost_calls(), n + 1) << "lazy=" << lazy;
+  }
 }
 
 }  // namespace
