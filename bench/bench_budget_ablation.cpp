@@ -16,7 +16,8 @@
 #include "selection/cost.h"
 #include "selection/selector.h"
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_budget_ablation", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_budget_ablation",
                      "extension: algorithm behaviour under binding cost "

@@ -14,7 +14,8 @@
 #include "harness/selection_experiment.h"
 #include "stats/descriptive.h"
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_fig10_prediction_gdelt", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_fig10_prediction_gdelt",
                      "Figure 10 (a), (b): GDELT prediction errors over 7 "

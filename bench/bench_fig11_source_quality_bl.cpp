@@ -10,7 +10,8 @@
 #include "harness/prediction_experiment.h"
 #include "stats/descriptive.h"
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_fig11_source_quality_bl", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_fig11_source_quality_bl",
                      "Figure 11: quality-prediction error for the two "

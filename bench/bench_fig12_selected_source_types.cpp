@@ -11,7 +11,8 @@
 #include "harness/learned_scenario.h"
 #include "harness/selection_experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_fig12_selected_source_types", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_fig12_selected_source_types",
                      "Figure 12: source types selected under coverage vs "

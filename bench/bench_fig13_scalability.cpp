@@ -11,7 +11,6 @@
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
-#include "common/timer.h"
 #include "harness/learned_scenario.h"
 #include "harness/selection_experiment.h"
 #include "selection/cached_oracle.h"
@@ -46,7 +45,8 @@ Status RunEntrants(const estimation::QualityEstimator& estimator,
     config.grasp_kappa = entrant.spec.kappa;
     config.grasp_restarts = entrant.spec.restarts;
     oracle.ResetCallCount();
-    WallTimer timer;
+    obs::ScopedLatencyTimer timer(obs::MetricsRegistry::Global().GetHistogram(
+        "bench.fig13.select.seconds"));
     FRESHSEL_ASSIGN_OR_RETURN(selection::SelectionResult result,
                               selection::SelectSources(oracle, config));
     entrant.runtime_ms = timer.ElapsedMillis();
@@ -268,7 +268,9 @@ Status PanelC(const workloads::Scenario& bl) {
       config.lazy_greedy = v.lazy;
       if (v.use_pool) config.pool = &ThreadPool::Shared();
       oracle.ResetCallCount();
-      WallTimer timer;
+      obs::ScopedLatencyTimer timer(
+          obs::MetricsRegistry::Global().GetHistogram(
+              "bench.fig13.accel.seconds"));
       selection::SelectionResult result;
       if (v.use_cache) {
         selection::CachedProfitOracle cached(oracle);
@@ -300,7 +302,8 @@ Status PanelC(const workloads::Scenario& bl) {
 }  // namespace
 }  // namespace freshsel
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_fig13_scalability", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_fig13_scalability",
                      "Figure 13 (a), (b): selection run time vs #sources "

@@ -193,7 +193,8 @@ void PanelEF(const Scenario& gdelt) {
 }  // namespace
 }  // namespace freshsel
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_fig1_motivation", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_fig1_motivation",
                      "Figure 1 (a)-(f), the motivating observations");

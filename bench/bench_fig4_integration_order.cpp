@@ -11,7 +11,8 @@
 #include "integration/signatures.h"
 #include "metrics/quality.h"
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_fig4_integration_order", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_fig4_integration_order",
                      "Figure 4 (a)-(c): quality vs sources integrated in "

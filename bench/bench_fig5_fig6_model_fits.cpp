@@ -132,7 +132,8 @@ void LifespanPanel(const workloads::Scenario& bl) {
 }  // namespace
 }  // namespace freshsel
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_fig5_fig6_model_fits", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_fig5_fig6_model_fits",
                      "Figures 5(a), 5(b), 6: Poisson/exponential world-model "

@@ -13,7 +13,8 @@
 
 #include "stats/kaplan_meier.h"
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_fig7_effectiveness", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_fig7_effectiveness",
                      "Figure 7: delay histograms + learned Kaplan-Meier "

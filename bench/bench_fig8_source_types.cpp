@@ -33,7 +33,8 @@ void SourceTypeTable(const char* title, const workloads::Scenario& s) {
 }  // namespace
 }  // namespace freshsel
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_fig8_source_types", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_fig8_source_types",
                      "Figure 8 (a), (b): source-type scatter for BL and "

@@ -77,7 +77,8 @@ void GroupedErrorPanel(const char* title,
 }  // namespace
 }  // namespace freshsel
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_fig9_world_prediction_bl", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_fig9_world_prediction_bl",
                      "Figure 9 (a), (b): relative error predicting BL "

@@ -1,0 +1,23 @@
+// Shared main for the google-benchmark microbenches: peels off the
+// freshsel --metrics-out / --trace-out flags before google-benchmark's own
+// flag parsing, then runs the standard Initialize / Run loop. The
+// ObsSession destructor writes the requested JSON files after the last
+// benchmark finishes.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  std::string name = argv[0];
+  const std::string::size_type slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  freshsel::bench::ObsSession obs_session(name, &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

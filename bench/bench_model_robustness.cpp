@@ -117,7 +117,8 @@ Result<RobustnessRow> RunShape(double shape) {
 }  // namespace
 }  // namespace freshsel
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_model_robustness", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_model_robustness",
                      "extension: stress the exponential-lifespan "

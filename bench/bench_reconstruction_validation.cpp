@@ -10,7 +10,8 @@
 #include "common/table_printer.h"
 #include "integration/reconstruction_quality.h"
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_reconstruction_validation", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_reconstruction_validation",
                      "extension: history-integration quality vs the gold "

@@ -23,7 +23,8 @@ struct GainCase {
 }  // namespace
 }  // namespace freshsel
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_table1_table2_bl_selection", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_table1_table2_bl_selection",
                      "Tables 1 and 2: algorithm comparison + runtimes on BL "

@@ -9,7 +9,8 @@
 #include "harness/learned_scenario.h"
 #include "harness/selection_experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_table3_gdelt_selection", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_table3_gdelt_selection",
                      "Table 3: selection quality + runtime on GDELT");

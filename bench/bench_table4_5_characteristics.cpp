@@ -51,7 +51,8 @@ void Characteristics(const char* table_title,
 }  // namespace
 }  // namespace freshsel
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_table4_5_characteristics", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_table4_5_characteristics",
                      "Tables 4 and 5: selected-source characteristics "

@@ -12,7 +12,8 @@
 #include "harness/selection_experiment.h"
 #include "stats/descriptive.h"
 
-int main() {
+int main(int argc, char** argv) {
+  freshsel::bench::ObsSession obs_session("bench_table6_7_varfreq", &argc, argv);
   using namespace freshsel;
   bench::PrintHeader("bench_table6_7_varfreq",
                      "Tables 6 and 7: varying update frequencies on BL "

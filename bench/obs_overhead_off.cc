@@ -1,0 +1,7 @@
+// Macro-free twin of the overhead workload: FRESHSEL_OBS_FORCE_OFF strips
+// every FRESHSEL_OBS_* / FRESHSEL_TRACE_SPAN expansion from this TU
+// regardless of the build-wide FRESHSEL_OBS setting.
+
+#define FRESHSEL_OBS_FORCE_OFF
+#define FRESHSEL_OBS_WORKLOAD_NS obs_off
+#include "obs_overhead_impl.h"

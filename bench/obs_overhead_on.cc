@@ -1,0 +1,6 @@
+// Instrumented twin of the overhead workload: macros as compiled for this
+// build (real registry/trace calls under FRESHSEL_OBS=ON, no-ops when the
+// whole build is OFF).
+
+#define FRESHSEL_OBS_WORKLOAD_NS obs_on
+#include "obs_overhead_impl.h"

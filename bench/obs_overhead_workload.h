@@ -1,0 +1,22 @@
+#ifndef FRESHSEL_BENCH_OBS_OVERHEAD_WORKLOAD_H_
+#define FRESHSEL_BENCH_OBS_OVERHEAD_WORKLOAD_H_
+
+#include <cstddef>
+
+namespace freshsel::bench {
+
+// Two compilations of the identical workload (obs_overhead_impl.h): the
+// obs_on TU keeps the FRESHSEL_OBS_* macros as compiled for this build,
+// the obs_off TU defines FRESHSEL_OBS_FORCE_OFF so every macro expands to
+// nothing. Their runtime difference is exactly the instrumentation cost
+// (see bench_obs_overhead.cpp).
+namespace obs_on {
+double RunWorkload(std::size_t iterations);
+}  // namespace obs_on
+namespace obs_off {
+double RunWorkload(std::size_t iterations);
+}  // namespace obs_off
+
+}  // namespace freshsel::bench
+
+#endif  // FRESHSEL_BENCH_OBS_OVERHEAD_WORKLOAD_H_

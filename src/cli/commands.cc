@@ -10,6 +10,7 @@
 
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "estimation/quality_estimator.h"
 #include "estimation/source_profile.h"
 #include "estimation/world_change_model.h"
@@ -17,7 +18,12 @@
 #include "harness/learned_scenario.h"
 #include "io/scenario_io.h"
 #include "metrics/quality.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 #include "selection/budgeted_greedy.h"
+#include "selection/cached_oracle.h"
 #include "selection/cost.h"
 #include "selection/frequency_selection.h"
 #include "selection/selector.h"
@@ -89,6 +95,47 @@ Status CheckUnreadFlags(const ArgMap& args) {
   return Status::OK();
 }
 
+/// Shared --metrics-out / --trace-out plumbing for every command. A
+/// metrics path resets the global registry so the emitted report captures
+/// only this run; a trace path clears and enables span collection. The
+/// command fills `report()` as it goes (labels, counters, stages) and
+/// calls Finish() once, which folds the registry snapshot into the report
+/// and writes both files.
+class ObsSession {
+ public:
+  ObsSession(std::string command, const ArgMap& args)
+      : metrics_path_(args.GetString("metrics-out", "")),
+        trace_path_(args.GetString("trace-out", "")) {
+    report_.name = std::move(command);
+    if (!metrics_path_.empty()) {
+      obs::MetricsRegistry::Global().ResetAll();
+    }
+    if (!trace_path_.empty()) {
+      obs::ClearTrace();
+      obs::SetTraceEnabled(true);
+    }
+  }
+
+  obs::RunReport* report() { return &report_; }
+
+  Status Finish() {
+    if (!trace_path_.empty()) {
+      obs::SetTraceEnabled(false);
+      FRESHSEL_RETURN_IF_ERROR(obs::WriteTraceFile(trace_path_));
+    }
+    if (!metrics_path_.empty()) {
+      report_.CaptureGlobalMetrics();
+      FRESHSEL_RETURN_IF_ERROR(report_.WriteJsonFile(metrics_path_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  obs::RunReport report_;
+};
+
 struct LearnedModels {
   estimation::WorldChangeModel world_model;
   std::vector<estimation::SourceProfile> profiles;
@@ -117,10 +164,14 @@ Status RunSimulate(const ArgMap& args, std::ostream& out) {
                             args.GetInt("locations", 0));
   FRESHSEL_ASSIGN_OR_RETURN(std::int64_t categories,
                             args.GetInt("categories", 0));
+  ObsSession obs_session("simulate", args);
   FRESHSEL_RETURN_IF_ERROR(CheckUnreadFlags(args));
   if (out_dir.empty()) {
     return Status::InvalidArgument("simulate requires --out DIR");
   }
+  obs::RunReport& report = *obs_session.report();
+  report.labels["workload"] = workload;
+  obs::WallTimer stage_timer;
 
   Result<workloads::Scenario> scenario = [&]() -> Result<workloads::Scenario> {
     if (workload == "bl") {
@@ -152,6 +203,10 @@ Status RunSimulate(const ArgMap& args, std::ostream& out) {
   }();
   FRESHSEL_RETURN_IF_ERROR(scenario.status().ok() ? Status::OK()
                                                   : scenario.status());
+  report.AddStage("generate", stage_timer.ElapsedSeconds());
+  report.counters["entities"] = scenario->world.entity_count();
+  report.counters["sources"] = scenario->sources.size();
+  stage_timer.Restart();
 
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
@@ -171,20 +226,24 @@ Status RunSimulate(const ArgMap& args, std::ostream& out) {
              << scenario->sources[i].name() << ','
              << workloads::SourceClassName(scenario->classes[i]) << "\n";
   }
+  report.AddStage("write", stage_timer.ElapsedSeconds());
   out << "wrote " << scenario->sources.size() << " sources + world ("
       << scenario->world.entity_count() << " entities, horizon "
       << scenario->world.horizon() << ", t0 " << scenario->t0 << ") to "
       << out_dir << "\n";
-  return Status::OK();
+  return obs_session.Finish();
 }
 
 Status RunCharacterize(const ArgMap& args, std::ostream& out) {
   const std::string dir = args.GetString("dir", "");
   FRESHSEL_ASSIGN_OR_RETURN(std::int64_t t0, args.GetInt("t0", 0));
+  ObsSession obs_session("characterize", args);
   FRESHSEL_RETURN_IF_ERROR(CheckUnreadFlags(args));
   if (dir.empty()) {
     return Status::InvalidArgument("characterize requires --dir DIR");
   }
+  obs::RunReport& report = *obs_session.report();
+  obs::WallTimer stage_timer;
   FRESHSEL_ASSIGN_OR_RETURN(LoadedScenario scenario, LoadScenarioDir(dir));
   if (t0 <= 0) t0 = scenario.manifest_t0;  // Fall back to the manifest.
   if (t0 <= 0) {
@@ -200,10 +259,16 @@ Status RunCharacterize(const ArgMap& args, std::ostream& out) {
                               t0};
   wrapped.classes.assign(wrapped.sources.size(),
                          workloads::SourceClass::kMedium);
+  report.AddStage("load", stage_timer.ElapsedSeconds());
+  report.counters["sources"] = wrapped.sources.size();
+  stage_timer.Restart();
   FRESHSEL_ASSIGN_OR_RETURN(harness::LearnedScenario learned,
                             harness::LearnScenario(wrapped));
+  report.AddStage("learn", stage_timer.ElapsedSeconds());
+  stage_timer.Restart();
   const std::vector<harness::SourceCharacterization> rows =
       harness::CharacterizeSources(learned, wrapped.classes);
+  report.AddStage("characterize", stage_timer.ElapsedSeconds());
 
   TablePrinter table("Source characterization at t0=" + std::to_string(t0),
                      {"source", "items", "coverage", "freshness",
@@ -218,7 +283,7 @@ Status RunCharacterize(const ArgMap& args, std::ostream& out) {
                   FormatDouble(row.delete_g_plateau, 3)});
   }
   table.Print(out);
-  return Status::OK();
+  return obs_session.Finish();
 }
 
 Status RunSelect(const ArgMap& args, std::ostream& out) {
@@ -239,10 +304,16 @@ Status RunSelect(const ArgMap& args, std::ostream& out) {
   FRESHSEL_ASSIGN_OR_RETURN(std::int64_t restarts,
                             args.GetInt("restarts", 20));
   FRESHSEL_ASSIGN_OR_RETURN(std::int64_t seed, args.GetInt("seed", 42));
+  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t threads, args.GetInt("threads", 1));
+  ObsSession obs_session("select", args);
   FRESHSEL_RETURN_IF_ERROR(CheckUnreadFlags(args));
   if (dir.empty()) {
     return Status::InvalidArgument("select requires --dir DIR");
   }
+  obs::RunReport& report = *obs_session.report();
+  report.labels["metric"] = metric_name;
+  report.labels["gain"] = gain_name;
+  obs::WallTimer stage_timer;
 
   selection::QualityMetric metric;
   if (metric_name == "coverage") {
@@ -278,8 +349,12 @@ Status RunSelect(const ArgMap& args, std::ostream& out) {
   if (t0 > scenario.world.horizon()) {
     return Status::InvalidArgument("--t0 beyond the scenario horizon");
   }
+  report.AddStage("load", stage_timer.ElapsedSeconds());
+  stage_timer.Restart();
   FRESHSEL_ASSIGN_OR_RETURN(LearnedModels learned,
                             LearnModels(scenario, t0));
+  report.AddStage("learn", stage_timer.ElapsedSeconds());
+  stage_timer.Restart();
 
   FRESHSEL_ASSIGN_OR_RETURN(
       estimation::QualityEstimator estimator,
@@ -324,10 +399,20 @@ Status RunSelect(const ArgMap& args, std::ostream& out) {
   FRESHSEL_ASSIGN_OR_RETURN(
       selection::ProfitOracle oracle,
       selection::ProfitOracle::Create(&estimator, costs, oracle_config));
+  // Memoize the estimator-backed oracle: GRASP restarts and MaxSub local
+  // search revisit sets constantly, and the cache's hit/miss tallies feed
+  // the run report below.
+  selection::CachedProfitOracle cached(oracle);
 
   selection::SelectionResult result;
   if (algorithm_name == "budgeted") {
-    result = selection::BudgetedGreedy(oracle);
+    result = selection::BudgetedGreedy(cached);
+    report.labels["algorithm"] = "BudgetedGreedy";
+    report.counters["oracle_calls"] += result.oracle_calls;
+    report.counters["oracle_calls_saved"] += result.oracle_calls_saved;
+    report.counters["selected_sources"] += result.selected.size();
+    report.values["profit"] = result.profit;
+    report.AddStage("select/BudgetedGreedy", stage_timer.ElapsedSeconds());
   } else {
     selection::SelectorConfig config;
     if (algorithm_name == "greedy") {
@@ -343,29 +428,42 @@ Status RunSelect(const ArgMap& args, std::ostream& out) {
     config.grasp_kappa = static_cast<int>(kappa);
     config.grasp_restarts = static_cast<int>(restarts);
     config.seed = static_cast<std::uint64_t>(seed);
+    config.report = &report;
+    // GRASP fans candidate scoring out over the pool when --threads > 1
+    // (the trace then shows score chunks attributed across worker tids).
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(threads));
+      config.pool = pool.get();
+    }
     FRESHSEL_ASSIGN_OR_RETURN(
         result, selection::SelectSources(
-                    oracle, config,
+                    cached, config,
                     matroid.has_value() ? &*matroid : nullptr));
   }
+  const selection::CachedProfitOracle::Stats cache_stats = cached.stats();
+  report.counters["cache_hits"] = cache_stats.hits;
+  report.counters["cache_misses"] = cache_stats.misses;
+  report.values["cache_hit_rate"] = cache_stats.hit_rate();
 
   TablePrinter table("Selected sources",
                      {"source", "divisor", "cost_share"});
   for (selection::SourceHandle h : result.selected) {
     table.AddRow({profiles[source_of[h]]->name,
                   std::to_string(divisor_of[h]),
-                  FormatDouble(oracle.Cost({h}), 4)});
+                  FormatDouble(cached.Cost({h}), 4)});
   }
   table.Print(out);
   const estimation::EstimatedQuality quality =
       estimator.EstimateAverage(result.selected);
   out << "profit " << FormatDouble(result.profit, 4) << ", cost "
-      << FormatDouble(oracle.Cost(result.selected), 4)
+      << FormatDouble(cached.Cost(result.selected), 4)
       << ", expected coverage " << FormatDouble(quality.coverage, 3)
       << ", freshness " << FormatDouble(quality.local_freshness, 3)
       << ", accuracy " << FormatDouble(quality.accuracy, 3) << " ("
-      << result.oracle_calls << " oracle calls)\n";
-  return Status::OK();
+      << result.oracle_calls << " oracle calls, cache hit rate "
+      << FormatDouble(cache_stats.hit_rate(), 3) << ")\n";
+  return obs_session.Finish();
 }
 
 int RunMain(int argc, const char* const* argv, std::ostream& out,
@@ -392,7 +490,11 @@ int RunMain(int argc, const char* const* argv, std::ostream& out,
         << "                --algorithm greedy|maxsub|grasp|budgeted "
            "--points N --stride N --budget X\n"
         << "                --max-divisor M --kappa K --restarts R "
-           "--seed S]\n";
+           "--seed S --threads T]\n"
+        << "  every command also accepts --metrics-out FILE (JSON run "
+           "report)\n"
+        << "                          and --trace-out FILE (chrome://tracing "
+           "JSON)\n";
     return args->command().empty() ? 2 : 2;
   }
   if (!status.ok()) {

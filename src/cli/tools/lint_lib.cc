@@ -63,10 +63,29 @@ bool UsesToken(const std::string& line, std::string_view name) {
   return false;
 }
 
+/// True when `line` mentions the `steady_clock` identifier, qualified
+/// (std::chrono::steady_clock) or not.
+bool MentionsSteadyClock(const std::string& line) {
+  constexpr std::string_view kName = "steady_clock";
+  std::size_t pos = 0;
+  while ((pos = line.find(kName, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const std::size_t after = pos + kName.size();
+    const bool right_ok = after >= line.size() || !IsIdentChar(line[after]);
+    if (left_ok && right_ok) return true;
+    pos += kName.size();
+  }
+  return false;
+}
+
 /// True when the file has a direct `#include <header>` line.
 bool HasDirectInclude(const std::vector<std::string>& lines,
                       std::string_view header) {
-  const std::string needle = std::string("<") + std::string(header) + ">";
+  std::string needle;
+  needle.reserve(header.size() + 2);
+  needle.push_back('<');
+  needle.append(header);
+  needle.push_back('>');
   for (const std::string& line : lines) {
     const std::size_t hash = line.find_first_not_of(" \t");
     if (hash == std::string::npos || line[hash] != '#') continue;
@@ -272,6 +291,10 @@ void LintFile(const fs::path& file, const fs::path& relative,
   const std::vector<std::string> lines =
       SplitLines(StripCommentsAndStrings(raw));
   const bool header = IsHeader(file);
+  // The obs subtree owns the process clock (obs/clock.h); everything else
+  // must time through it.
+  const bool in_obs_tree =
+      relative.begin() != relative.end() && *relative.begin() == "obs";
 
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& line = lines[i];
@@ -288,6 +311,15 @@ void LintFile(const fs::path& file, const fs::path& relative,
           {file.string(), i + 1, "no-bare-assert",
            "bare assert() is banned in library code; use FRESHSEL_CHECK / "
            "FRESHSEL_DCHECK (common/check.h)"});
+    }
+    if (options.obs_clock_rule && !in_obs_tree &&
+        MentionsSteadyClock(line)) {
+      findings->push_back(
+          {file.string(), i + 1, "obs-clock",
+           "std::chrono::steady_clock outside obs/; time through the obs "
+           "layer instead (obs::NowNs, obs::WallTimer, or the "
+           "FRESHSEL_OBS_* macros) so timings are recordable and compile "
+           "out with FRESHSEL_OBS=OFF"});
     }
     if (header && line.find("using namespace") != std::string::npos) {
       findings->push_back(

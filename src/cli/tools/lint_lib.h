@@ -22,6 +22,11 @@ struct LintOptions {
   /// Enforce the no-bare-assert rule (off for test trees, where gtest
   /// helpers legitimately assert).
   bool assert_rule = true;
+  /// Ban std::chrono::steady_clock outside the obs/ subtree: timing must
+  /// go through the obs layer (obs/clock.h, obs/timer.h, or the
+  /// FRESHSEL_OBS_* macros) so it is histogram-recordable and compiles out
+  /// with FRESHSEL_OBS=OFF.
+  bool obs_clock_rule = true;
   /// Include guards must read PREFIX + RELATIVE_PATH, uppercased.
   std::string guard_prefix = "FRESHSEL_";
 };

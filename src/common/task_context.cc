@@ -1,0 +1,17 @@
+#include "common/task_context.h"
+
+#include <cstdint>
+
+namespace freshsel {
+
+namespace {
+thread_local std::uint64_t tls_task_context = 0;
+}  // namespace
+
+std::uint64_t CurrentTaskContext() { return tls_task_context; }
+
+void SetCurrentTaskContext(std::uint64_t context) {
+  tls_task_context = context;
+}
+
+}  // namespace freshsel

@@ -1,6 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "common/task_context.h"
 
 namespace freshsel {
 
@@ -39,8 +42,14 @@ void ThreadPool::RunChunks(std::unique_lock<std::mutex>& lock) {
     const std::size_t begin = index * batch_.chunk;
     const std::size_t end = std::min(begin + batch_.chunk, batch_.n);
     const auto* body = batch_.body;
+    const std::uint64_t context = batch_.context;
     lock.unlock();
-    (*body)(begin, end);
+    {
+      // Run the chunk under the scheduling thread's task context so trace
+      // spans opened inside attribute to the span that called ParallelFor.
+      ScopedTaskContext scoped_context(context);
+      (*body)(begin, end);
+    }
     lock.lock();
     if (++batch_.done == batch_.chunks) {
       has_batch_ = false;
@@ -59,6 +68,7 @@ void ThreadPool::ParallelFor(
   }
   std::unique_lock<std::mutex> lock(mutex_);
   batch_.body = &body;
+  batch_.context = CurrentTaskContext();
   batch_.n = n;
   batch_.chunks = std::min(n, threads_.size() + 1);
   batch_.chunk = (n + batch_.chunks - 1) / batch_.chunks;

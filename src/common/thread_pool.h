@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -57,6 +58,10 @@ class ThreadPool {
     std::size_t next = 0;       // Next chunk index to claim.
     std::size_t chunks = 0;     // Total chunks in this batch.
     std::size_t done = 0;       // Chunks finished.
+    // Caller's task context (common/task_context.h) at ParallelFor time;
+    // set on each thread for the duration of a chunk so observability
+    // spans opened inside pooled work attribute to the scheduling span.
+    std::uint64_t context = 0;
   };
 
   void WorkerLoop();

@@ -1,28 +1,16 @@
 #ifndef FRESHSEL_COMMON_TIMER_H_
 #define FRESHSEL_COMMON_TIMER_H_
 
-#include <chrono>
+#include "obs/timer.h"
 
 namespace freshsel {
 
-/// Monotonic wall-clock stopwatch for the experiment harness (Table 2/3,
-/// Figure 13 runtime measurements).
-class WallTimer {
- public:
-  WallTimer() : start_(Clock::now()) {}
-
-  void Restart() { start_ = Clock::now(); }
-
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
-
- private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
-};
+/// Back-compat alias: WallTimer moved into the obs layer (obs/timer.h) so
+/// all timing goes through obs::NowNs (enforced by the freshsel_lint
+/// `obs-clock` rule). Existing `freshsel::WallTimer` call sites keep
+/// working; new timing code should prefer obs::ScopedLatencyTimer so the
+/// measurement also lands in a registry histogram.
+using WallTimer = obs::WallTimer;
 
 }  // namespace freshsel
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/macros.h"
 
 namespace freshsel::estimation {
 
@@ -22,6 +23,7 @@ Result<QualityEstimator> QualityEstimator::Create(
     const world::World& world, const WorldChangeModel& model,
     std::vector<world::SubdomainId> domain, TimePoints eval_times,
     Options options) {
+  FRESHSEL_TRACE_SPAN("estimation/quality_estimator/create");
   QualityEstimator est;
   est.t0_ = model.t0();
   est.options_ = options;
@@ -149,7 +151,10 @@ QualityEstimator::EffectivenessFor(SourceHandle handle, TimePoint t,
   std::lock_guard<std::mutex> lock(sync_->mutex);
   std::optional<EffectivenessVectors>& slot = cache_[handle][t_index];
   if (!slot.has_value()) {
+    FRESHSEL_OBS_COUNT("estimation.memo.misses", 1);
     slot = ComputeEffectiveness(sources_[handle], t);
+  } else {
+    FRESHSEL_OBS_COUNT("estimation.memo.hits", 1);
   }
   return *slot;
 }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <set>
 
+#include "obs/macros.h"
 #include "stats/kaplan_meier.h"
 
 namespace freshsel::estimation {
@@ -134,6 +135,7 @@ Result<SourceProfile> LearnSourceProfile(const world::World& world,
   auto fit_or_zero =
       [](const stats::KaplanMeierEstimator& km) -> stats::StepFunction {
     if (km.sample_size() == 0) return stats::StepFunction::Constant(0.0);
+    FRESHSEL_OBS_COUNT("estimation.km_fits", 1);
     Result<stats::StepFunction> fitted = km.Fit();
     return fitted.ok() ? *fitted : stats::StepFunction::Constant(0.0);
   };
@@ -146,6 +148,8 @@ Result<SourceProfile> LearnSourceProfile(const world::World& world,
 Result<std::vector<SourceProfile>> LearnSourceProfiles(
     const world::World& world,
     const std::vector<source::SourceHistory>& histories, TimePoint t0) {
+  FRESHSEL_TRACE_SPAN("estimation/learn_profiles");
+  FRESHSEL_OBS_SCOPED_LATENCY("estimation.learn_profiles.seconds");
   std::vector<SourceProfile> profiles;
   profiles.reserve(histories.size());
   for (const source::SourceHistory& history : histories) {

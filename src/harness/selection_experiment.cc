@@ -8,7 +8,8 @@
 #include <optional>
 
 #include "common/string_util.h"
-#include "common/timer.h"
+#include "obs/macros.h"
+#include "obs/metrics.h"
 #include "selection/cost.h"
 #include "selection/frequency_selection.h"
 
@@ -109,12 +110,21 @@ Result<std::vector<AlgoAggregate>> RunComparison(
     return Status::InvalidArgument(
         "need one source class per learned profile");
   }
+  FRESHSEL_TRACE_SPAN("harness/run_comparison");
   std::vector<AlgoAggregate> aggregates(config.algorithms.size());
   for (std::size_t a = 0; a < config.algorithms.size(); ++a) {
     aggregates[a].name = config.algorithms[a].Name();
   }
 
+  // Per-run latency histogram: every algorithm invocation across every
+  // domain point lands in one distribution (the old raw WallTimer reading
+  // still feeds the per-algorithm RunningStats below).
+  obs::Histogram& run_latency =
+      obs::MetricsRegistry::Global().GetHistogram("harness.algo_run.seconds");
+
   for (const DomainPoint& point : points) {
+    FRESHSEL_TRACE_SPAN("harness/domain_point");
+    FRESHSEL_OBS_COUNT("harness.domain_points", 1);
     FRESHSEL_ASSIGN_OR_RETURN(PointSetup setup,
                               BuildPoint(learned, point, config));
     const selection::PartitionMatroid* matroid =
@@ -130,7 +140,8 @@ Result<std::vector<AlgoAggregate>> RunComparison(
       selector_config.grasp_kappa = algo.kappa;
       selector_config.grasp_restarts = algo.restarts;
       selector_config.seed = config.seed;
-      WallTimer timer;
+      selector_config.report = config.report;
+      obs::ScopedLatencyTimer timer(run_latency);
       FRESHSEL_ASSIGN_OR_RETURN(
           results[a],
           selection::SelectSources(*setup.oracle, selector_config, matroid));

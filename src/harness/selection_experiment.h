@@ -46,6 +46,9 @@ struct ComparisonConfig {
   std::int64_t max_divisor = 1;
   double epsilon = 0.5;
   std::uint64_t seed = 42;
+  /// Optional run report (not owned) every selector invocation folds its
+  /// oracle-call counters and timed stages into (see obs/report.h).
+  obs::RunReport* report = nullptr;
 };
 
 /// Aggregated outcome of one algorithm across all domain points.

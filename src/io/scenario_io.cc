@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "obs/macros.h"
 
 namespace freshsel::io {
 
@@ -45,6 +46,8 @@ Result<std::vector<TimePoint>> ParseTimes(const std::string& text) {
 }  // namespace
 
 Status WriteWorldCsv(const world::World& world, const std::string& path) {
+  FRESHSEL_TRACE_SPAN("io/write_world_csv");
+  FRESHSEL_OBS_SCOPED_LATENCY("io.write_world.seconds");
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   const world::DataDomain& domain = world.domain();
@@ -61,12 +64,15 @@ Status WriteWorldCsv(const world::World& world, const std::string& path) {
         << ',';
     if (entity.death != world::kNever) out << entity.death;
     out << ',' << JoinTimes(entity.update_times) << '\n';
+    FRESHSEL_OBS_COUNT("io.world_rows_written", 1);
   }
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
 }
 
 Result<world::World> ReadWorldCsv(const std::string& path) {
+  FRESHSEL_TRACE_SPAN("io/read_world_csv");
+  FRESHSEL_OBS_SCOPED_LATENCY("io.read_world.seconds");
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   std::string line;
@@ -115,6 +121,7 @@ Result<world::World> ReadWorldCsv(const std::string& path) {
     }
     FRESHSEL_ASSIGN_OR_RETURN(record.update_times, ParseTimes(fields[4]));
     FRESHSEL_RETURN_IF_ERROR(world.AddEntity(std::move(record)));
+    FRESHSEL_OBS_COUNT("io.world_rows_read", 1);
   }
   FRESHSEL_RETURN_IF_ERROR(world.Finalize());
   return world;
@@ -122,6 +129,7 @@ Result<world::World> ReadWorldCsv(const std::string& path) {
 
 Status WriteSourceHistoryCsv(const source::SourceHistory& history,
                              const std::string& path) {
+  FRESHSEL_TRACE_SPAN("io/write_source_csv");
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   const source::SourceSpec& spec = history.spec();
@@ -152,6 +160,7 @@ Status WriteSourceHistoryCsv(const source::SourceHistory& history,
 }
 
 Result<source::SourceHistory> ReadSourceHistoryCsv(const std::string& path) {
+  FRESHSEL_TRACE_SPAN("io/read_source_csv");
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   std::string line;
@@ -223,6 +232,7 @@ Result<source::SourceHistory> ReadSourceHistoryCsv(const std::string& path) {
       }
     }
     FRESHSEL_RETURN_IF_ERROR(history.AddRecord(std::move(record)));
+    FRESHSEL_OBS_COUNT("io.source_rows_read", 1);
   }
   return history;
 }

@@ -1,0 +1,145 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace freshsel::obs {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_child_.empty()) {
+    if (has_child_.back()) out_.push_back(',');
+    has_child_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  has_child_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  FRESHSEL_DCHECK(!has_child_.empty()) << "EndObject without BeginObject";
+  has_child_.pop_back();
+  out_.push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  has_child_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  FRESHSEL_DCHECK(!has_child_.empty()) << "EndArray without BeginArray";
+  has_child_.pop_back();
+  out_.push_back(']');
+}
+
+void JsonWriter::Key(std::string_view key) {
+  FRESHSEL_DCHECK(!after_key_) << "two Keys in a row";
+  if (!has_child_.empty()) {
+    if (has_child_.back()) out_.push_back(',');
+    has_child_.back() = true;
+  }
+  out_.push_back('"');
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_.push_back('"');
+  out_ += JsonEscape(value);
+  out_.push_back('"');
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Uint(std::uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+void JsonWriter::Field(std::string_view key, std::string_view value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::Field(std::string_view key, double value) {
+  Key(key);
+  Double(value);
+}
+
+void JsonWriter::Field(std::string_view key, std::uint64_t value) {
+  Key(key);
+  Uint(value);
+}
+
+}  // namespace freshsel::obs

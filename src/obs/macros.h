@@ -1,0 +1,86 @@
+#ifndef FRESHSEL_OBS_MACROS_H_
+#define FRESHSEL_OBS_MACROS_H_
+
+/// Zero-overhead-when-off instrumentation macros. The whole obs library
+/// (registry, spans, reports) is always built and always callable - these
+/// macros are the *instrumentation* layer sprinkled through hot paths, and
+/// they compile to nothing when observability is disabled:
+///
+///  - `cmake -DFRESHSEL_OBS=OFF`   -> defines FRESHSEL_OBS_OFF globally.
+///  - `#define FRESHSEL_OBS_FORCE_OFF` before including this header
+///    -> per-translation-unit off switch (used by the no-op compile test).
+///
+/// FRESHSEL_OBS_ACTIVE is 1 or 0 accordingly and may be used with #if for
+/// larger instrumentation blocks.
+
+#if defined(FRESHSEL_OBS_OFF) || defined(FRESHSEL_OBS_FORCE_OFF)
+#define FRESHSEL_OBS_ACTIVE 0
+#else
+#define FRESHSEL_OBS_ACTIVE 1
+#endif
+
+#if FRESHSEL_OBS_ACTIVE
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#endif
+
+#define FRESHSEL_OBS_CONCAT_INNER(a, b) a##b
+#define FRESHSEL_OBS_CONCAT(a, b) FRESHSEL_OBS_CONCAT_INNER(a, b)
+
+#if FRESHSEL_OBS_ACTIVE
+
+/// Opens an RAII trace span for the rest of the enclosing scope. `name`
+/// must be a string literal (spans keep the pointer, not a copy). Costs
+/// one relaxed atomic load when tracing is disabled at runtime.
+#define FRESHSEL_TRACE_SPAN(name) \
+  const ::freshsel::obs::TraceSpan FRESHSEL_OBS_CONCAT(fs_obs_span_, \
+                                                       __LINE__)(name)
+
+/// Bumps the named process-wide counter. The registry lookup happens once
+/// per call site (function-local static); the increment is lock-free.
+#define FRESHSEL_OBS_COUNT(name, delta)                                  \
+  do {                                                                   \
+    static ::freshsel::obs::Counter& fs_obs_counter =                    \
+        ::freshsel::obs::MetricsRegistry::Global().GetCounter(name);     \
+    fs_obs_counter.Add(static_cast<std::uint64_t>(delta));               \
+  } while (0)
+
+/// Sets the named process-wide gauge.
+#define FRESHSEL_OBS_GAUGE_SET(name, value)                              \
+  do {                                                                   \
+    static ::freshsel::obs::Gauge& fs_obs_gauge =                        \
+        ::freshsel::obs::MetricsRegistry::Global().GetGauge(name);       \
+    fs_obs_gauge.Set(static_cast<double>(value));                        \
+  } while (0)
+
+/// Records `value` into the named histogram (default latency bounds).
+#define FRESHSEL_OBS_HISTOGRAM_RECORD(name, value)                       \
+  do {                                                                   \
+    static ::freshsel::obs::Histogram& fs_obs_histogram =                \
+        ::freshsel::obs::MetricsRegistry::Global().GetHistogram(name);   \
+    fs_obs_histogram.Record(static_cast<double>(value));                 \
+  } while (0)
+
+/// Times the rest of the enclosing scope into the named latency histogram
+/// (seconds, default bounds).
+#define FRESHSEL_OBS_SCOPED_LATENCY(name)                                \
+  static ::freshsel::obs::Histogram& FRESHSEL_OBS_CONCAT(                \
+      fs_obs_scoped_hist_, __LINE__) =                                   \
+      ::freshsel::obs::MetricsRegistry::Global().GetHistogram(name);     \
+  const ::freshsel::obs::ScopedLatencyTimer FRESHSEL_OBS_CONCAT(         \
+      fs_obs_scoped_timer_, __LINE__)(                                   \
+      FRESHSEL_OBS_CONCAT(fs_obs_scoped_hist_, __LINE__))
+
+#else  // !FRESHSEL_OBS_ACTIVE
+
+#define FRESHSEL_TRACE_SPAN(name) static_cast<void>(0)
+#define FRESHSEL_OBS_COUNT(name, delta) static_cast<void>(0)
+#define FRESHSEL_OBS_GAUGE_SET(name, value) static_cast<void>(0)
+#define FRESHSEL_OBS_HISTOGRAM_RECORD(name, value) static_cast<void>(0)
+#define FRESHSEL_OBS_SCOPED_LATENCY(name) static_cast<void>(0)
+
+#endif  // FRESHSEL_OBS_ACTIVE
+
+#endif  // FRESHSEL_OBS_MACROS_H_

@@ -1,0 +1,193 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/string_util.h"
+#include "obs/json.h"
+
+namespace freshsel::obs {
+
+std::size_t Counter::ShardIndex() {
+  static std::atomic<std::size_t> next_stripe{0};
+  thread_local const std::size_t stripe =
+      next_stripe.fetch_add(1, std::memory_order_relaxed);
+  return stripe % kShards;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Record(double value) {
+  const auto it =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t index =
+      static_cast<std::size_t>(it - bounds_.begin());  // == size: overflow.
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  // Half-decade steps: 1us, 3.16us, 10us, ..., 10s, 31.6s.
+  std::vector<double> bounds;
+  double decade = 1e-6;
+  for (int i = 0; i < 8; ++i) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 3.1622776601683795);
+    decade *= 10.0;
+  }
+  return bounds;
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    snapshot.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+void MetricsSnapshot::AppendJson(JsonWriter& writer) const {
+  writer.BeginObject();
+  writer.Key("counters");
+  writer.BeginObject();
+  for (const auto& [name, value] : counters) {
+    writer.Field(name, value);
+  }
+  writer.EndObject();
+  writer.Key("gauges");
+  writer.BeginObject();
+  for (const auto& [name, value] : gauges) {
+    writer.Field(name, value);
+  }
+  writer.EndObject();
+  writer.Key("histograms");
+  writer.BeginObject();
+  for (const auto& [name, histogram] : histograms) {
+    writer.Key(name);
+    writer.BeginObject();
+    writer.Field("count", histogram.count);
+    writer.Field("sum", histogram.sum);
+    writer.Field("mean", histogram.Mean());
+    writer.Key("bounds");
+    writer.BeginArray();
+    for (double bound : histogram.bounds) writer.Double(bound);
+    writer.EndArray();
+    writer.Key("counts");
+    writer.BeginArray();
+    for (std::uint64_t count : histogram.counts) writer.Uint(count);
+    writer.EndArray();
+    writer.EndObject();
+  }
+  writer.EndObject();
+  writer.EndObject();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter writer;
+  AppendJson(writer);
+  return writer.TakeString();
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += StringPrintf("counter   %-40s %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : gauges) {
+    out += StringPrintf("gauge     %-40s %g\n", name.c_str(), value);
+  }
+  for (const auto& [name, histogram] : histograms) {
+    out += StringPrintf("histogram %-40s count=%llu mean=%g\n", name.c_str(),
+                        static_cast<unsigned long long>(histogram.count),
+                        histogram.Mean());
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetHistogram(name, Histogram::DefaultLatencyBounds());
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->TakeSnapshot();
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace freshsel::obs

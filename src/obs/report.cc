@@ -1,0 +1,56 @@
+#include "obs/report.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace freshsel::obs {
+
+std::string RunReport::ToJson() const {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("schema_version");
+  writer.Int(kSchemaVersion);
+  writer.Field("name", std::string_view(name));
+  writer.Key("labels");
+  writer.BeginObject();
+  for (const auto& [key, value] : labels) {
+    writer.Field(key, std::string_view(value));
+  }
+  writer.EndObject();
+  writer.Key("values");
+  writer.BeginObject();
+  for (const auto& [key, value] : values) {
+    writer.Field(key, value);
+  }
+  writer.EndObject();
+  writer.Key("counters");
+  writer.BeginObject();
+  for (const auto& [key, value] : counters) {
+    writer.Field(key, value);
+  }
+  writer.EndObject();
+  writer.Key("stages");
+  writer.BeginArray();
+  for (const Stage& stage : stages) {
+    writer.BeginObject();
+    writer.Field("name", std::string_view(stage.name));
+    writer.Field("seconds", stage.seconds);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("metrics");
+  metrics.AppendJson(writer);
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+Status RunReport::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot write metrics file: " + path);
+  out << ToJson() << "\n";
+  if (!out) return Status::IoError("error writing metrics file: " + path);
+  return Status::OK();
+}
+
+}  // namespace freshsel::obs

@@ -1,0 +1,64 @@
+#ifndef FRESHSEL_OBS_REPORT_H_
+#define FRESHSEL_OBS_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace freshsel::obs {
+
+/// Machine-readable summary of one run (a `freshsel select` invocation, a
+/// harness comparison, a bench binary). This is the schema behind
+/// `--metrics-out` and the committed BENCH_*.json trajectory files:
+///
+///   {
+///     "schema_version": 1,
+///     "name":   "freshsel/select",
+///     "labels":   {"algorithm": "GRASP-(5,20)", ...},   // strings
+///     "values":   {"profit": 1.92, ...},                // scalars
+///     "counters": {"oracle_calls": 812, ...},           // integers
+///     "stages": [{"name": "learn_models", "seconds": 0.12}, ...],
+///     "metrics": { "counters": ..., "gauges": ..., "histograms": ... }
+///   }
+///
+/// `labels`/`values`/`counters` carry run-level results folded in by the
+/// producing layer (selector, estimator fit, harness); `stages` are coarse
+/// per-phase wall times in execution order; `metrics` embeds a
+/// MetricsSnapshot of the process-wide registry (per-stage latency
+/// histograms, cache tallies, ...).
+struct RunReport {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string name;
+  std::map<std::string, std::string> labels;
+  std::map<std::string, double> values;
+  std::map<std::string, std::uint64_t> counters;
+
+  struct Stage {
+    std::string name;
+    double seconds = 0.0;
+  };
+  std::vector<Stage> stages;
+
+  MetricsSnapshot metrics;
+
+  void AddStage(std::string stage_name, double seconds) {
+    stages.push_back(Stage{std::move(stage_name), seconds});
+  }
+
+  /// Folds the process-wide registry into `metrics`.
+  void CaptureGlobalMetrics() {
+    metrics = MetricsRegistry::Global().TakeSnapshot();
+  }
+
+  std::string ToJson() const;
+  Status WriteJsonFile(const std::string& path) const;
+};
+
+}  // namespace freshsel::obs
+
+#endif  // FRESHSEL_OBS_REPORT_H_

@@ -1,0 +1,188 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "common/task_context.h"
+#include "obs/clock.h"
+#include "obs/json.h"
+
+namespace freshsel::obs {
+
+namespace {
+
+constexpr std::size_t kRingCapacity = 1 << 14;  // 16384 events per thread.
+
+/// Per-thread event ring. Buffers are registered once and never destroyed
+/// (threads may outlive or predate collection), so CollectTrace after a
+/// recording thread exited is safe. The mutex guards the ring slots; the
+/// recording fast path takes it uncontended.
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::uint32_t tid_in) : tid(tid_in) {
+    events.resize(kRingCapacity);
+  }
+
+  std::mutex mutex;
+  std::uint32_t tid;
+  std::vector<TraceEvent> events;
+  std::size_t size = 0;   ///< Valid events (<= capacity).
+  std::size_t next = 0;   ///< Ring write cursor.
+  std::uint64_t dropped = 0;
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> next_span_id{1};
+  std::mutex registry_mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.registry_mutex);
+    state.buffers.push_back(std::make_unique<ThreadBuffer>(
+        static_cast<std::uint32_t>(state.buffers.size())));
+    return state.buffers.back().get();
+  }();
+  return *buffer;
+}
+
+void RecordEvent(ThreadBuffer& buffer, const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.size == kRingCapacity) ++buffer.dropped;
+  buffer.events[buffer.next] = event;
+  buffer.next = (buffer.next + 1) % kRingCapacity;
+  buffer.size = std::min(buffer.size + 1, kRingCapacity);
+}
+
+}  // namespace
+
+void SetTraceEnabled(bool enabled) {
+  State().enabled.store(enabled, std::memory_order_release);
+}
+
+bool TraceEnabled() {
+  return State().enabled.load(std::memory_order_relaxed);
+}
+
+void ClearTrace() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> registry_lock(state.registry_mutex);
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->size = 0;
+    buffer->next = 0;
+    buffer->dropped = 0;
+  }
+}
+
+std::vector<TraceEvent> CollectTrace() {
+  TraceState& state = State();
+  std::vector<TraceEvent> events;
+  std::lock_guard<std::mutex> registry_lock(state.registry_mutex);
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    // Oldest-first: the ring is [next - size, next).
+    for (std::size_t i = 0; i < buffer->size; ++i) {
+      const std::size_t index =
+          (buffer->next + kRingCapacity - buffer->size + i) % kRingCapacity;
+      events.push_back(buffer->events[index]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.begin_ns != b.begin_ns) return a.begin_ns < b.begin_ns;
+              return a.id < b.id;
+            });
+  return events;
+}
+
+std::uint64_t TraceDroppedCount() {
+  TraceState& state = State();
+  std::uint64_t dropped = 0;
+  std::lock_guard<std::mutex> registry_lock(state.registry_mutex);
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+std::string TraceToChromeJson(const std::vector<TraceEvent>& events) {
+  std::uint64_t base_ns = 0;
+  for (const TraceEvent& event : events) {
+    if (base_ns == 0 || event.begin_ns < base_ns) base_ns = event.begin_ns;
+  }
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("traceEvents");
+  writer.BeginArray();
+  for (const TraceEvent& event : events) {
+    writer.BeginObject();
+    writer.Field("name", std::string_view(event.name));
+    writer.Field("ph", std::string_view("X"));
+    writer.Field("ts", static_cast<double>(event.begin_ns - base_ns) * 1e-3);
+    writer.Field("dur",
+                 static_cast<double>(event.end_ns - event.begin_ns) * 1e-3);
+    writer.Key("pid");
+    writer.Uint(1);
+    writer.Key("tid");
+    writer.Uint(event.tid);
+    writer.Key("args");
+    writer.BeginObject();
+    writer.Field("span_id", event.id);
+    writer.Field("parent_span_id", event.parent);
+    writer.EndObject();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Field("displayTimeUnit", std::string_view("ms"));
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+Status WriteTraceFile(const std::string& path) {
+  const std::string json = TraceToChromeJson(CollectTrace());
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot write trace file: " + path);
+  out << json << "\n";
+  if (!out) return Status::IoError("error writing trace file: " + path);
+  return Status::OK();
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!TraceEnabled()) return;
+  name_ = name;
+  begin_ns_ = NowNs();
+  id_ = State().next_span_id.fetch_add(1, std::memory_order_relaxed);
+  // The enclosing context is either a span on this thread or, in a pool
+  // worker, the span that called ParallelFor (propagated by the pool).
+  parent_ = CurrentTaskContext();
+  SetCurrentTaskContext(id_);
+}
+
+TraceSpan::~TraceSpan() {
+  if (name_ == nullptr) return;
+  SetCurrentTaskContext(parent_);
+  TraceEvent event;
+  event.name = name_;
+  event.begin_ns = begin_ns_;
+  event.end_ns = NowNs();
+  event.id = id_;
+  event.parent = parent_;
+  ThreadBuffer& buffer = LocalBuffer();
+  event.tid = buffer.tid;
+  RecordEvent(buffer, event);
+}
+
+}  // namespace freshsel::obs

@@ -5,6 +5,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/macros.h"
 #include "selection/set_util.h"
 
 namespace freshsel::selection {
@@ -151,6 +152,7 @@ Phase1Result LazyPhase1(const GainCostFunction& oracle,
 
 SelectionResult BudgetedGreedy(const GainCostFunction& oracle,
                                const BudgetedGreedyOptions& options) {
+  FRESHSEL_TRACE_SPAN("selection/budgeted_greedy");
   const std::size_t n = oracle.universe_size();
   const double budget = oracle.budget();
   const std::uint64_t calls_before = oracle.call_count();
@@ -166,6 +168,8 @@ SelectionResult BudgetedGreedy(const GainCostFunction& oracle,
   Phase1Result phase1 = options.lazy
                             ? LazyPhase1(oracle, singleton_costs, budget)
                             : EagerPhase1(oracle, singleton_costs, budget);
+  FRESHSEL_OBS_COUNT("selection.budgeted.phase1_selected",
+                     phase1.selected.size());
 
   // Phase 2: the best affordable singleton can beat the ratio greedy when
   // one expensive element dominates.
@@ -183,6 +187,7 @@ SelectionResult BudgetedGreedy(const GainCostFunction& oracle,
 
   SelectionResult result;
   if (best_single_gain > phase1.gain) {
+    FRESHSEL_OBS_COUNT("selection.budgeted.singleton_wins", 1);
     result.selected = {best_single};
   } else {
     result.selected = std::move(phase1.selected);

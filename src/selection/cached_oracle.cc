@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/check.h"
+#include "obs/macros.h"
 
 namespace freshsel::selection {
 
@@ -32,6 +33,7 @@ double CachedProfitOracle::Memoize(Cache& cache,
     auto it = cache.find(set);
     if (it != cache.end()) {
       ++stats_.hits;
+      FRESHSEL_OBS_COUNT("selection.cache.hits", 1);
       return it->second;
     }
   }
@@ -45,6 +47,7 @@ double CachedProfitOracle::Memoize(Cache& cache,
     calls_.fetch_add(1, std::memory_order_relaxed);
     cache.emplace(set, value);
   }
+  FRESHSEL_OBS_COUNT("selection.cache.misses", 1);
   return value;
 }
 

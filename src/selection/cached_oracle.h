@@ -37,6 +37,13 @@ class CachedProfitOracle : public GainCostFunction {
   /// on a plain-profit base is a contract violation.
   explicit CachedProfitOracle(const ProfitFunction& base);
 
+  /// Hit/miss tallies. `stats()` returns one value-copied snapshot taken
+  /// under the cache mutex, so `hits`, `misses`, and `hit_rate()` on the
+  /// returned struct are mutually consistent even while other threads keep
+  /// evaluating - never read the two counters through separate calls. The
+  /// same events also stream into the global MetricsRegistry as the
+  /// "selection.cache.hits" / "selection.cache.misses" counters when
+  /// instrumentation is compiled in.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -54,7 +61,8 @@ class CachedProfitOracle : public GainCostFunction {
   double budget() const override;
   bool thread_safe() const override { return base_->thread_safe(); }
 
-  /// Hit/miss tallies across all three cached evaluations.
+  /// One consistent snapshot of the hit/miss tallies across all three
+  /// cached evaluations (see Stats).
   Stats stats() const;
 
   /// Drops every memoized value and zeroes the tallies (the wrapped

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/macros.h"
 #include "selection/algorithms.h"
 #include "selection/set_util.h"
 
@@ -30,6 +31,9 @@ std::vector<double> ScoreAdditions(
     const std::vector<SourceHandle>& candidates, ThreadPool* pool) {
   std::vector<double> profits(candidates.size());
   auto score = [&](std::size_t begin, std::size_t end) {
+    // Runs on pool workers; the span attributes to the construct /
+    // local-search span via the pool's task-context propagation.
+    FRESHSEL_TRACE_SPAN("selection/oracle/score_chunk");
     for (std::size_t i = begin; i < end; ++i) {
       profits[i] =
           oracle.Profit(internal::WithAdded(selected, candidates[i]));
@@ -96,6 +100,7 @@ std::vector<SourceHandle> GraspConstruct(const ProfitFunction& oracle,
                                          int kappa,
                                          const PartitionMatroid* matroid,
                                          Rng& rng, ThreadPool* pool) {
+  FRESHSEL_TRACE_SPAN("selection/grasp/construct");
   const std::size_t n = oracle.universe_size();
   std::vector<SourceHandle> selected;
   double current = oracle.Profit(selected);
@@ -139,6 +144,7 @@ double GraspLocalSearch(const ProfitFunction& oracle,
                         const PartitionMatroid* matroid,
                         std::vector<SourceHandle>& selected,
                         ThreadPool* pool) {
+  FRESHSEL_TRACE_SPAN("selection/grasp/local_search");
   const std::size_t n = oracle.universe_size();
   double current = oracle.Profit(selected);
   const bool parallel = UseParallel(oracle, pool);
@@ -148,6 +154,7 @@ double GraspLocalSearch(const ProfitFunction& oracle,
     // order (strict >, first-wins), so parallel and serial runs pick the
     // same move.
     auto score = [&](std::size_t begin, std::size_t end) {
+      FRESHSEL_TRACE_SPAN("selection/oracle/score_chunk");
       for (std::size_t e = begin; e < end; ++e) {
         moves[e] = BestMoveAt(oracle, matroid, selected, current,
                               static_cast<SourceHandle>(e));
@@ -177,12 +184,17 @@ double GraspLocalSearch(const ProfitFunction& oracle,
 
 SelectionResult Grasp(const ProfitFunction& oracle, const GraspParams& params,
                       const PartitionMatroid* matroid) {
+  FRESHSEL_TRACE_SPAN("selection/grasp");
+  FRESHSEL_OBS_GAUGE_SET(
+      "selection.grasp.pool_threads",
+      params.pool != nullptr ? params.pool->size() : std::size_t{1});
   const std::uint64_t calls_before = oracle.call_count();
   Rng rng(params.seed);
   SelectionResult best;
   best.profit = -std::numeric_limits<double>::infinity();
   const int restarts = std::max(params.restarts, 1);
   for (int r = 0; r < restarts; ++r) {
+    FRESHSEL_OBS_COUNT("selection.grasp.restarts", 1);
     std::vector<SourceHandle> selected = internal::GraspConstruct(
         oracle, params.kappa, matroid, rng, params.pool);
     const double profit = internal::GraspLocalSearch(oracle, matroid,

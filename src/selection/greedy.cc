@@ -3,6 +3,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/macros.h"
 #include "selection/algorithms.h"
 #include "selection/set_util.h"
 
@@ -35,6 +36,7 @@ std::uint64_t CountFeasible(std::size_t n,
 /// kImprovementEps. The exact-equivalence fallback for the lazy path.
 SelectionResult EagerGreedy(const ProfitFunction& oracle,
                             const PartitionMatroid* matroid) {
+  FRESHSEL_TRACE_SPAN("selection/greedy/eager");
   const std::size_t n = oracle.universe_size();
   const std::uint64_t calls_before = oracle.call_count();
 
@@ -62,6 +64,7 @@ SelectionResult EagerGreedy(const ProfitFunction& oracle,
     if (!found || best_gain <= internal::kImprovementEps) break;
     selected = internal::WithAdded(selected, best_element);
     current = best_profit;
+    FRESHSEL_OBS_COUNT("selection.greedy.rounds", 1);
   }
   SelectionResult result;
   result.selected = std::move(selected);
@@ -78,6 +81,7 @@ SelectionResult EagerGreedy(const ProfitFunction& oracle,
 /// lowest-handle tie-break).
 SelectionResult LazyGreedy(const ProfitFunction& oracle,
                            const PartitionMatroid* matroid) {
+  FRESHSEL_TRACE_SPAN("selection/greedy/lazy");
   const std::size_t n = oracle.universe_size();
   const std::uint64_t calls_before = oracle.call_count();
 
@@ -121,6 +125,7 @@ SelectionResult LazyGreedy(const ProfitFunction& oracle,
       selected = internal::WithAdded(selected, top.handle);
       current = top.profit;
       ++round;
+      FRESHSEL_OBS_COUNT("selection.greedy.rounds", 1);
       // The eager scan would have re-scored every remaining feasible
       // candidate to find this winner; the next round's re-scores are
       // counted as they happen.
@@ -130,6 +135,7 @@ SelectionResult LazyGreedy(const ProfitFunction& oracle,
     const double profit =
         oracle.Profit(internal::WithAdded(selected, top.handle));
     --saved;  // One of this round's budgeted re-scores actually ran.
+    FRESHSEL_OBS_COUNT("selection.celf.rescores", 1);
     queue.push({profit - current, profit, top.handle, round});
   }
 

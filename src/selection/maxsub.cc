@@ -2,12 +2,14 @@
 #include <cstdint>
 #include <limits>
 
+#include "obs/macros.h"
 #include "selection/algorithms.h"
 #include "selection/set_util.h"
 
 namespace freshsel::selection {
 
 SelectionResult MaxSub(const ProfitFunction& oracle, double epsilon) {
+  FRESHSEL_TRACE_SPAN("selection/maxsub");
   const std::size_t n = oracle.universe_size();
   const std::uint64_t calls_before = oracle.call_count();
   if (n == 0) {
@@ -58,6 +60,7 @@ SelectionResult MaxSubFrom(const ProfitFunction& oracle,
   bool changed = true;
   while (changed) {
     changed = false;
+    FRESHSEL_OBS_COUNT("selection.maxsub.passes", 1);
     // Best addition.
     double best_profit = current;
     SourceHandle best_element = 0;

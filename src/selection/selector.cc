@@ -1,6 +1,11 @@
 #include "selection/selector.h"
 
+#include <string>
+
 #include "common/string_util.h"
+#include "obs/macros.h"
+#include "obs/report.h"
+#include "obs/timer.h"
 
 namespace freshsel::selection {
 
@@ -18,9 +23,11 @@ std::string AlgorithmName(Algorithm algorithm, int kappa, int r) {
   return "Unknown";
 }
 
-Result<SelectionResult> SelectSources(const ProfitFunction& oracle,
-                                      const SelectorConfig& config,
-                                      const PartitionMatroid* matroid) {
+namespace {
+
+Result<SelectionResult> Dispatch(const ProfitFunction& oracle,
+                                 const SelectorConfig& config,
+                                 const PartitionMatroid* matroid) {
   switch (config.algorithm) {
     case Algorithm::kGreedy: {
       GreedyOptions options;
@@ -50,6 +57,38 @@ Result<SelectionResult> SelectSources(const ProfitFunction& oracle,
     }
   }
   return Status::InvalidArgument("unknown algorithm");
+}
+
+}  // namespace
+
+Result<SelectionResult> SelectSources(const ProfitFunction& oracle,
+                                      const SelectorConfig& config,
+                                      const PartitionMatroid* matroid) {
+  FRESHSEL_TRACE_SPAN("selection/select");
+  FRESHSEL_OBS_SCOPED_LATENCY("selection.select.seconds");
+  FRESHSEL_OBS_GAUGE_SET("selection.universe_size", oracle.universe_size());
+
+  obs::WallTimer timer;
+  Result<SelectionResult> result = Dispatch(oracle, config, matroid);
+  const double seconds = timer.ElapsedSeconds();
+
+  if (result.ok()) {
+    FRESHSEL_OBS_COUNT("selection.oracle_calls", result->oracle_calls);
+    FRESHSEL_OBS_COUNT("selection.oracle_calls_saved",
+                       result->oracle_calls_saved);
+    if (config.report != nullptr) {
+      const std::string algo = AlgorithmName(
+          config.algorithm, config.grasp_kappa, config.grasp_restarts);
+      obs::RunReport& report = *config.report;
+      report.labels["algorithm"] = algo;
+      report.counters["oracle_calls"] += result->oracle_calls;
+      report.counters["oracle_calls_saved"] += result->oracle_calls_saved;
+      report.counters["selected_sources"] += result->selected.size();
+      report.values["profit"] = result->profit;
+      report.AddStage("select/" + algo, seconds);
+    }
+  }
+  return result;
 }
 
 }  // namespace freshsel::selection

@@ -7,6 +7,10 @@
 #include "common/result.h"
 #include "selection/algorithms.h"
 
+namespace freshsel::obs {
+struct RunReport;
+}  // namespace freshsel::obs
+
 namespace freshsel::selection {
 
 /// Which selection algorithm the facade dispatches to.
@@ -34,6 +38,11 @@ struct SelectorConfig {
   /// Optional thread pool (not owned) for GRASP's parallel candidate
   /// evaluation; used only when the oracle reports thread_safe().
   ThreadPool* pool = nullptr;
+  /// Optional run report (not owned) the selector folds its outcome into:
+  /// the algorithm label, oracle-call counters (made / saved), the final
+  /// profit, and a timed "select/<algo>" stage (see obs/report.h). The
+  /// caller owns serialization (--metrics-out).
+  obs::RunReport* report = nullptr;
 };
 
 /// Runs the configured algorithm on `oracle`, constrained by `matroid` when

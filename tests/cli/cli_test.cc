@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "cli/args.h"
 #include "cli/commands.h"
+#include "obs/macros.h"
 
 namespace freshsel::cli {
 namespace {
@@ -163,6 +165,52 @@ TEST_F(CliEndToEndTest, GdeltSimulateWorks) {
                 &output),
             0)
       << output;
+}
+
+TEST_F(CliEndToEndTest, MetricsAndTraceOutputs) {
+  std::string output;
+  ASSERT_EQ(Run({"simulate", "--workload", "bl", "--out", dir_.c_str(),
+                 "--scale", "0.3", "--locations", "5", "--categories",
+                 "2"},
+                &output),
+            0)
+      << output;
+
+  const std::string metrics_path = dir_ + "/metrics.json";
+  const std::string trace_path = dir_ + "/trace.json";
+  const std::string metrics_flag = "--metrics-out=" + metrics_path;
+  const std::string trace_flag = "--trace-out=" + trace_path;
+  ASSERT_EQ(Run({"select", "--dir", dir_.c_str(), "--t0", "100",
+                 "--points", "3", "--stride", "14", "--threads", "2",
+                 "--algorithm", "grasp", metrics_flag.c_str(),
+                 trace_flag.c_str()},
+                &output),
+            0)
+      << output;
+
+  ASSERT_TRUE(std::filesystem::exists(metrics_path));
+  std::stringstream metrics_buf;
+  metrics_buf << std::ifstream(metrics_path).rdbuf();
+  const std::string metrics = metrics_buf.str();
+  EXPECT_NE(metrics.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(metrics.find("\"name\":\"select\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"algorithm\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"oracle_calls\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"cache_hits\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"selected_sources\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"stages\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"profit\""), std::string::npos);
+
+  ASSERT_TRUE(std::filesystem::exists(trace_path));
+  std::stringstream trace_buf;
+  trace_buf << std::ifstream(trace_path).rdbuf();
+  const std::string trace = trace_buf.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+#if FRESHSEL_OBS_ACTIVE
+  // Spans only exist when the instrumentation is compiled in.
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("selection/grasp"), std::string::npos);
+#endif
 }
 
 TEST_F(CliEndToEndTest, ErrorsAreReported) {

@@ -204,6 +204,45 @@ TEST_F(FreshselLintTest, AcceptsDirectIncludesAndIgnoresLookalikes) {
   EXPECT_TRUE(Lint().empty());
 }
 
+TEST_F(FreshselLintTest, FlagsSteadyClockOutsideObs) {
+  WriteFixture("selection/bad_clock.cc",
+               "#include <chrono>\n"
+               "double Now() {\n"
+               "  auto t = std::chrono::steady_clock::now();\n"
+               "  return t.time_since_epoch().count();\n"
+               "}\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "obs-clock");
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_NE(findings[0].message.find("obs"), std::string::npos);
+}
+
+TEST_F(FreshselLintTest, AllowsSteadyClockInObsTree) {
+  WriteFixture("obs/clock_impl.cc",
+               "#include <chrono>\n"
+               "long Now() {\n"
+               "  return std::chrono::steady_clock::now()\n"
+               "      .time_since_epoch().count();\n"
+               "}\n");
+  EXPECT_TRUE(Lint().empty());
+}
+
+TEST_F(FreshselLintTest, ObsClockRuleIgnoresLookalikesAndCanBeDisabled) {
+  WriteFixture("ok_clock.cc",
+               "// std::chrono::steady_clock::now() in a comment is fine.\n"
+               "int my_steady_clock_count = 0;  // Longer identifier.\n");
+  EXPECT_TRUE(Lint().empty());
+
+  WriteFixture("tool_clock.cc",
+               "#include <chrono>\n"
+               "auto T() { return std::chrono::steady_clock::now(); }\n");
+  EXPECT_TRUE(HasRule(Lint(), "obs-clock"));
+  LintOptions options;
+  options.obs_clock_rule = false;
+  EXPECT_TRUE(Lint(options).empty());
+}
+
 TEST_F(FreshselLintTest, ExpectedGuardDerivation) {
   EXPECT_EQ(ExpectedGuard(fs::path("common/bit_vector.h"), "FRESHSEL_"),
             "FRESHSEL_COMMON_BIT_VECTOR_H_");

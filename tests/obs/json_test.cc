@@ -1,0 +1,93 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace freshsel::obs {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01"
+                                   "b")),
+            "a\\u0001b");
+}
+
+TEST(JsonWriterTest, ObjectWithFields) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Field("s", "text");
+  writer.Field("d", 1.5);
+  writer.Field("u", std::uint64_t{7});
+  writer.EndObject();
+  EXPECT_EQ(writer.str(), "{\"s\":\"text\",\"d\":1.5,\"u\":7}");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("items");
+  writer.BeginArray();
+  writer.Uint(1);
+  writer.Uint(2);
+  writer.BeginObject();
+  writer.Field("k", "v");
+  writer.EndObject();
+  writer.EndArray();
+  writer.EndObject();
+  EXPECT_EQ(writer.str(), "{\"items\":[1,2,{\"k\":\"v\"}]}");
+}
+
+TEST(JsonWriterTest, ScalarsAndNull) {
+  JsonWriter writer;
+  writer.BeginArray();
+  writer.Bool(true);
+  writer.Bool(false);
+  writer.Null();
+  writer.Int(-3);
+  writer.EndArray();
+  EXPECT_EQ(writer.str(), "[true,false,null,-3]");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter writer;
+  writer.BeginArray();
+  writer.Double(std::numeric_limits<double>::infinity());
+  writer.Double(-std::numeric_limits<double>::infinity());
+  writer.Double(std::nan(""));
+  writer.EndArray();
+  EXPECT_EQ(writer.str(), "[null,null,null]");
+}
+
+TEST(JsonWriterTest, DoublesRoundTrip) {
+  JsonWriter writer;
+  writer.BeginArray();
+  writer.Double(0.1);
+  writer.Double(1e-9);
+  writer.EndArray();
+  // Parse back the two values and compare exactly.
+  const std::string& out = writer.str();
+  double a = 0.0;
+  double b = 0.0;
+  ASSERT_EQ(std::sscanf(out.c_str(), "[%lf,%lf]", &a, &b), 2);
+  EXPECT_EQ(a, 0.1);
+  EXPECT_EQ(b, 1e-9);
+}
+
+TEST(JsonWriterTest, TakeStringMoves) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.EndObject();
+  EXPECT_EQ(writer.TakeString(), "{}");
+}
+
+}  // namespace
+}  // namespace freshsel::obs

@@ -1,0 +1,57 @@
+// Compiles the instrumentation macros with FRESHSEL_OBS_FORCE_OFF (the
+// per-translation-unit equivalent of building with -DFRESHSEL_OBS=OFF) and
+// asserts they expand to nothing: no trace spans, no registry entries, and
+// FRESHSEL_OBS_ACTIVE visible as 0 to conditional code.
+#define FRESHSEL_OBS_FORCE_OFF
+#include "obs/macros.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+static_assert(FRESHSEL_OBS_ACTIVE == 0,
+              "FRESHSEL_OBS_FORCE_OFF must disable the obs macros");
+
+namespace freshsel::obs {
+namespace {
+
+TEST(ObsOffTest, MacrosRegisterNothing) {
+  FRESHSEL_TRACE_SPAN("obs_off_test/never_span");
+  FRESHSEL_OBS_COUNT("obs_off_test.never_counter", 123);
+  FRESHSEL_OBS_GAUGE_SET("obs_off_test.never_gauge", 1.0);
+  FRESHSEL_OBS_HISTOGRAM_RECORD("obs_off_test.never_hist", 0.5);
+  { FRESHSEL_OBS_SCOPED_LATENCY("obs_off_test.never_latency"); }
+
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().TakeSnapshot();
+  EXPECT_EQ(snapshot.counters.count("obs_off_test.never_counter"), 0u);
+  EXPECT_EQ(snapshot.gauges.count("obs_off_test.never_gauge"), 0u);
+  EXPECT_EQ(snapshot.histograms.count("obs_off_test.never_hist"), 0u);
+  EXPECT_EQ(snapshot.histograms.count("obs_off_test.never_latency"), 0u);
+}
+
+TEST(ObsOffTest, DisabledSpanEmitsNoTraceEventsEvenWhenEnabled) {
+  SetTraceEnabled(true);
+  ClearTrace();
+  { FRESHSEL_TRACE_SPAN("obs_off_test/enabled_but_compiled_out"); }
+  SetTraceEnabled(false);
+  for (const TraceEvent& event : CollectTrace()) {
+    EXPECT_NE(std::string(event.name),
+              "obs_off_test/enabled_but_compiled_out");
+  }
+  ClearTrace();
+}
+
+TEST(ObsOffTest, MacrosAreStatementSafe) {
+  // Must parse as a single statement in unbraced control flow.
+  if (true) FRESHSEL_OBS_COUNT("obs_off_test.branch", 1);
+  for (int i = 0; i < 1; ++i) FRESHSEL_OBS_GAUGE_SET("obs_off_test.g", 1.0);
+  EXPECT_EQ(MetricsRegistry::Global().TakeSnapshot().counters.count(
+                "obs_off_test.branch"),
+            0u);
+}
+
+}  // namespace
+}  // namespace freshsel::obs

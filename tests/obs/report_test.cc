@@ -1,0 +1,83 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace freshsel::obs {
+namespace {
+
+RunReport MakeSampleReport() {
+  RunReport report;
+  report.name = "report_test/run";
+  report.labels["algorithm"] = "GRASP-(3,5)";
+  report.values["profit"] = 1.25;
+  report.counters["oracle_calls"] = 42;
+  report.AddStage("load", 0.5);
+  report.AddStage("select", 1.5);
+  return report;
+}
+
+TEST(RunReportTest, ToJsonContainsSchemaFields) {
+  const RunReport report = MakeSampleReport();
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"report_test/run\""), std::string::npos);
+  EXPECT_NE(json.find("\"labels\""), std::string::npos);
+  EXPECT_NE(json.find("\"algorithm\":\"GRASP-(3,5)\""), std::string::npos);
+  EXPECT_NE(json.find("\"values\""), std::string::npos);
+  EXPECT_NE(json.find("\"profit\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"oracle_calls\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+}
+
+TEST(RunReportTest, StagesPreserveExecutionOrder) {
+  const RunReport report = MakeSampleReport();
+  ASSERT_EQ(report.stages.size(), 2u);
+  EXPECT_EQ(report.stages[0].name, "load");
+  EXPECT_EQ(report.stages[1].name, "select");
+  const std::string json = report.ToJson();
+  EXPECT_LT(json.find("\"load\""), json.find("\"select\""));
+}
+
+TEST(RunReportTest, CaptureGlobalMetricsFoldsRegistry) {
+  MetricsRegistry::Global().GetCounter("report_test.captured").Add(9);
+  RunReport report;
+  report.CaptureGlobalMetrics();
+  EXPECT_GE(report.metrics.counters.at("report_test.captured"), 9u);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"report_test.captured\""), std::string::npos);
+}
+
+TEST(RunReportTest, WriteJsonFileRoundTrip) {
+  const RunReport report = MakeSampleReport();
+  const std::string path =
+      ::testing::TempDir() + "/obs_report_test_out.json";
+  const Status status = report.WriteJsonFile(path);
+  ASSERT_TRUE(status.ok()) << status.message();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  // WriteJsonFile terminates the file with a newline.
+  EXPECT_EQ(buffer.str(), report.ToJson() + "\n");
+  std::remove(path.c_str());
+}
+
+TEST(RunReportTest, WriteJsonFileBadPathFails) {
+  const RunReport report = MakeSampleReport();
+  const Status status =
+      report.WriteJsonFile("/nonexistent-dir/obs_report_test.json");
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace freshsel::obs

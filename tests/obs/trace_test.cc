@@ -1,0 +1,215 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace freshsel::obs {
+namespace {
+
+/// Each test drives the process-wide trace machinery, so establish a known
+/// state on entry and leave tracing disabled on exit.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTraceEnabled(false);
+    ClearTrace();
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    ClearTrace();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  { TraceSpan span("trace_test/disabled"); }
+  EXPECT_TRUE(CollectTrace().empty());
+}
+
+TEST_F(TraceTest, NestedSpansParentOnSameThread) {
+  SetTraceEnabled(true);
+  {
+    TraceSpan outer("trace_test/outer");
+    { TraceSpan inner("trace_test/inner"); }
+  }
+  SetTraceEnabled(false);
+
+  const std::vector<TraceEvent> events = CollectTrace();
+  ASSERT_EQ(events.size(), 2u);
+  // CollectTrace orders by begin time: outer opened first.
+  const TraceEvent& outer = events[0];
+  const TraceEvent& inner = events[1];
+  EXPECT_STREQ(outer.name, "trace_test/outer");
+  EXPECT_STREQ(inner.name, "trace_test/inner");
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_NE(inner.id, outer.id);
+  EXPECT_EQ(inner.tid, outer.tid);
+  EXPECT_LE(outer.begin_ns, inner.begin_ns);
+  EXPECT_LE(inner.end_ns, outer.end_ns);
+  EXPECT_LE(inner.begin_ns, inner.end_ns);
+}
+
+TEST_F(TraceTest, SequentialSpansDoNotParentEachOther) {
+  SetTraceEnabled(true);
+  { TraceSpan first("trace_test/first"); }
+  { TraceSpan second("trace_test/second"); }
+  SetTraceEnabled(false);
+
+  const std::vector<TraceEvent> events = CollectTrace();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].parent, 0u);
+  EXPECT_EQ(events[1].parent, 0u);
+}
+
+TEST_F(TraceTest, PoolWorkerSpansAttributeToCallerSpan) {
+  // Chunks are claimed dynamically, so a fast body can be swallowed whole
+  // by the calling thread before the workers wake. Give each chunk real
+  // work and retry until some chunk demonstrably ran on a worker thread.
+  ThreadPool pool(3);
+  SetTraceEnabled(true);
+  std::set<std::uint64_t> outer_ids;
+  std::set<std::uint32_t> chunk_tids;
+  for (int attempt = 0; attempt < 50 && chunk_tids.size() < 2; ++attempt) {
+    {
+      TraceSpan outer("trace_test/parallel_outer");
+      pool.ParallelFor(64, [](std::size_t begin, std::size_t end) {
+        TraceSpan chunk("trace_test/chunk");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        volatile std::size_t sink = end - begin;
+        static_cast<void>(sink);
+      });
+    }
+    chunk_tids.clear();
+    for (const TraceEvent& event : CollectTrace()) {
+      if (std::string(event.name) == "trace_test/chunk") {
+        chunk_tids.insert(event.tid);
+      }
+    }
+  }
+  SetTraceEnabled(false);
+
+  const std::vector<TraceEvent> events = CollectTrace();
+  std::size_t chunks = 0;
+  for (const TraceEvent& event : events) {
+    if (std::string(event.name) == "trace_test/parallel_outer") {
+      outer_ids.insert(event.id);
+    }
+  }
+  ASSERT_FALSE(outer_ids.empty());
+  for (const TraceEvent& event : events) {
+    if (std::string(event.name) != "trace_test/chunk") continue;
+    ++chunks;
+    // Every pooled chunk span must attribute to one of the caller's
+    // spans even when it ran on a worker thread.
+    EXPECT_EQ(outer_ids.count(event.parent), 1u)
+        << "chunk on tid " << event.tid << " parented to " << event.parent;
+  }
+  EXPECT_GE(chunks, 1u);
+  // With 3 workers plus the calling thread and 1ms chunks, some chunk
+  // must land off the calling thread within the retry budget.
+  EXPECT_GE(chunk_tids.size(), 2u);
+}
+
+TEST_F(TraceTest, ClearTraceDiscardsBufferedEvents) {
+  SetTraceEnabled(true);
+  { TraceSpan span("trace_test/cleared"); }
+  ClearTrace();
+  { TraceSpan span("trace_test/kept"); }
+  SetTraceEnabled(false);
+
+  const std::vector<TraceEvent> events = CollectTrace();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "trace_test/kept");
+}
+
+TEST_F(TraceTest, RingBufferOverwriteReportsDrops) {
+  SetTraceEnabled(true);
+  // Well past the per-thread ring capacity.
+  for (int i = 0; i < 20000; ++i) {
+    TraceSpan span("trace_test/flood");
+  }
+  SetTraceEnabled(false);
+  EXPECT_GT(TraceDroppedCount(), 0u);
+  EXPECT_FALSE(CollectTrace().empty());
+  ClearTrace();
+  EXPECT_EQ(TraceDroppedCount(), 0u);
+}
+
+TEST_F(TraceTest, ChromeJsonStructure) {
+  // Build a fixed two-span trace by hand so the serialization assertions
+  // don't depend on timing.
+  std::vector<TraceEvent> events;
+  TraceEvent outer;
+  outer.name = "outer";
+  outer.begin_ns = 5000;
+  outer.end_ns = 9000;
+  outer.tid = 0;
+  outer.id = 1;
+  outer.parent = 0;
+  TraceEvent inner;
+  inner.name = "inner \"quoted\"";
+  inner.begin_ns = 6000;
+  inner.end_ns = 8000;
+  inner.tid = 3;
+  inner.id = 2;
+  inner.parent = 1;
+  events.push_back(outer);
+  events.push_back(inner);
+
+  const std::string json = TraceToChromeJson(events);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  // JSON string escaping of the quoted name.
+  EXPECT_NE(json.find("inner \\\"quoted\\\""), std::string::npos);
+  // Timestamps rebase to the earliest event and convert ns -> us:
+  // outer starts at 0us for 4us, inner at 1us for 2us.
+  EXPECT_NE(json.find("\"ts\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"span_id\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\":1"), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(TraceTest, WriteTraceFileRoundTrip) {
+  SetTraceEnabled(true);
+  { TraceSpan span("trace_test/file_span"); }
+  SetTraceEnabled(false);
+
+  const std::string path =
+      ::testing::TempDir() + "/obs_trace_test_out.json";
+  const Status status = WriteTraceFile(path);
+  ASSERT_TRUE(status.ok()) << status.message();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+  EXPECT_NE(contents.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(contents.find("trace_test/file_span"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace freshsel::obs
