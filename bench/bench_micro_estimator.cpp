@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "common/bit_vector.h"
 #include "common/random.h"
@@ -137,6 +138,92 @@ BENCHMARK(BM_EstimateModelExtensions)
     ->Arg(2)
     ->Arg(3)
     ->ArgName("ext");
+
+// Incremental delta evaluation vs the full oracle at matched set sizes:
+// `EstimateWith` multiplies one candidate factor into the context's
+// running per-tau products, so its cost is O(steps) regardless of |S|,
+// while the full `Estimate` of S + {x} refolds every member. The ratio of
+// these two panels is the per-call speedup the greedy loop's inner scan
+// sees (the end-to-end gate lives in bench_incremental_check).
+void BM_EstimateFullAppend(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  auto estimator = MakeEstimator(fixture, 60);
+  auto set = FirstK(static_cast<std::size_t>(state.range(0)));
+  const auto candidate = static_cast<
+      estimation::QualityEstimator::SourceHandle>(
+      estimator.source_count() - 1);
+  set.push_back(candidate);
+  const TimePoint t = fixture.scenario.t0 + 60;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(set, t));
+  }
+}
+BENCHMARK(BM_EstimateFullAppend)->Arg(1)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_EstimateIncrementalDelta(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  auto estimator = MakeEstimator(fixture, 60);
+  estimation::QualityEstimator::EvalContext ctx =
+      estimator.MakeEvalContext();
+  for (const auto handle :
+       FirstK(static_cast<std::size_t>(state.range(0)))) {
+    ctx.Push(handle);
+  }
+  const auto candidate = static_cast<
+      estimation::QualityEstimator::SourceHandle>(
+      estimator.source_count() - 1);
+  const TimePoint t = fixture.scenario.t0 + 60;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.EstimateWith(candidate, t));
+  }
+}
+BENCHMARK(BM_EstimateIncrementalDelta)->Arg(1)->Arg(8)->Arg(16)->Arg(32);
+
+// Batched multi-time estimation: one union-signature pass shared by all
+// eval times vs one full `Estimate` per time point.
+void BM_EstimateFourTimesLooped(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  TimePoints eval_times;
+  for (TimePoint d : {15, 30, 45, 60}) {
+    eval_times.push_back(fixture.scenario.t0 + d);
+  }
+  auto estimator = estimation::QualityEstimator::Create(
+                       fixture.scenario.world, fixture.learned.world_model,
+                       {}, eval_times, {})
+                       .value();
+  for (const auto& profile : fixture.learned.profiles) {
+    estimator.AddSource(&profile, 1).value();
+  }
+  const auto set = FirstK(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (TimePoint t : eval_times) {
+      benchmark::DoNotOptimize(estimator.Estimate(set, t));
+    }
+  }
+}
+BENCHMARK(BM_EstimateFourTimesLooped)->Arg(8)->Arg(32);
+
+void BM_EstimateFourTimesBatched(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  TimePoints eval_times;
+  for (TimePoint d : {15, 30, 45, 60}) {
+    eval_times.push_back(fixture.scenario.t0 + d);
+  }
+  auto estimator = estimation::QualityEstimator::Create(
+                       fixture.scenario.world, fixture.learned.world_model,
+                       {}, eval_times, {})
+                       .value();
+  for (const auto& profile : fixture.learned.profiles) {
+    estimator.AddSource(&profile, 1).value();
+  }
+  const auto set = FirstK(static_cast<std::size_t>(state.range(0)));
+  std::vector<estimation::EstimatedQuality> out;
+  for (auto _ : state) {
+    estimator.EstimateAllTimes(set, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_EstimateFourTimesBatched)->Arg(8)->Arg(32);
 
 void BM_SignatureUnionCount(benchmark::State& state) {
   const std::size_t width = static_cast<std::size_t>(state.range(0));

@@ -62,6 +62,18 @@ Result<QualityEstimator> QualityEstimator::Create(
     }
   }
   est.compact_size_ = next;
+
+  // Per-eval-time tables and the sorted time -> index lookup, built once
+  // here so no evaluation path ever scans eval_times_ or recomputes the
+  // set-independent weights.
+  est.tables_.reserve(est.eval_times_.size());
+  est.time_index_.reserve(est.eval_times_.size());
+  for (std::size_t i = 0; i < est.eval_times_.size(); ++i) {
+    est.tables_.push_back(est.MakeTimeTable(est.eval_times_[i]));
+    est.time_index_.emplace_back(est.eval_times_[i], i);
+  }
+  std::sort(est.time_index_.begin(), est.time_index_.end());
+
   est.sync_ = std::make_unique<SyncState>();
   return est;
 }
@@ -91,30 +103,147 @@ Result<QualityEstimator::SourceHandle> QualityEstimator::AddSource(
       count_t0_ > 0 ? static_cast<double>(src.cov.Count()) /
                           static_cast<double>(count_t0_)
                     : 0.0;
+  if (options_.model_capture_backlog && t0_ > 0) {
+    // Miss-by-t0 backlog factors depend only on the source, not the eval
+    // time, so they are computed once here.
+    const SourceProfile& p = *profile;
+    const double t0d = static_cast<double>(t0_);
+    src.backlog_fac_t0.resize(static_cast<std::size_t>(t0_));
+    for (TimePoint tau = 1; tau <= t0_; ++tau) {
+      src.backlog_fac_t0[static_cast<std::size_t>(tau - 1)] =
+          1.0 - p.Effectiveness(p.g_insert, t0d, static_cast<double>(tau),
+                                divisor);
+    }
+  }
   const SourceHandle handle = static_cast<SourceHandle>(sources_.size());
   sources_.push_back(std::move(src));
   cache_.emplace_back(eval_times_.size());
   return handle;
 }
 
-QualityEstimator::EffectivenessVectors
-QualityEstimator::ComputeEffectiveness(const RegisteredSource& src,
-                                       TimePoint t) const {
-  const std::size_t delta = static_cast<std::size_t>(
-      std::max<TimePoint>(t - t0_, 0));
-  EffectivenessVectors vectors;
-  vectors.insert.resize(delta);
-  vectors.update.resize(delta);
-  vectors.remove.resize(delta);
-  const SourceProfile& p = *src.profile;
-  const double td = static_cast<double>(t);
-  for (std::size_t i = 0; i < delta; ++i) {
-    const double tau = static_cast<double>(t0_ + 1 + static_cast<TimePoint>(i));
-    vectors.insert[i] = p.Effectiveness(p.g_insert, td, tau, src.divisor);
-    vectors.update[i] = p.Effectiveness(p.g_update, td, tau, src.divisor);
-    vectors.remove[i] = p.Effectiveness(p.g_delete, td, tau, src.divisor);
+std::size_t QualityEstimator::TimeIndexOf(TimePoint t) const {
+  const auto it = std::lower_bound(
+      time_index_.begin(), time_index_.end(), t,
+      [](const std::pair<TimePoint, std::size_t>& entry, TimePoint value) {
+        return entry.first < value;
+      });
+  if (it != time_index_.end() && it->first == t) return it->second;
+  return kNoTimeIndex;
+}
+
+QualityEstimator::TimeTable QualityEstimator::MakeTimeTable(
+    TimePoint t) const {
+  const SubdomainChangeModel& agg = aggregate_;
+  TimeTable table;
+  table.t = t;
+  table.steps = static_cast<std::size_t>(std::max<TimePoint>(t - t0_, 0));
+  table.delta = static_cast<double>(t - t0_);
+
+  // E[|Omega|_t]: the paper's linear balance (Eq. 14) by default, or the
+  // birth-death ODE solution when requested. Floored at 1 to keep ratios
+  // finite.
+  if (options_.exponential_world_model && agg.gamma_disappear > 0.0) {
+    const double stationary = agg.lambda_insert / agg.gamma_disappear;
+    table.expected_world = stationary +
+                           (static_cast<double>(count_t0_) - stationary) *
+                               std::exp(-agg.gamma_disappear * table.delta);
+  } else {
+    table.expected_world =
+        static_cast<double>(count_t0_) +
+        table.delta * (agg.lambda_insert - agg.lambda_disappear);
   }
-  return vectors;
+  table.expected_world = std::max(table.expected_world, 1.0);
+
+  table.global_surv_d = std::exp(-agg.gamma_disappear * table.delta);
+  table.global_surv_u = std::exp(-agg.gamma_update * table.delta);
+
+  // Per-tau accumulation weights, tau = t0 + 1 + i. Each weight keeps the
+  // association of the accumulation statement it replaces (for example
+  // `lambda * surv_d * pr` is `(lambda * surv_d) * pr`, so the weight is
+  // the parenthesized prefix) - the folded sums are bit-identical to the
+  // unfactored ones.
+  table.w_cov.resize(table.steps);
+  table.w_up_ins.resize(table.steps);
+  table.w_up_upd.resize(table.steps);
+  for (std::size_t i = 0; i < table.steps; ++i) {
+    const double age = table.delta - static_cast<double>(i + 1);  // t - tau.
+    const double surv_d = std::exp(-agg.gamma_disappear * age);
+    const double surv_du = options_.per_event_survival
+                               ? surv_d * std::exp(-agg.gamma_update * age)
+                               : table.global_surv_d * table.global_surv_u;
+    table.w_cov[i] = agg.lambda_insert * surv_d;
+    table.w_up_ins[i] = agg.lambda_insert * surv_du;
+    table.w_up_upd[i] = agg.lambda_update * surv_du;
+  }
+
+  if (options_.model_capture_backlog && t > t0_ && t0_ > 0) {
+    const std::size_t t0_steps = static_cast<std::size_t>(t0_);
+    const double t0d = static_cast<double>(t0_);
+    table.w_back.resize(t0_steps);
+    table.w_back_up.resize(t0_steps);
+    for (TimePoint tau = 1; tau <= t0_; ++tau) {
+      const double age = table.delta + (t0d - static_cast<double>(tau));
+      const double surv_d = std::exp(-agg.gamma_disappear * age);
+      const std::size_t j = static_cast<std::size_t>(tau - 1);
+      table.w_back[j] = agg.lambda_insert * surv_d;
+      table.w_back_up[j] =
+          table.w_back[j] * std::exp(-agg.gamma_update * age);
+    }
+  }
+  return table;
+}
+
+QualityEstimator::SourceTimeTable QualityEstimator::BuildSourceTable(
+    const RegisteredSource& src, const TimeTable& table) const {
+  SourceTimeTable out;
+  const SourceProfile& p = *src.profile;
+  const double td = static_cast<double>(table.t);
+  out.fac_ins.resize(table.steps);
+  out.fac_del.resize(table.steps);
+  out.fac_upd.resize(table.steps);
+  for (std::size_t i = 0; i < table.steps; ++i) {
+    const double tau = static_cast<double>(t0_ + 1 + static_cast<TimePoint>(i));
+    out.fac_ins[i] = 1.0 - p.Effectiveness(p.g_insert, td, tau, src.divisor);
+    out.fac_del[i] =
+        1.0 - src.coverage_t0 * p.Effectiveness(p.g_delete, td, tau,
+                                                src.divisor);
+    out.fac_upd[i] =
+        1.0 - src.coverage_t0 * p.Effectiveness(p.g_update, td, tau,
+                                                src.divisor);
+  }
+  if (options_.model_capture_backlog && table.t > t0_ && t0_ > 0) {
+    out.backlog_fac_t.resize(static_cast<std::size_t>(t0_));
+    for (TimePoint tau = 1; tau <= t0_; ++tau) {
+      out.backlog_fac_t[static_cast<std::size_t>(tau - 1)] =
+          1.0 - p.Effectiveness(p.g_insert, td, static_cast<double>(tau),
+                                src.divisor);
+    }
+  }
+  return out;
+}
+
+const QualityEstimator::SourceTimeTable& QualityEstimator::SourceTableFor(
+    SourceHandle handle, std::size_t t_index) const {
+  MemoSlot& slot = cache_[handle][t_index];
+  // Hit path: one acquire load, no lock. A published table is never
+  // replaced, so the reference stays valid without holding anything.
+  if (const SourceTimeTable* table =
+          slot.table.load(std::memory_order_acquire)) {
+    FRESHSEL_OBS_COUNT("estimation.memo.hits", 1);
+    return *table;
+  }
+  std::lock_guard<std::mutex> lock(sync_->mutex);
+  if (const SourceTimeTable* table =
+          slot.table.load(std::memory_order_relaxed)) {
+    FRESHSEL_OBS_COUNT("estimation.memo.hits", 1);
+    return *table;
+  }
+  FRESHSEL_OBS_COUNT("estimation.memo.misses", 1);
+  auto built = std::make_unique<SourceTimeTable>(
+      BuildSourceTable(sources_[handle], tables_[t_index]));
+  const SourceTimeTable* raw = built.release();
+  slot.table.store(raw, std::memory_order_release);
+  return *raw;
 }
 
 QualityEstimator::Scratch QualityEstimator::AcquireScratch() const {
@@ -141,185 +270,153 @@ void QualityEstimator::ReleaseScratch(Scratch&& scratch) const {
   sync_->scratch_pool.push_back(std::move(scratch));
 }
 
-const QualityEstimator::EffectivenessVectors&
-QualityEstimator::EffectivenessFor(SourceHandle handle, TimePoint t,
-                                   std::size_t t_index) const {
-  // The fill runs under the mutex so concurrent callers of the same
-  // (source, time) slot see either nothing or a fully built value; a
-  // filled slot is never rewritten, so the returned reference may be used
-  // after the lock is dropped.
-  std::lock_guard<std::mutex> lock(sync_->mutex);
-  std::optional<EffectivenessVectors>& slot = cache_[handle][t_index];
-  if (!slot.has_value()) {
-    FRESHSEL_OBS_COUNT("estimation.memo.misses", 1);
-    slot = ComputeEffectiveness(sources_[handle], t);
-  } else {
-    FRESHSEL_OBS_COUNT("estimation.memo.hits", 1);
+void QualityEstimator::MultiplyMissFactors(const RegisteredSource& src,
+                                           SourceHandle handle,
+                                           std::size_t t_index,
+                                           const TimeTable& table,
+                                           Scratch& scratch) const {
+  const std::size_t steps = table.steps;
+  const bool backlog = !scratch.back_t0.empty();
+  double* mi = scratch.miss_ins.data();
+  double* md = scratch.miss_del.data();
+  double* mu = scratch.miss_upd.data();
+  if (options_.cache_effectiveness && t_index != kNoTimeIndex) {
+    const SourceTimeTable& st = SourceTableFor(handle, t_index);
+    const double* fi = st.fac_ins.data();
+    const double* fd = st.fac_del.data();
+    const double* fu = st.fac_upd.data();
+    for (std::size_t i = 0; i < steps; ++i) mi[i] *= fi[i];
+    for (std::size_t i = 0; i < steps; ++i) md[i] *= fd[i];
+    for (std::size_t i = 0; i < steps; ++i) mu[i] *= fu[i];
+    if (backlog) {
+      const double* b0 = src.backlog_fac_t0.data();
+      const double* bt = st.backlog_fac_t.data();
+      double* s0 = scratch.back_t0.data();
+      double* st_out = scratch.back_t.data();
+      const std::size_t t0_steps = scratch.back_t0.size();
+      for (std::size_t j = 0; j < t0_steps; ++j) s0[j] *= b0[j];
+      for (std::size_t j = 0; j < t0_steps; ++j) st_out[j] *= bt[j];
+    }
+    return;
   }
-  return *slot;
+  // Uncached time point (or caching ablated): fold the factors in without
+  // materializing a table. The per-factor arithmetic is identical to
+  // BuildSourceTable, so cached and uncached evaluations agree bit for
+  // bit.
+  const SourceProfile& p = *src.profile;
+  const double td = static_cast<double>(table.t);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double tau = static_cast<double>(t0_ + 1 + static_cast<TimePoint>(i));
+    mi[i] *= 1.0 - p.Effectiveness(p.g_insert, td, tau, src.divisor);
+    md[i] *= 1.0 - src.coverage_t0 * p.Effectiveness(p.g_delete, td, tau,
+                                                     src.divisor);
+    mu[i] *= 1.0 - src.coverage_t0 * p.Effectiveness(p.g_update, td, tau,
+                                                     src.divisor);
+  }
+  if (backlog) {
+    double* s0 = scratch.back_t0.data();
+    double* st_out = scratch.back_t.data();
+    const double* b0 = src.backlog_fac_t0.data();
+    const std::size_t t0_steps = scratch.back_t0.size();
+    for (std::size_t j = 0; j < t0_steps; ++j) {
+      const double tau = static_cast<double>(j + 1);
+      s0[j] *= b0[j];
+      st_out[j] *= 1.0 - p.Effectiveness(p.g_insert, td, tau, src.divisor);
+    }
+  }
 }
 
-EstimatedQuality QualityEstimator::Estimate(
-    const std::vector<SourceHandle>& set, TimePoint t) const {
+template <bool kWithCandidate>
+EstimatedQuality QualityEstimator::EvaluateFromProducts(
+    const TimeTable& table, double up0, double cov0, double all0,
+    bool set_empty, const double* miss_ins, const double* miss_del,
+    const double* miss_upd, const double* back_t0, const double* back_t,
+    const SourceTimeTable* cand, const RegisteredSource* cand_src) const {
+  static_cast<void>(set_empty);
   EstimatedQuality q;
-  if (t < t0_) return q;
-  for (SourceHandle handle : set) {
-    FRESHSEL_CHECK(handle < sources_.size())
-        << "unknown source handle " << handle << " (registered: "
-        << sources_.size() << ")";
-  }
-
-  // Union signature counts at t0, on bitvectors leased from the shared
-  // pool (each concurrent Estimate call gets its own set).
-  Scratch scratch = AcquireScratch();
-  for (SourceHandle handle : set) {
-    const RegisteredSource& src = sources_[handle];
-    scratch.up.OrWith(src.up);
-    scratch.cov.OrWith(src.cov);
-    scratch.all.OrWith(src.all);
-  }
-  const double up0 = static_cast<double>(scratch.up.Count());
-  const double cov0 = static_cast<double>(scratch.cov.Count());
-  const double all0 = static_cast<double>(scratch.all.Count());
-  ReleaseScratch(std::move(scratch));
-
   const SubdomainChangeModel& agg = aggregate_;
-  const double delta = static_cast<double>(t - t0_);
-  const std::size_t steps = static_cast<std::size_t>(t - t0_);
+  const std::size_t steps = table.steps;
 
-  // E[|Omega|_t]: the paper's linear balance (Eq. 14) by default, or the
-  // birth-death ODE solution when requested. Floored at 1 to keep ratios
-  // finite.
-  double expected_world;
-  if (options_.exponential_world_model && agg.gamma_disappear > 0.0) {
-    const double stationary = agg.lambda_insert / agg.gamma_disappear;
-    expected_world = stationary +
-                     (static_cast<double>(count_t0_) - stationary) *
-                         std::exp(-agg.gamma_disappear * delta);
-  } else {
-    expected_world = static_cast<double>(count_t0_) +
-                     delta * (agg.lambda_insert - agg.lambda_disappear);
-  }
-  expected_world = std::max(expected_world, 1.0);
-
-  // Locate t among the cacheable eval times.
-  std::size_t t_index = eval_times_.size();
-  if (options_.cache_effectiveness) {
-    for (std::size_t i = 0; i < eval_times_.size(); ++i) {
-      if (eval_times_[i] == t) {
-        t_index = i;
-        break;
-      }
-    }
-  }
-
-  // Gather per-source effectiveness vectors (cached or ad hoc).
-  std::vector<const EffectivenessVectors*> per_source;
-  std::vector<EffectivenessVectors> ad_hoc;
-  per_source.reserve(set.size());
-  if (t_index < eval_times_.size()) {
-    for (SourceHandle handle : set) {
-      per_source.push_back(&EffectivenessFor(handle, t, t_index));
-    }
-  } else {
-    ad_hoc.reserve(set.size());
-    for (SourceHandle handle : set) {
-      ad_hoc.push_back(ComputeEffectiveness(sources_[handle], t));
-    }
-    for (const EffectivenessVectors& v : ad_hoc) per_source.push_back(&v);
-  }
-
-  // Accumulate the expectation sums over tau = t0+1 .. t
-  // (Eqs. 9-11, 15, 19 and the Up components).
+  // Expectation sums over tau = t0+1 .. t (Eqs. 9-11, 15, 19 and the Up
+  // components). Pure array arithmetic: per-tau miss products (times the
+  // candidate's factors in the delta path) folded against the precomputed
+  // weights; the association matches the unfactored accumulation exactly.
   double e_ins = 0.0;
   double e_ins_nosurv = 0.0;
   double e_del = 0.0;
   double e_ins_up = 0.0;
   double e_ex_up = 0.0;
-  const double global_surv_d = std::exp(-agg.gamma_disappear * delta);
-  const double global_surv_u = std::exp(-agg.gamma_update * delta);
+  const double* w_cov = table.w_cov.data();
+  const double* w_up_ins = table.w_up_ins.data();
+  const double* w_up_upd = table.w_up_upd.data();
   for (std::size_t i = 0; i < steps; ++i) {
-    double miss_ins = 1.0;
-    double miss_del = 1.0;
-    double miss_upd = 1.0;
-    for (std::size_t s = 0; s < set.size(); ++s) {
-      const RegisteredSource& src = sources_[set[s]];
-      const EffectivenessVectors& g = *per_source[s];
-      miss_ins *= 1.0 - g.insert[i];
-      miss_del *= 1.0 - src.coverage_t0 * g.remove[i];
-      miss_upd *= 1.0 - src.coverage_t0 * g.update[i];
+    double mi = miss_ins[i];
+    double md = miss_del[i];
+    double mu = miss_upd[i];
+    if constexpr (kWithCandidate) {
+      mi *= cand->fac_ins[i];
+      md *= cand->fac_del[i];
+      mu *= cand->fac_upd[i];
     }
-    const double pr_ins = 1.0 - miss_ins;
-    const double pr_del = 1.0 - miss_del;
-    const double pr_upd = 1.0 - miss_upd;
-
-    const double age = delta - static_cast<double>(i + 1);  // t - tau.
-    const double surv_d = std::exp(-agg.gamma_disappear * age);
-    const double surv_du = options_.per_event_survival
-                               ? surv_d * std::exp(-agg.gamma_update * age)
-                               : global_surv_d * global_surv_u;
-
-    e_ins += agg.lambda_insert * surv_d * pr_ins;          // Eq. 15.
+    const double pr_ins = 1.0 - mi;
+    const double pr_del = 1.0 - md;
+    const double pr_upd = 1.0 - mu;
+    e_ins += w_cov[i] * pr_ins;                 // Eq. 15.
     e_ins_nosurv += agg.lambda_insert * pr_ins;
-    e_del += agg.lambda_disappear * pr_del;                // Eq. 19.
-    e_ins_up += agg.lambda_insert * surv_du * pr_ins;
-    e_ex_up += agg.lambda_update * surv_du * pr_upd;
+    e_del += agg.lambda_disappear * pr_del;     // Eq. 19.
+    e_ins_up += w_up_ins[i] * pr_ins;
+    e_ex_up += w_up_upd[i] * pr_upd;
   }
 
   // Capture backlog (extension, see Options::model_capture_backlog):
-  // appearances at tau <= t0 captured only after t0.
+  // appearances at tau <= t0 captured only after t0. The caller passes
+  // null product arrays when the extension is off (or t <= t0).
   double e_backlog = 0.0;
   double e_backlog_up = 0.0;
-  if (options_.model_capture_backlog && t > t0_ && !set.empty()) {
-    const double t0d = static_cast<double>(t0_);
-    const double td = static_cast<double>(t);
-    for (TimePoint tau = 1; tau <= t0_; ++tau) {
-      const double tau_d = static_cast<double>(tau);
-      double miss_by_t0 = 1.0;
-      double miss_by_t = 1.0;
-      for (SourceHandle handle : set) {
-        const RegisteredSource& src = sources_[handle];
-        const SourceProfile& p = *src.profile;
-        miss_by_t0 *=
-            1.0 - p.Effectiveness(p.g_insert, t0d, tau_d, src.divisor);
-        miss_by_t *=
-            1.0 - p.Effectiveness(p.g_insert, td, tau_d, src.divisor);
+  if (back_t0 != nullptr) {
+    const double* w_back = table.w_back.data();
+    const double* w_back_up = table.w_back_up.data();
+    const std::size_t t0_steps = table.w_back.size();
+    for (std::size_t j = 0; j < t0_steps; ++j) {
+      double miss_by_t0 = back_t0[j];
+      double miss_by_t = back_t[j];
+      if constexpr (kWithCandidate) {
+        miss_by_t0 *= cand_src->backlog_fac_t0[j];
+        miss_by_t *= cand->backlog_fac_t[j];
       }
       const double pr_late = std::max(miss_by_t0 - miss_by_t, 0.0);
       if (pr_late <= 0.0) continue;
-      const double age = delta + (t0d - tau_d);  // t - tau.
-      const double surv_d = std::exp(-agg.gamma_disappear * age);
-      e_backlog += agg.lambda_insert * surv_d * pr_late;
-      e_backlog_up += agg.lambda_insert * surv_d *
-                      std::exp(-agg.gamma_update * age) * pr_late;
+      e_backlog += w_back[j] * pr_late;
+      e_backlog_up += w_back_up[j] * pr_late;
     }
   }
 
   // Coverage (Eqs. 12-13).
-  const double old_cov = cov0 * global_surv_d;
+  const double old_cov = cov0 * table.global_surv_d;
   const double covered_est = old_cov + e_ins + e_backlog;
-  q.coverage = std::clamp(covered_est / expected_world, 0.0, 1.0);
+  q.coverage = std::clamp(covered_est / table.expected_world, 0.0, 1.0);
 
   // Freshness (Eqs. 16-18).
-  const double old_up = up0 * global_surv_d * global_surv_u;
+  const double old_up = up0 * table.global_surv_d * table.global_surv_u;
   const double expected_up = old_up + e_ins_up + e_ex_up + e_backlog_up;
   const double inserted_into_result =
       options_.model_ghost_result ? e_ins_nosurv : e_ins;
   const double expected_result =
       std::max(all0 + inserted_into_result + e_backlog - e_del,
                std::max(expected_up, 0.0));
-  q.expected_world = expected_world;
+  q.expected_world = table.expected_world;
   q.expected_result = expected_result;
   q.expected_up = expected_up;
   q.local_freshness =
       expected_result > 0.0
           ? std::clamp(expected_up / expected_result, 0.0, 1.0)
           : 0.0;
-  q.global_freshness = std::clamp(expected_up / expected_world, 0.0, 1.0);
+  q.global_freshness =
+      std::clamp(expected_up / table.expected_world, 0.0, 1.0);
 
   // Accuracy via Eq. 5, in its count form up / (|Omega| - covered + |F|).
   const double union_size =
-      std::max(expected_world - covered_est + expected_result, 1.0);
+      std::max(table.expected_world - covered_est + expected_result, 1.0);
   q.accuracy = std::clamp(expected_up / union_size, 0.0, 1.0);
   // Post-conditions: every published metric is a probability and every
   // expectation is finite (Eqs. 12-19 preserve both by construction).
@@ -333,12 +430,137 @@ EstimatedQuality QualityEstimator::Estimate(
   return q;
 }
 
+template EstimatedQuality QualityEstimator::EvaluateFromProducts<false>(
+    const TimeTable&, double, double, double, bool, const double*,
+    const double*, const double*, const double*, const double*,
+    const SourceTimeTable*, const RegisteredSource*) const;
+template EstimatedQuality QualityEstimator::EvaluateFromProducts<true>(
+    const TimeTable&, double, double, double, bool, const double*,
+    const double*, const double*, const double*, const double*,
+    const SourceTimeTable*, const RegisteredSource*) const;
+
+EstimatedQuality QualityEstimator::Estimate(
+    const std::vector<SourceHandle>& set, TimePoint t) const {
+  EstimatedQuality q;
+  if (t < t0_) return q;
+  for (SourceHandle handle : set) {
+    FRESHSEL_CHECK(handle < sources_.size())
+        << "unknown source handle " << handle << " (registered: "
+        << sources_.size() << ")";
+  }
+
+  Scratch scratch = AcquireScratch();
+
+  // Union signature counts at t0, on bitvectors leased from the shared
+  // pool (each concurrent Estimate call gets its own set).
+  for (SourceHandle handle : set) {
+    const RegisteredSource& src = sources_[handle];
+    scratch.up.OrWith(src.up);
+    scratch.cov.OrWith(src.cov);
+    scratch.all.OrWith(src.all);
+  }
+  const double up0 = static_cast<double>(scratch.up.Count());
+  const double cov0 = static_cast<double>(scratch.cov.Count());
+  const double all0 = static_cast<double>(scratch.all.Count());
+
+  const std::size_t t_index = TimeIndexOf(t);
+  TimeTable local;
+  const TimeTable* table;
+  if (t_index != kNoTimeIndex) {
+    table = &tables_[t_index];
+  } else {
+    local = MakeTimeTable(t);
+    table = &local;
+  }
+
+  // Per-tau miss products over the set, in handle order (scratch vectors
+  // keep their capacity across calls, so the steady state allocates
+  // nothing).
+  scratch.miss_ins.assign(table->steps, 1.0);
+  scratch.miss_del.assign(table->steps, 1.0);
+  scratch.miss_upd.assign(table->steps, 1.0);
+  const bool backlog =
+      options_.model_capture_backlog && t > t0_ && t0_ > 0 && !set.empty();
+  if (backlog) {
+    scratch.back_t0.assign(static_cast<std::size_t>(t0_), 1.0);
+    scratch.back_t.assign(static_cast<std::size_t>(t0_), 1.0);
+  } else {
+    scratch.back_t0.clear();
+    scratch.back_t.clear();
+  }
+  for (SourceHandle handle : set) {
+    MultiplyMissFactors(sources_[handle], handle, t_index, *table, scratch);
+  }
+
+  FRESHSEL_OBS_COUNT("estimation.full.evals", 1);
+  q = EvaluateFromProducts<false>(
+      *table, up0, cov0, all0, set.empty(), scratch.miss_ins.data(),
+      scratch.miss_del.data(), scratch.miss_upd.data(),
+      backlog ? scratch.back_t0.data() : nullptr,
+      backlog ? scratch.back_t.data() : nullptr, nullptr, nullptr);
+  ReleaseScratch(std::move(scratch));
+  return q;
+}
+
+void QualityEstimator::EstimateAllTimes(
+    const std::vector<SourceHandle>& set,
+    std::vector<EstimatedQuality>& out) const {
+  out.resize(eval_times_.size());
+  if (eval_times_.empty()) return;
+  for (SourceHandle handle : set) {
+    FRESHSEL_CHECK(handle < sources_.size())
+        << "unknown source handle " << handle << " (registered: "
+        << sources_.size() << ")";
+  }
+
+  Scratch scratch = AcquireScratch();
+  // The union counts are shared across every eval time - the whole point
+  // of the batched entry point (EstimateAverage used to redo the unions
+  // per time).
+  for (SourceHandle handle : set) {
+    const RegisteredSource& src = sources_[handle];
+    scratch.up.OrWith(src.up);
+    scratch.cov.OrWith(src.cov);
+    scratch.all.OrWith(src.all);
+  }
+  const double up0 = static_cast<double>(scratch.up.Count());
+  const double cov0 = static_cast<double>(scratch.cov.Count());
+  const double all0 = static_cast<double>(scratch.all.Count());
+
+  for (std::size_t ti = 0; ti < eval_times_.size(); ++ti) {
+    const TimeTable& table = tables_[ti];
+    scratch.miss_ins.assign(table.steps, 1.0);
+    scratch.miss_del.assign(table.steps, 1.0);
+    scratch.miss_upd.assign(table.steps, 1.0);
+    const bool backlog = options_.model_capture_backlog &&
+                         table.t > t0_ && t0_ > 0 && !set.empty();
+    if (backlog) {
+      scratch.back_t0.assign(static_cast<std::size_t>(t0_), 1.0);
+      scratch.back_t.assign(static_cast<std::size_t>(t0_), 1.0);
+    } else {
+      scratch.back_t0.clear();
+      scratch.back_t.clear();
+    }
+    for (SourceHandle handle : set) {
+      MultiplyMissFactors(sources_[handle], handle, ti, table, scratch);
+    }
+    FRESHSEL_OBS_COUNT("estimation.full.evals", 1);
+    out[ti] = EvaluateFromProducts<false>(
+        table, up0, cov0, all0, set.empty(), scratch.miss_ins.data(),
+        scratch.miss_del.data(), scratch.miss_upd.data(),
+        backlog ? scratch.back_t0.data() : nullptr,
+        backlog ? scratch.back_t.data() : nullptr, nullptr, nullptr);
+  }
+  ReleaseScratch(std::move(scratch));
+}
+
 EstimatedQuality QualityEstimator::EstimateAverage(
     const std::vector<SourceHandle>& set) const {
   EstimatedQuality avg;
   if (eval_times_.empty()) return avg;
-  for (TimePoint t : eval_times_) {
-    const EstimatedQuality q = Estimate(set, t);
+  std::vector<EstimatedQuality> per_time;
+  EstimateAllTimes(set, per_time);
+  for (const EstimatedQuality& q : per_time) {
     avg.coverage += q.coverage;
     avg.local_freshness += q.local_freshness;
     avg.global_freshness += q.global_freshness;
@@ -356,6 +578,204 @@ EstimatedQuality QualityEstimator::EstimateAverage(
   avg.expected_result /= n;
   avg.expected_up /= n;
   return avg;
+}
+
+QualityEstimator::EvalContext QualityEstimator::MakeEvalContext() const {
+  FRESHSEL_CHECK(SupportsIncremental())
+      << "MakeEvalContext requires cache_effectiveness and at least one "
+         "eval time";
+  return EvalContext(this);
+}
+
+// ---------------------------------------------------------------------------
+// EvalContext
+
+QualityEstimator::EvalContext::EvalContext(const QualityEstimator* est)
+    : est_(est),
+      up_(est->compact_size_),
+      cov_(est->compact_size_),
+      all_(est->compact_size_) {
+  times_.resize(est->eval_times_.size());
+  const bool backlog_enabled =
+      est->options_.model_capture_backlog && est->t0_ > 0;
+  for (std::size_t ti = 0; ti < times_.size(); ++ti) {
+    const std::size_t steps = est->tables_[ti].steps;
+    times_[ti].miss_ins.assign(steps, 1.0);
+    times_[ti].miss_del.assign(steps, 1.0);
+    times_[ti].miss_upd.assign(steps, 1.0);
+    if (backlog_enabled && steps > 0) {
+      times_[ti].back_t.assign(static_cast<std::size_t>(est->t0_), 1.0);
+    }
+  }
+  if (backlog_enabled) {
+    back_t0_.assign(static_cast<std::size_t>(est->t0_), 1.0);
+  }
+}
+
+void QualityEstimator::EvalContext::Clear() {
+  pushed_.clear();
+  checkpoints_.clear();
+  up_.Clear();
+  cov_.Clear();
+  all_.Clear();
+  up0_ = 0.0;
+  cov0_ = 0.0;
+  all0_ = 0.0;
+  for (TimeState& ts : times_) {
+    std::fill(ts.miss_ins.begin(), ts.miss_ins.end(), 1.0);
+    std::fill(ts.miss_del.begin(), ts.miss_del.end(), 1.0);
+    std::fill(ts.miss_upd.begin(), ts.miss_upd.end(), 1.0);
+    std::fill(ts.back_t.begin(), ts.back_t.end(), 1.0);
+  }
+  std::fill(back_t0_.begin(), back_t0_.end(), 1.0);
+}
+
+void QualityEstimator::EvalContext::Push(SourceHandle handle) {
+  FRESHSEL_CHECK(est_ != nullptr) << "EvalContext used before MakeEvalContext";
+  FRESHSEL_CHECK(handle < est_->sources_.size())
+      << "unknown source handle " << handle << " (registered: "
+      << est_->sources_.size() << ")";
+
+  // Snapshot first: Pop restores state bit-exactly from the checkpoint
+  // rather than dividing the candidate's factors back out (near-zero miss
+  // products would amplify the rounding error of a divide).
+  Checkpoint cp;
+  cp.up = up_;
+  cp.cov = cov_;
+  cp.all = all_;
+  cp.up0 = up0_;
+  cp.cov0 = cov0_;
+  cp.all0 = all0_;
+  cp.times = times_;
+  cp.back_t0 = back_t0_;
+  checkpoints_.push_back(std::move(cp));
+
+  const RegisteredSource& src = est_->sources_[handle];
+  up_.OrWith(src.up);
+  cov_.OrWith(src.cov);
+  all_.OrWith(src.all);
+  up0_ = static_cast<double>(up_.Count());
+  cov0_ = static_cast<double>(cov_.Count());
+  all0_ = static_cast<double>(all_.Count());
+
+  for (std::size_t ti = 0; ti < times_.size(); ++ti) {
+    TimeState& ts = times_[ti];
+    const std::size_t steps = ts.miss_ins.size();
+    if (steps == 0 && ts.back_t.empty()) continue;
+    const SourceTimeTable& st = est_->SourceTableFor(handle, ti);
+    double* mi = ts.miss_ins.data();
+    double* md = ts.miss_del.data();
+    double* mu = ts.miss_upd.data();
+    const double* fi = st.fac_ins.data();
+    const double* fd = st.fac_del.data();
+    const double* fu = st.fac_upd.data();
+    for (std::size_t i = 0; i < steps; ++i) mi[i] *= fi[i];
+    for (std::size_t i = 0; i < steps; ++i) md[i] *= fd[i];
+    for (std::size_t i = 0; i < steps; ++i) mu[i] *= fu[i];
+    if (!ts.back_t.empty()) {
+      double* bt = ts.back_t.data();
+      const double* ft = st.backlog_fac_t.data();
+      const std::size_t t0_steps = ts.back_t.size();
+      for (std::size_t j = 0; j < t0_steps; ++j) bt[j] *= ft[j];
+    }
+  }
+  if (!back_t0_.empty()) {
+    double* b0 = back_t0_.data();
+    const double* f0 = src.backlog_fac_t0.data();
+    const std::size_t t0_steps = back_t0_.size();
+    for (std::size_t j = 0; j < t0_steps; ++j) b0[j] *= f0[j];
+  }
+  pushed_.push_back(handle);
+}
+
+void QualityEstimator::EvalContext::Pop() {
+  FRESHSEL_CHECK(!pushed_.empty()) << "Pop on an empty EvalContext";
+  Checkpoint& cp = checkpoints_.back();
+  up_ = std::move(cp.up);
+  cov_ = std::move(cp.cov);
+  all_ = std::move(cp.all);
+  up0_ = cp.up0;
+  cov0_ = cp.cov0;
+  all0_ = cp.all0;
+  times_ = std::move(cp.times);
+  back_t0_ = std::move(cp.back_t0);
+  checkpoints_.pop_back();
+  pushed_.pop_back();
+}
+
+EstimatedQuality QualityEstimator::EvalContext::EstimateAtIndex(
+    std::size_t t_index, const SourceHandle* candidate, double up0,
+    double cov0, double all0) const {
+  const TimeTable& table = est_->tables_[t_index];
+  const TimeState& ts = times_[t_index];
+  const bool backlog = !back_t0_.empty() && !ts.back_t.empty();
+  FRESHSEL_OBS_COUNT("estimation.delta.evals", 1);
+  if (candidate != nullptr) {
+    const SourceTimeTable& st = est_->SourceTableFor(*candidate, t_index);
+    return est_->EvaluateFromProducts<true>(
+        table, up0, cov0, all0, false, ts.miss_ins.data(),
+        ts.miss_del.data(), ts.miss_upd.data(),
+        backlog ? back_t0_.data() : nullptr,
+        backlog ? ts.back_t.data() : nullptr, &st,
+        &est_->sources_[*candidate]);
+  }
+  return est_->EvaluateFromProducts<false>(
+      table, up0, cov0, all0, pushed_.empty(), ts.miss_ins.data(),
+      ts.miss_del.data(), ts.miss_upd.data(),
+      backlog ? back_t0_.data() : nullptr,
+      backlog ? ts.back_t.data() : nullptr, nullptr, nullptr);
+}
+
+EstimatedQuality QualityEstimator::EvalContext::EstimateCurrent(
+    TimePoint t) const {
+  FRESHSEL_CHECK(est_ != nullptr) << "EvalContext used before MakeEvalContext";
+  const std::size_t t_index = est_->TimeIndexOf(t);
+  FRESHSEL_CHECK(t_index != kNoTimeIndex)
+      << "EvalContext only evaluates at registered eval times (got " << t
+      << ")";
+  return EstimateAtIndex(t_index, nullptr, up0_, cov0_, all0_);
+}
+
+EstimatedQuality QualityEstimator::EvalContext::EstimateWith(
+    SourceHandle handle, TimePoint t) const {
+  FRESHSEL_CHECK(est_ != nullptr) << "EvalContext used before MakeEvalContext";
+  FRESHSEL_CHECK(handle < est_->sources_.size())
+      << "unknown source handle " << handle << " (registered: "
+      << est_->sources_.size() << ")";
+  const std::size_t t_index = est_->TimeIndexOf(t);
+  FRESHSEL_CHECK(t_index != kNoTimeIndex)
+      << "EvalContext only evaluates at registered eval times (got " << t
+      << ")";
+  const RegisteredSource& src = est_->sources_[handle];
+  const double up0 = static_cast<double>(up_.UnionCount(src.up));
+  const double cov0 = static_cast<double>(cov_.UnionCount(src.cov));
+  const double all0 = static_cast<double>(all_.UnionCount(src.all));
+  return EstimateAtIndex(t_index, &handle, up0, cov0, all0);
+}
+
+void QualityEstimator::EvalContext::EstimateAllTimes(
+    std::vector<EstimatedQuality>& out) const {
+  FRESHSEL_CHECK(est_ != nullptr) << "EvalContext used before MakeEvalContext";
+  out.resize(est_->eval_times_.size());
+  for (std::size_t ti = 0; ti < out.size(); ++ti) {
+    out[ti] = EstimateAtIndex(ti, nullptr, up0_, cov0_, all0_);
+  }
+}
+
+void QualityEstimator::EvalContext::EstimateAllTimesWith(
+    SourceHandle handle, std::vector<EstimatedQuality>& out) const {
+  FRESHSEL_CHECK(est_ != nullptr) << "EvalContext used before MakeEvalContext";
+  FRESHSEL_CHECK(handle < est_->sources_.size())
+      << "unknown source handle " << handle << " (registered: "
+      << est_->sources_.size() << ")";
+  const RegisteredSource& src = est_->sources_[handle];
+  const double up0 = static_cast<double>(up_.UnionCount(src.up));
+  const double cov0 = static_cast<double>(cov_.UnionCount(src.cov));
+  const double all0 = static_cast<double>(all_.UnionCount(src.all));
+  out.resize(est_->eval_times_.size());
+  for (std::size_t ti = 0; ti < out.size(); ++ti) {
+    out[ti] = EstimateAtIndex(ti, &handle, up0, cov0, all0);
+  }
 }
 
 }  // namespace freshsel::estimation

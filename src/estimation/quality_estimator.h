@@ -1,10 +1,10 @@
 #ifndef FRESHSEL_ESTIMATION_QUALITY_ESTIMATOR_H_
 #define FRESHSEL_ESTIMATION_QUALITY_ESTIMATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <vector>
 
 #include "common/bit_vector.h"
@@ -41,21 +41,32 @@ struct EstimatedQuality {
 /// independent of the full world size.
 ///
 /// `Estimate` is the value oracle the selection algorithms call; it costs
-/// O(|set| * (t - t0)) with small constants, with the per-source
-/// effectiveness lookups memoized per (source, t) when caching is enabled.
+/// O(|set| * (t - t0)) with small constants. The per-(source, eval-time)
+/// miss-factor arrays it multiplies are laid out as contiguous
+/// structure-of-arrays tables, memoized at first use (when caching is
+/// enabled), so the inner loops are pure elementwise array products.
+///
+/// `EvalContext` is the incremental counterpart: it carries the running
+/// union signatures and per-tau miss products of a *current* set S, so
+/// scoring S + {x} costs O(t - t0) per time point, independent of |S|.
+/// The greedy selection loop drops from O(k^2 n) to O(k n) estimator work.
 ///
 /// Thread safety: `Create` and `AddSource` must run single-threaded, but
 /// once registration is done the evaluation path (`Estimate`,
-/// `EstimateAverage` and the const getters) may be called concurrently -
-/// scratch bitvectors are leased from an internal pool and the
-/// effectiveness memo cache is filled under a mutex, so the parallel
-/// selection paths can share one estimator.
+/// `EstimateAverage`, `EstimateAllTimes`, `MakeEvalContext` and the const
+/// getters) may be called concurrently - scratch buffers are leased from an
+/// internal pool, and the per-(source, eval-time) memo publishes filled
+/// slots through per-slot atomic pointers, so the hit path is lock-free and
+/// only misses serialize on the fill mutex. Each `EvalContext` is
+/// single-threaded; create one per thread.
 class QualityEstimator {
  public:
   using SourceHandle = std::uint32_t;
 
   struct Options {
-    /// Memoize per-(source, eval-time) effectiveness vectors.
+    /// Memoize per-(source, eval-time) effectiveness / miss-factor tables.
+    /// Also a precondition for `MakeEvalContext` (the incremental path
+    /// reads the memoized tables).
     bool cache_effectiveness = true;
     /// Use per-event-time survival factors exp(-gamma (t - tau)) inside the
     /// freshness sums. The paper's printed formulas use the coarser global
@@ -86,6 +97,100 @@ class QualityEstimator {
     /// Off by default (paper-faithful); the prediction-error experiments
     /// enable it.
     bool model_ghost_result = false;
+  };
+
+  /// Incremental delta-evaluation state over a *current* set S: the union
+  /// up/cov/all signatures and, per eval time, the running per-tau
+  /// miss-product arrays (products over the pushed sources of their miss
+  /// factors). `Push` grows S by one source in O(steps) per eval time;
+  /// `Pop` restores the previous state exactly from a checkpoint stack
+  /// (never by dividing factors back out - near-zero miss products would
+  /// amplify rounding error, while checkpoint restore is bit-exact).
+  /// `EstimateWith(x, t)` scores S + {x} in O(t - t0), independent of |S|.
+  ///
+  /// Evaluations are only supported at the estimator's registered eval
+  /// times (the cacheable points the selection oracles use). The owning
+  /// estimator must outlive the context. Not thread-safe; create one per
+  /// thread (`MakeEvalContext` itself is safe to call concurrently).
+  class EvalContext {
+   public:
+    EvalContext() = default;
+    EvalContext(EvalContext&&) noexcept = default;
+    EvalContext& operator=(EvalContext&&) noexcept = default;
+    EvalContext(const EvalContext&) = delete;
+    EvalContext& operator=(const EvalContext&) = delete;
+
+    /// True once bound to an estimator via `MakeEvalContext`.
+    bool valid() const { return est_ != nullptr; }
+    /// The sources pushed so far, in push order (not necessarily sorted).
+    const std::vector<SourceHandle>& pushed() const { return pushed_; }
+    std::size_t size() const { return pushed_.size(); }
+
+    /// Drops every pushed source and checkpoint: back to the empty set.
+    void Clear();
+    /// Extends the current set by `handle`, saving a checkpoint first.
+    void Push(SourceHandle handle);
+    /// Restores the state from before the most recent `Push`, bit-exactly.
+    /// Pre: size() > 0.
+    void Pop();
+
+    /// Quality of the current set S at eval time `t`. O(t - t0).
+    EstimatedQuality EstimateCurrent(TimePoint t) const;
+    /// Quality of S + {handle} at eval time `t`, without mutating the
+    /// context. O(t - t0), independent of |S|.
+    EstimatedQuality EstimateWith(SourceHandle handle, TimePoint t) const;
+    /// Batched: quality of S at every eval time in one pass, sharing the
+    /// union-signature counts across time points. `out` is resized to the
+    /// eval-time count; out[i] corresponds to eval_times()[i].
+    void EstimateAllTimes(std::vector<EstimatedQuality>& out) const;
+    /// Batched: quality of S + {handle} at every eval time in one pass.
+    void EstimateAllTimesWith(SourceHandle handle,
+                              std::vector<EstimatedQuality>& out) const;
+
+   private:
+    friend class QualityEstimator;
+
+    /// Running per-eval-time miss products (index i is tau = t0 + 1 + i).
+    struct TimeState {
+      std::vector<double> miss_ins;
+      std::vector<double> miss_del;
+      std::vector<double> miss_upd;
+      /// Per-tau capture-backlog miss-by-t products (tau = 1 .. t0); empty
+      /// unless Options::model_capture_backlog.
+      std::vector<double> back_t;
+    };
+    /// Snapshot of the full mutable state, taken by Push for Pop.
+    struct Checkpoint {
+      BitVector up;
+      BitVector cov;
+      BitVector all;
+      double up0 = 0.0;
+      double cov0 = 0.0;
+      double all0 = 0.0;
+      std::vector<TimeState> times;
+      std::vector<double> back_t0;
+    };
+
+    explicit EvalContext(const QualityEstimator* est);
+
+    EstimatedQuality EstimateAtIndex(std::size_t t_index,
+                                     const SourceHandle* candidate,
+                                     double up0, double cov0,
+                                     double all0) const;
+
+    const QualityEstimator* est_ = nullptr;
+    std::vector<SourceHandle> pushed_;
+    BitVector up_;
+    BitVector cov_;
+    BitVector all_;
+    double up0_ = 0.0;
+    double cov0_ = 0.0;
+    double all0_ = 0.0;
+    std::vector<TimeState> times_;
+    /// Per-tau capture-backlog miss-by-t0 products (shared by all eval
+    /// times); empty unless Options::model_capture_backlog.
+    std::vector<double> back_t0_;
+    std::vector<Checkpoint> checkpoints_;
   };
 
   /// `domain` restricts all metrics to those subdomains (empty => whole
@@ -130,8 +235,26 @@ class QualityEstimator {
   EstimatedQuality Estimate(const std::vector<SourceHandle>& set,
                             TimePoint t) const;
 
+  /// Batched `Estimate` over every registered eval time: the union
+  /// signatures are computed once and shared across time points (the
+  /// per-time results are bit-identical to individual `Estimate` calls).
+  /// `out` is resized to the eval-time count.
+  void EstimateAllTimes(const std::vector<SourceHandle>& set,
+                        std::vector<EstimatedQuality>& out) const;
+
   /// Averages `Estimate` over all eval times (the paper's aggregate A).
   EstimatedQuality EstimateAverage(const std::vector<SourceHandle>& set) const;
+
+  /// True when `MakeEvalContext` may be used: effectiveness caching is on
+  /// (the incremental path reads the memoized factor tables) and there is
+  /// at least one eval time.
+  bool SupportsIncremental() const {
+    return options_.cache_effectiveness && !eval_times_.empty();
+  }
+
+  /// A fresh incremental context over the empty set.
+  /// Pre: SupportsIncremental().
+  EvalContext MakeEvalContext() const;
 
  private:
   struct RegisteredSource {
@@ -141,21 +264,82 @@ class QualityEstimator {
     BitVector cov;
     BitVector all;
     double coverage_t0 = 0.0;
+    /// Capture-backlog miss factors 1 - Eff(g_ins, t0, tau) for
+    /// tau = 1 .. t0; empty unless Options::model_capture_backlog (they
+    /// do not depend on the eval time, so they live here, not in the
+    /// per-(source, eval-time) tables).
+    std::vector<double> backlog_fac_t0;
   };
 
-  /// Per-(source, eval time) memo of effectiveness values for
-  /// tau = t0+1 .. t.
-  struct EffectivenessVectors {
-    std::vector<double> insert;
-    std::vector<double> update;
-    std::vector<double> remove;
+  /// Everything about one eval time that does not depend on the evaluated
+  /// set: the expected world size, the global survival factors, and the
+  /// per-tau accumulation weights of the expectation sums (Eqs. 15, 19 and
+  /// the Up components), precomputed at Create so both the full and the
+  /// delta evaluation paths run the same pure array arithmetic.
+  struct TimeTable {
+    TimePoint t = 0;
+    std::size_t steps = 0;      ///< t - t0.
+    double delta = 0.0;         ///< double(t - t0).
+    double expected_world = 1.0;
+    double global_surv_d = 1.0;
+    double global_surv_u = 1.0;
+    std::vector<double> w_cov;     ///< lambda_ins * surv_d(tau).
+    std::vector<double> w_up_ins;  ///< lambda_ins * surv_du(tau).
+    std::vector<double> w_up_upd;  ///< lambda_upd * surv_du(tau).
+    /// Backlog weights over tau = 1 .. t0 (empty unless enabled).
+    std::vector<double> w_back;     ///< lambda_ins * surv_d(age).
+    std::vector<double> w_back_up;  ///< w_back * exp(-gamma_u * age).
   };
 
-  /// One Estimate call's worth of union-signature scratch space.
+  /// Per-(source, eval-time) miss-factor arrays, stored contiguously
+  /// (structure-of-arrays) so the miss-product loops - the hot inner loops
+  /// of both the full and the delta evaluation - are pure elementwise
+  /// multiplies the compiler auto-vectorizes.
+  struct SourceTimeTable {
+    std::vector<double> fac_ins;  ///< 1 - g_ins(tau).
+    std::vector<double> fac_del;  ///< 1 - cov0 * g_del(tau).
+    std::vector<double> fac_upd;  ///< 1 - cov0 * g_upd(tau).
+    /// Backlog miss factors 1 - Eff(g_ins, t, tau) for tau = 1 .. t0
+    /// (empty unless Options::model_capture_backlog).
+    std::vector<double> backlog_fac_t;
+  };
+
+  /// One memo slot per (source, eval time). The filled table is published
+  /// through an atomic pointer: the hit path is a single acquire load (no
+  /// mutex), only misses take the fill lock. A published table is never
+  /// replaced, so returned references stay valid for the estimator's
+  /// lifetime.
+  struct MemoSlot {
+    std::atomic<const SourceTimeTable*> table{nullptr};
+
+    MemoSlot() = default;
+    MemoSlot(MemoSlot&& other) noexcept
+        : table(other.table.exchange(nullptr, std::memory_order_relaxed)) {}
+    MemoSlot& operator=(MemoSlot&& other) noexcept {
+      if (this != &other) {
+        delete table.exchange(
+            other.table.exchange(nullptr, std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      }
+      return *this;
+    }
+    MemoSlot(const MemoSlot&) = delete;
+    MemoSlot& operator=(const MemoSlot&) = delete;
+    ~MemoSlot() { delete table.load(std::memory_order_relaxed); }
+  };
+
+  /// One Estimate call's worth of evaluation scratch: the union-signature
+  /// bitvectors plus the reusable miss-product arrays, leased from a pool
+  /// so repeated calls make no heap allocations.
   struct Scratch {
     BitVector up;
     BitVector cov;
     BitVector all;
+    std::vector<double> miss_ins;
+    std::vector<double> miss_del;
+    std::vector<double> miss_upd;
+    std::vector<double> back_t0;
+    std::vector<double> back_t;
   };
 
   /// Mutable evaluation state shared by concurrent Estimate calls. Held
@@ -165,16 +349,42 @@ class QualityEstimator {
     std::vector<Scratch> scratch_pool;  ///< Free list, guarded by mutex.
   };
 
+  static constexpr std::size_t kNoTimeIndex =
+      static_cast<std::size_t>(-1);
+
   QualityEstimator() = default;
 
   Scratch AcquireScratch() const;
   void ReleaseScratch(Scratch&& scratch) const;
 
-  const EffectivenessVectors& EffectivenessFor(SourceHandle handle,
-                                               TimePoint t,
-                                               std::size_t t_index) const;
-  EffectivenessVectors ComputeEffectiveness(const RegisteredSource& src,
-                                            TimePoint t) const;
+  /// Index of `t` in eval_times_, or kNoTimeIndex. O(log |T_f|) via the
+  /// lookup table built at Create (no linear scan per call).
+  std::size_t TimeIndexOf(TimePoint t) const;
+
+  TimeTable MakeTimeTable(TimePoint t) const;
+  SourceTimeTable BuildSourceTable(const RegisteredSource& src,
+                                   const TimeTable& table) const;
+  /// The memoized per-(source, eval-time) table; lock-free on hits.
+  const SourceTimeTable& SourceTableFor(SourceHandle handle,
+                                        std::size_t t_index) const;
+
+  /// Multiplies `src`'s miss factors at `table` into the scratch product
+  /// arrays, from the memo when `t_index` is valid and caching is on,
+  /// recomputed ad hoc otherwise.
+  void MultiplyMissFactors(const RegisteredSource& src, SourceHandle handle,
+                           std::size_t t_index, const TimeTable& table,
+                           Scratch& scratch) const;
+
+  /// The shared tail of every evaluation path: folds per-tau miss products
+  /// (optionally times one candidate source's factors) into the
+  /// expectation sums and the published quality ratios. `back_t0`/`back_t`
+  /// may be null when the capture backlog is disabled or the set is empty.
+  template <bool kWithCandidate>
+  EstimatedQuality EvaluateFromProducts(
+      const TimeTable& table, double up0, double cov0, double all0,
+      bool set_empty, const double* miss_ins, const double* miss_del,
+      const double* miss_upd, const double* back_t0, const double* back_t,
+      const SourceTimeTable* cand, const RegisteredSource* cand_src) const;
 
   TimePoint t0_ = 0;
   TimePoints eval_times_;
@@ -186,14 +396,16 @@ class QualityEstimator {
   std::vector<world::EntityId> compact_to_entity_;
   std::size_t compact_size_ = 0;
   std::vector<RegisteredSource> sources_;
+  std::vector<TimeTable> tables_;  ///< One per eval time, built at Create.
+  /// (eval time, index) pairs sorted by time for TimeIndexOf.
+  std::vector<std::pair<TimePoint, std::size_t>> time_index_;
 
   // Shared evaluation state (see class comment re thread safety). The
   // memo cache is indexed [handle][eval time index]; inner vectors are
   // sized at AddSource and never resized, and a filled slot is never
-  // rewritten, so references returned by EffectivenessFor stay valid.
+  // rewritten, so references returned by SourceTableFor stay valid.
   mutable std::unique_ptr<SyncState> sync_;
-  mutable std::vector<std::vector<std::optional<EffectivenessVectors>>>
-      cache_;
+  mutable std::vector<std::vector<MemoSlot>> cache_;
 };
 
 }  // namespace freshsel::estimation

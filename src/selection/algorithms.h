@@ -35,6 +35,12 @@ struct GreedyOptions {
   /// Set false to force the eager full re-scan as an exact-equivalence
   /// fallback for oracles that are not submodular.
   bool lazy = true;
+  /// Score candidates through the oracle's incremental context
+  /// (`MarginalEvalContext`) when `supports_incremental()` is true:
+  /// O(1)-in-|S| delta evaluations instead of full set re-evaluations,
+  /// with identical selections. Ignored (plain `Profit` calls) for
+  /// oracles without incremental support.
+  bool incremental = true;
 };
 
 /// The greedy baseline of Dong et al. [3]: starting from the empty set,
@@ -92,6 +98,11 @@ struct GraspParams {
   int restarts = 1;
   std::uint64_t seed = 42;
   ThreadPool* pool = nullptr;  ///< Optional; not owned.
+  /// Evaluate candidate marginals through the oracle's incremental
+  /// context when supported (thread-local contexts per score chunk, so
+  /// the parallel path stays bit-identical to the serial one). Ignored
+  /// for oracles without incremental support.
+  bool incremental = true;
 };
 SelectionResult Grasp(const ProfitFunction& oracle, const GraspParams& params,
                       const PartitionMatroid* matroid = nullptr);
@@ -111,14 +122,16 @@ std::vector<SourceHandle> GraspConstruct(const ProfitFunction& oracle,
                                          int kappa,
                                          const PartitionMatroid* matroid,
                                          Rng& rng,
-                                         ThreadPool* pool = nullptr);
+                                         ThreadPool* pool = nullptr,
+                                         bool incremental = false);
 
 /// Best-improvement local search over add / remove / swap moves (exposed
 /// for the equivalence tests). Returns the profit of the final `selected`.
 double GraspLocalSearch(const ProfitFunction& oracle,
                         const PartitionMatroid* matroid,
                         std::vector<SourceHandle>& selected,
-                        ThreadPool* pool = nullptr);
+                        ThreadPool* pool = nullptr,
+                        bool incremental = false);
 
 }  // namespace internal
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -46,10 +47,11 @@ struct Phase1Result {
 /// lowest handle).
 Phase1Result EagerPhase1(const GainCostFunction& oracle,
                          const std::vector<double>& singleton_costs,
-                         double budget) {
+                         double budget, MarginalEvalContext* ctx) {
   const std::size_t n = oracle.universe_size();
   Phase1Result out;
-  out.gain = oracle.Gain(out.selected);
+  if (ctx != nullptr) ctx->Reset(out.selected);
+  out.gain = ctx != nullptr ? ctx->CurrentGain() : oracle.Gain(out.selected);
   double current_cost = 0.0;
   while (true) {
     double best_ratio = 0.0;
@@ -63,7 +65,9 @@ Phase1Result EagerPhase1(const GainCostFunction& oracle,
         continue;
       }
       const double gain =
-          oracle.Gain(internal::WithAdded(out.selected, handle));
+          ctx != nullptr
+              ? ctx->GainWith(handle)
+              : oracle.Gain(internal::WithAdded(out.selected, handle));
       const double marginal = gain - out.gain;
       if (marginal <= internal::kImprovementEps) continue;
       const double ratio = Ratio(marginal, singleton_costs[e]);
@@ -77,6 +81,7 @@ Phase1Result EagerPhase1(const GainCostFunction& oracle,
     if (!found) break;
     current_cost += singleton_costs[best_element];
     out.selected = internal::WithAdded(out.selected, best_element);
+    if (ctx != nullptr) ctx->Reset(out.selected);
     out.gain = best_gain;
   }
   return out;
@@ -88,10 +93,11 @@ Phase1Result EagerPhase1(const GainCostFunction& oracle,
 /// submodular gains (same ratio values, same lowest-handle tie-break).
 Phase1Result LazyPhase1(const GainCostFunction& oracle,
                         const std::vector<double>& singleton_costs,
-                        double budget) {
+                        double budget, MarginalEvalContext* ctx) {
   const std::size_t n = oracle.universe_size();
   Phase1Result out;
-  out.gain = oracle.Gain(out.selected);
+  if (ctx != nullptr) ctx->Reset(out.selected);
+  out.gain = ctx != nullptr ? ctx->CurrentGain() : oracle.Gain(out.selected);
   double current_cost = 0.0;
 
   struct Entry {
@@ -112,7 +118,8 @@ Phase1Result LazyPhase1(const GainCostFunction& oracle,
   for (std::size_t e = 0; e < n; ++e) {
     const SourceHandle handle = static_cast<SourceHandle>(e);
     if (singleton_costs[e] > budget + kBudgetSlack) continue;
-    const double gain = oracle.Gain({handle});
+    const double gain =
+        ctx != nullptr ? ctx->GainWith(handle) : oracle.Gain({handle});
     const double marginal = gain - out.gain;
     // Submodularity: a marginal below the improvement threshold never
     // recovers, so such elements are dropped for good.
@@ -131,6 +138,7 @@ Phase1Result LazyPhase1(const GainCostFunction& oracle,
     if (top.round == round) {
       current_cost += singleton_costs[top.handle];
       out.selected = internal::WithAdded(out.selected, top.handle);
+      if (ctx != nullptr) ctx->Reset(out.selected);
       out.gain = top.gain;
       ++round;
       out.saved += CountAffordable(singleton_costs, out.selected,
@@ -138,7 +146,9 @@ Phase1Result LazyPhase1(const GainCostFunction& oracle,
       continue;
     }
     const double gain =
-        oracle.Gain(internal::WithAdded(out.selected, top.handle));
+        ctx != nullptr
+            ? ctx->GainWith(top.handle)
+            : oracle.Gain(internal::WithAdded(out.selected, top.handle));
     --out.saved;  // One of this round's budgeted re-scores actually ran.
     const double marginal = gain - out.gain;
     if (marginal <= internal::kImprovementEps) continue;
@@ -164,21 +174,30 @@ SelectionResult BudgetedGreedy(const GainCostFunction& oracle,
     singleton_costs[e] = oracle.Cost({static_cast<SourceHandle>(e)});
   }
 
+  std::unique_ptr<MarginalEvalContext> ctx;
+  if (options.incremental && oracle.supports_incremental()) {
+    ctx = oracle.MakeContext();
+  }
+
   // Phase 1: cost-benefit greedy.
-  Phase1Result phase1 = options.lazy
-                            ? LazyPhase1(oracle, singleton_costs, budget)
-                            : EagerPhase1(oracle, singleton_costs, budget);
+  Phase1Result phase1 =
+      options.lazy
+          ? LazyPhase1(oracle, singleton_costs, budget, ctx.get())
+          : EagerPhase1(oracle, singleton_costs, budget, ctx.get());
   FRESHSEL_OBS_COUNT("selection.budgeted.phase1_selected",
                      phase1.selected.size());
 
   // Phase 2: the best affordable singleton can beat the ratio greedy when
-  // one expensive element dominates.
+  // one expensive element dominates. Singleton gains are delta
+  // evaluations from the empty set when the context is available.
+  if (ctx != nullptr) ctx->Reset({});
   double best_single_gain = -1.0;
   SourceHandle best_single = 0;
   for (std::size_t e = 0; e < n; ++e) {
     const SourceHandle handle = static_cast<SourceHandle>(e);
     if (singleton_costs[e] > budget + kBudgetSlack) continue;
-    const double gain = oracle.Gain({handle});
+    const double gain =
+        ctx != nullptr ? ctx->GainWith(handle) : oracle.Gain({handle});
     if (gain > best_single_gain) {
       best_single_gain = gain;
       best_single = handle;

@@ -13,6 +13,11 @@ struct BudgetedGreedyOptions {
   /// Set false for the eager full re-scan (exact-equivalence fallback for
   /// non-submodular gains).
   bool lazy = true;
+  /// Score marginal gains through the oracle's incremental context when
+  /// `supports_incremental()` is true (delta evaluations independent of
+  /// the selected-set size, identical selections). Ignored for oracles
+  /// without incremental support.
+  bool incremental = true;
 };
 
 /// Budgeted source selection (the budget-bound regime of Definition 3):

@@ -1,7 +1,11 @@
 #include "selection/cached_oracle.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "obs/macros.h"
@@ -72,6 +76,68 @@ double CachedProfitOracle::budget() const {
   FRESHSEL_CHECK(gain_cost_ != nullptr)
       << "CachedProfitOracle::budget needs a GainCostFunction base";
   return gain_cost_->budget();
+}
+
+/// Decorating incremental context: structural operations delegate to the
+/// wrapped oracle's context; evaluations go through `Memoize` under the
+/// canonical sorted key of the evaluated set, so hits skip the wrapped
+/// context entirely (and, as everywhere in the decorator, only misses
+/// count as oracle calls).
+class CachedProfitOracle::CachedContext final : public MarginalEvalContext {
+ public:
+  CachedContext(const CachedProfitOracle* owner,
+                std::unique_ptr<MarginalEvalContext> base)
+      : owner_(owner), base_(std::move(base)) {}
+
+  void Reset(const std::vector<SourceHandle>& set) override {
+    base_->Reset(set);
+  }
+  void Push(SourceHandle handle) override { base_->Push(handle); }
+  void Pop() override { base_->Pop(); }
+  const std::vector<SourceHandle>& set() const override {
+    return base_->set();
+  }
+
+  double CurrentProfit() override {
+    return owner_->Memoize(owner_->profit_cache_, base_->set(),
+                           [&] { return base_->CurrentProfit(); });
+  }
+  double CurrentGain() override {
+    return owner_->Memoize(owner_->gain_cache_, base_->set(),
+                           [&] { return base_->CurrentGain(); });
+  }
+  double ProfitWith(SourceHandle handle) override {
+    return owner_->Memoize(owner_->profit_cache_, KeyWith(handle),
+                           [&] { return base_->ProfitWith(handle); });
+  }
+  double GainWith(SourceHandle handle) override {
+    return owner_->Memoize(owner_->gain_cache_, KeyWith(handle),
+                           [&] { return base_->GainWith(handle); });
+  }
+
+ private:
+  /// Canonical sorted key of set() + {handle}, built into a reused buffer.
+  const std::vector<SourceHandle>& KeyWith(SourceHandle handle) {
+    const std::vector<SourceHandle>& current = base_->set();
+    key_.clear();
+    key_.reserve(current.size() + 1);
+    const auto split =
+        std::upper_bound(current.begin(), current.end(), handle);
+    key_.insert(key_.end(), current.begin(), split);
+    key_.push_back(handle);
+    key_.insert(key_.end(), split, current.end());
+    return key_;
+  }
+
+  const CachedProfitOracle* owner_;
+  std::unique_ptr<MarginalEvalContext> base_;
+  std::vector<SourceHandle> key_;
+};
+
+std::unique_ptr<MarginalEvalContext> CachedProfitOracle::MakeContext() const {
+  std::unique_ptr<MarginalEvalContext> base = base_->MakeContext();
+  if (base == nullptr) return nullptr;
+  return std::make_unique<CachedContext>(this, std::move(base));
 }
 
 CachedProfitOracle::Stats CachedProfitOracle::stats() const {

@@ -2,6 +2,7 @@
 #define FRESHSEL_SELECTION_CACHED_ORACLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -61,6 +62,17 @@ class CachedProfitOracle : public GainCostFunction {
   double budget() const override;
   bool thread_safe() const override { return base_->thread_safe(); }
 
+  /// Forwards the wrapped oracle's incremental support.
+  bool supports_incremental() const override {
+    return base_->supports_incremental();
+  }
+
+  /// A caching incremental context: evaluations delegate to the wrapped
+  /// oracle's context and are memoized into the shared profit/gain caches
+  /// under the same canonical sorted-set keys the plain calls use, so
+  /// incremental and plain evaluations of the same set share one entry.
+  std::unique_ptr<MarginalEvalContext> MakeContext() const override;
+
   /// One consistent snapshot of the hit/miss tallies across all three
   /// cached evaluations (see Stats).
   Stats stats() const;
@@ -70,6 +82,8 @@ class CachedProfitOracle : public GainCostFunction {
   void ClearCaches();
 
  private:
+  class CachedContext;
+
   struct SetHash {
     std::size_t operator()(const std::vector<SourceHandle>& set) const;
   };

@@ -2,6 +2,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -26,17 +27,33 @@ bool UseParallel(const ProfitFunction& oracle, ThreadPool* pool) {
 /// Evaluates Profit(selected + {candidates[i]}) for every i, in parallel
 /// when allowed. Results land in index order, so downstream reductions are
 /// independent of the schedule.
+///
+/// With `incremental` set (callers pre-check supports_incremental), each
+/// chunk builds a thread-local context rooted at `selected` and scores its
+/// candidates through ProfitWith. Every candidate value is the rooted
+/// product times one factor regardless of chunk boundaries, so serial and
+/// parallel runs stay bit-identical.
 std::vector<double> ScoreAdditions(
     const ProfitFunction& oracle, const std::vector<SourceHandle>& selected,
-    const std::vector<SourceHandle>& candidates, ThreadPool* pool) {
+    const std::vector<SourceHandle>& candidates, ThreadPool* pool,
+    bool incremental) {
   std::vector<double> profits(candidates.size());
   auto score = [&](std::size_t begin, std::size_t end) {
     // Runs on pool workers; the span attributes to the construct /
     // local-search span via the pool's task-context propagation.
     FRESHSEL_TRACE_SPAN("selection/oracle/score_chunk");
-    for (std::size_t i = begin; i < end; ++i) {
-      profits[i] =
-          oracle.Profit(internal::WithAdded(selected, candidates[i]));
+    std::unique_ptr<MarginalEvalContext> ctx;
+    if (incremental) ctx = oracle.MakeContext();
+    if (ctx) {
+      ctx->Reset(selected);
+      for (std::size_t i = begin; i < end; ++i) {
+        profits[i] = ctx->ProfitWith(candidates[i]);
+      }
+    } else {
+      for (std::size_t i = begin; i < end; ++i) {
+        profits[i] =
+            oracle.Profit(internal::WithAdded(selected, candidates[i]));
+      }
     }
   };
   if (UseParallel(oracle, pool)) {
@@ -58,21 +75,31 @@ struct Move {
 
 Move BestMoveAt(const ProfitFunction& oracle, const PartitionMatroid* matroid,
                 const std::vector<SourceHandle>& selected, double current,
-                SourceHandle handle) {
+                SourceHandle handle, MarginalEvalContext* ctx) {
   const std::size_t n = oracle.universe_size();
   Move best;
   if (!internal::Contains(selected, handle)) {
     if (!Feasible(matroid, selected, handle)) return best;
-    std::vector<SourceHandle> next = internal::WithAdded(selected, handle);
-    const double profit = oracle.Profit(next);
+    double profit;
+    if (ctx != nullptr) {
+      ctx->Reset(selected);
+      profit = ctx->ProfitWith(handle);
+    } else {
+      profit = oracle.Profit(internal::WithAdded(selected, handle));
+    }
     best.gain = profit - current;
     best.profit = profit;
-    best.set = std::move(next);
+    best.set = internal::WithAdded(selected, handle);
     return best;
   }
+  // Removal, then every swap, all rooted at selected \ {handle}: one
+  // context reset covers the whole family, so each swap costs a single
+  // delta evaluation instead of re-scoring the n-long swapped set.
   std::vector<SourceHandle> without =
       internal::WithRemoved(selected, handle);
-  const double removal_profit = oracle.Profit(without);
+  if (ctx != nullptr) ctx->Reset(without);
+  const double removal_profit =
+      ctx != nullptr ? ctx->CurrentProfit() : oracle.Profit(without);
   best.gain = removal_profit - current;
   best.profit = removal_profit;
   best.set = without;
@@ -81,12 +108,16 @@ Move BestMoveAt(const ProfitFunction& oracle, const PartitionMatroid* matroid,
     const SourceHandle other = static_cast<SourceHandle>(d);
     if (internal::Contains(selected, other)) continue;
     if (!Feasible(matroid, without, other)) continue;
-    std::vector<SourceHandle> swapped = internal::WithAdded(without, other);
-    const double profit = oracle.Profit(swapped);
+    double profit;
+    if (ctx != nullptr) {
+      profit = ctx->ProfitWith(other);
+    } else {
+      profit = oracle.Profit(internal::WithAdded(without, other));
+    }
     if (profit - current > best.gain) {
       best.gain = profit - current;
       best.profit = profit;
-      best.set = std::move(swapped);
+      best.set = internal::WithAdded(without, other);
     }
   }
   return best;
@@ -99,9 +130,11 @@ namespace internal {
 std::vector<SourceHandle> GraspConstruct(const ProfitFunction& oracle,
                                          int kappa,
                                          const PartitionMatroid* matroid,
-                                         Rng& rng, ThreadPool* pool) {
+                                         Rng& rng, ThreadPool* pool,
+                                         bool incremental) {
   FRESHSEL_TRACE_SPAN("selection/grasp/construct");
   const std::size_t n = oracle.universe_size();
+  const bool use_incremental = incremental && oracle.supports_incremental();
   std::vector<SourceHandle> selected;
   double current = oracle.Profit(selected);
   while (true) {
@@ -114,7 +147,7 @@ std::vector<SourceHandle> GraspConstruct(const ProfitFunction& oracle,
     }
     if (feasible.empty()) break;
     const std::vector<double> profits =
-        ScoreAdditions(oracle, selected, feasible, pool);
+        ScoreAdditions(oracle, selected, feasible, pool, use_incremental);
     std::vector<std::pair<double, SourceHandle>> candidates;
     for (std::size_t i = 0; i < feasible.size(); ++i) {
       if (profits[i] - current > kImprovementEps) {
@@ -143,21 +176,26 @@ std::vector<SourceHandle> GraspConstruct(const ProfitFunction& oracle,
 double GraspLocalSearch(const ProfitFunction& oracle,
                         const PartitionMatroid* matroid,
                         std::vector<SourceHandle>& selected,
-                        ThreadPool* pool) {
+                        ThreadPool* pool, bool incremental) {
   FRESHSEL_TRACE_SPAN("selection/grasp/local_search");
   const std::size_t n = oracle.universe_size();
+  const bool use_incremental = incremental && oracle.supports_incremental();
   double current = oracle.Profit(selected);
   const bool parallel = UseParallel(oracle, pool);
   std::vector<Move> moves(n);
   while (true) {
     // Best move rooted at each element, then a serial reduction in handle
     // order (strict >, first-wins), so parallel and serial runs pick the
-    // same move.
+    // same move. Each chunk gets its own incremental context (contexts
+    // are single-threaded); BestMoveAt re-roots it per element, so move
+    // values do not depend on chunk boundaries.
     auto score = [&](std::size_t begin, std::size_t end) {
       FRESHSEL_TRACE_SPAN("selection/oracle/score_chunk");
+      std::unique_ptr<MarginalEvalContext> ctx;
+      if (use_incremental) ctx = oracle.MakeContext();
       for (std::size_t e = begin; e < end; ++e) {
         moves[e] = BestMoveAt(oracle, matroid, selected, current,
-                              static_cast<SourceHandle>(e));
+                              static_cast<SourceHandle>(e), ctx.get());
       }
     };
     if (parallel) {
@@ -196,9 +234,9 @@ SelectionResult Grasp(const ProfitFunction& oracle, const GraspParams& params,
   for (int r = 0; r < restarts; ++r) {
     FRESHSEL_OBS_COUNT("selection.grasp.restarts", 1);
     std::vector<SourceHandle> selected = internal::GraspConstruct(
-        oracle, params.kappa, matroid, rng, params.pool);
-    const double profit = internal::GraspLocalSearch(oracle, matroid,
-                                                     selected, params.pool);
+        oracle, params.kappa, matroid, rng, params.pool, params.incremental);
+    const double profit = internal::GraspLocalSearch(
+        oracle, matroid, selected, params.pool, params.incremental);
     if (profit > best.profit) {
       best.profit = profit;
       best.selected = selected;

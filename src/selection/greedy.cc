@@ -1,5 +1,6 @@
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -34,14 +35,23 @@ std::uint64_t CountFeasible(std::size_t n,
 /// Eager greedy: re-score every feasible candidate each round, take the
 /// argmax (ties -> lowest handle), accept while the marginal gain beats
 /// kImprovementEps. The exact-equivalence fallback for the lazy path.
+///
+/// With an incremental context the candidate scan runs through
+/// `ProfitWith` (O(1)-in-|S| per candidate); the context is re-rooted on
+/// the canonical sorted set after each accepted element, so evaluations
+/// track the plain oracle's to ulp precision and selections match.
 SelectionResult EagerGreedy(const ProfitFunction& oracle,
-                            const PartitionMatroid* matroid) {
+                            const PartitionMatroid* matroid,
+                            bool incremental) {
   FRESHSEL_TRACE_SPAN("selection/greedy/eager");
   const std::size_t n = oracle.universe_size();
   const std::uint64_t calls_before = oracle.call_count();
 
+  std::unique_ptr<MarginalEvalContext> ctx;
+  if (incremental && oracle.supports_incremental()) ctx = oracle.MakeContext();
+
   std::vector<SourceHandle> selected;
-  double current = oracle.Profit(selected);
+  double current = ctx ? ctx->CurrentProfit() : oracle.Profit(selected);
   while (true) {
     double best_gain = -std::numeric_limits<double>::infinity();
     double best_profit = 0.0;
@@ -52,7 +62,8 @@ SelectionResult EagerGreedy(const ProfitFunction& oracle,
       if (internal::Contains(selected, handle)) continue;
       if (!Feasible(matroid, selected, handle)) continue;
       const double profit =
-          oracle.Profit(internal::WithAdded(selected, handle));
+          ctx ? ctx->ProfitWith(handle)
+              : oracle.Profit(internal::WithAdded(selected, handle));
       const double gain = profit - current;
       if (gain > best_gain) {
         best_gain = gain;
@@ -63,6 +74,7 @@ SelectionResult EagerGreedy(const ProfitFunction& oracle,
     }
     if (!found || best_gain <= internal::kImprovementEps) break;
     selected = internal::WithAdded(selected, best_element);
+    if (ctx) ctx->Reset(selected);
     current = best_profit;
     FRESHSEL_OBS_COUNT("selection.greedy.rounds", 1);
   }
@@ -80,10 +92,14 @@ SelectionResult EagerGreedy(const ProfitFunction& oracle,
 /// selections match EagerGreedy bit for bit (same gain values, same
 /// lowest-handle tie-break).
 SelectionResult LazyGreedy(const ProfitFunction& oracle,
-                           const PartitionMatroid* matroid) {
+                           const PartitionMatroid* matroid,
+                           bool incremental) {
   FRESHSEL_TRACE_SPAN("selection/greedy/lazy");
   const std::size_t n = oracle.universe_size();
   const std::uint64_t calls_before = oracle.call_count();
+
+  std::unique_ptr<MarginalEvalContext> ctx;
+  if (incremental && oracle.supports_incremental()) ctx = oracle.MakeContext();
 
   struct Entry {
     double gain;           // Marginal at evaluation time (stale bound).
@@ -100,7 +116,7 @@ SelectionResult LazyGreedy(const ProfitFunction& oracle,
   std::priority_queue<Entry, std::vector<Entry>, StalerFirst> queue;
 
   std::vector<SourceHandle> selected;
-  double current = oracle.Profit(selected);
+  double current = ctx ? ctx->CurrentProfit() : oracle.Profit(selected);
   std::uint64_t saved = 0;
 
   // Round 0 seeds the queue with one exact evaluation per feasible
@@ -109,7 +125,8 @@ SelectionResult LazyGreedy(const ProfitFunction& oracle,
     const SourceHandle handle = static_cast<SourceHandle>(e);
     if (!Feasible(matroid, selected, handle)) continue;
     const double profit =
-        oracle.Profit(internal::WithAdded(selected, handle));
+        ctx ? ctx->ProfitWith(handle)
+            : oracle.Profit(internal::WithAdded(selected, handle));
     queue.push({profit - current, profit, handle, 0});
   }
 
@@ -123,6 +140,7 @@ SelectionResult LazyGreedy(const ProfitFunction& oracle,
       // Just scored and still on top: the exact best candidate.
       if (top.gain <= internal::kImprovementEps) break;
       selected = internal::WithAdded(selected, top.handle);
+      if (ctx) ctx->Reset(selected);
       current = top.profit;
       ++round;
       FRESHSEL_OBS_COUNT("selection.greedy.rounds", 1);
@@ -133,7 +151,8 @@ SelectionResult LazyGreedy(const ProfitFunction& oracle,
       continue;
     }
     const double profit =
-        oracle.Profit(internal::WithAdded(selected, top.handle));
+        ctx ? ctx->ProfitWith(top.handle)
+            : oracle.Profit(internal::WithAdded(selected, top.handle));
     --saved;  // One of this round's budgeted re-scores actually ran.
     FRESHSEL_OBS_COUNT("selection.celf.rescores", 1);
     queue.push({profit - current, profit, top.handle, round});
@@ -152,8 +171,8 @@ SelectionResult LazyGreedy(const ProfitFunction& oracle,
 SelectionResult Greedy(const ProfitFunction& oracle,
                        const PartitionMatroid* matroid,
                        const GreedyOptions& options) {
-  return options.lazy ? LazyGreedy(oracle, matroid)
-                      : EagerGreedy(oracle, matroid);
+  return options.lazy ? LazyGreedy(oracle, matroid, options.incremental)
+                      : EagerGreedy(oracle, matroid, options.incremental);
 }
 
 SelectionResult BruteForce(const ProfitFunction& oracle,

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 
@@ -58,16 +61,14 @@ double ProfitOracle::Cost(const std::vector<SourceHandle>& set) const {
   return total;
 }
 
-double ProfitOracle::Gain(const std::vector<SourceHandle>& set) const {
-  calls_.fetch_add(1, std::memory_order_relaxed);
-  const TimePoints& times = estimator_->eval_times();
-  if (times.empty()) return 0.0;
+double ProfitOracle::AggregateGain(
+    const std::vector<estimation::EstimatedQuality>& qualities) const {
+  if (qualities.empty()) return 0.0;
   double total = 0.0;
   double best = -std::numeric_limits<double>::infinity();
   double worst = std::numeric_limits<double>::infinity();
-  for (TimePoint t : times) {
-    const double gain =
-        config_.gain.Evaluate(estimator_->Estimate(set, t));
+  for (const estimation::EstimatedQuality& q : qualities) {
+    const double gain = config_.gain.Evaluate(q);
     FRESHSEL_DCHECK_FINITE(gain);
     total += gain;
     best = std::max(best, gain);
@@ -81,7 +82,18 @@ double ProfitOracle::Gain(const std::vector<SourceHandle>& set) const {
     case AggregateMode::kAverage:
       break;
   }
-  return gain_scale_ * total / static_cast<double>(times.size());
+  return gain_scale_ * total / static_cast<double>(qualities.size());
+}
+
+double ProfitOracle::Gain(const std::vector<SourceHandle>& set) const {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  // One batched estimator pass shares the union-signature work across the
+  // eval times; the per-time results (and therefore the aggregate) are
+  // bit-identical to per-time Estimate calls. The thread-local buffer
+  // keeps the hot path allocation-free.
+  static thread_local std::vector<estimation::EstimatedQuality> qualities;
+  estimator_->EstimateAllTimes(set, qualities);
+  return AggregateGain(qualities);
 }
 
 double ProfitOracle::Profit(const std::vector<SourceHandle>& set) const {
@@ -90,6 +102,104 @@ double ProfitOracle::Profit(const std::vector<SourceHandle>& set) const {
     return -std::numeric_limits<double>::infinity();
   }
   return Gain(set) - config_.cost_weight * cost;
+}
+
+/// The estimator-backed incremental context: wraps a
+/// QualityEstimator::EvalContext (running union signatures + per-tau miss
+/// products of the current set) plus a canonically sorted handle copy used
+/// to evaluate costs in exactly the order the plain `Cost` would, so budget
+/// feasibility can never flip between the plain and delta paths.
+class ProfitOracle::IncrementalContext final : public MarginalEvalContext {
+ public:
+  explicit IncrementalContext(const ProfitOracle* oracle)
+      : oracle_(oracle), ctx_(oracle->estimator_->MakeEvalContext()) {}
+
+  void Reset(const std::vector<SourceHandle>& set) override {
+    FRESHSEL_DCHECK(std::is_sorted(set.begin(), set.end()))
+        << "Reset expects a canonically sorted set";
+    ctx_.Clear();
+    for (SourceHandle h : set) ctx_.Push(h);
+    sorted_ = set;
+  }
+
+  void Push(SourceHandle handle) override {
+    ctx_.Push(handle);
+    sorted_.insert(
+        std::upper_bound(sorted_.begin(), sorted_.end(), handle), handle);
+  }
+
+  void Pop() override {
+    FRESHSEL_CHECK(!ctx_.pushed().empty()) << "Pop on an empty context";
+    const SourceHandle handle = ctx_.pushed().back();
+    ctx_.Pop();
+    const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), handle);
+    FRESHSEL_DCHECK(it != sorted_.end() && *it == handle);
+    sorted_.erase(it);
+  }
+
+  const std::vector<SourceHandle>& set() const override { return sorted_; }
+
+  double CurrentGain() override {
+    oracle_->calls_.fetch_add(1, std::memory_order_relaxed);
+    ctx_.EstimateAllTimes(qualities_);
+    return oracle_->AggregateGain(qualities_);
+  }
+
+  double CurrentProfit() override {
+    const double cost = oracle_->Cost(sorted_);
+    if (cost > oracle_->config_.budget + 1e-12) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    return CurrentGain() - oracle_->config_.cost_weight * cost;
+  }
+
+  double GainWith(SourceHandle handle) override {
+    oracle_->calls_.fetch_add(1, std::memory_order_relaxed);
+    ctx_.EstimateAllTimesWith(handle, qualities_);
+    return oracle_->AggregateGain(qualities_);
+  }
+
+  double ProfitWith(SourceHandle handle) override {
+    const double cost = CostWith(handle);
+    if (cost > oracle_->config_.budget + 1e-12) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    return GainWith(handle) - oracle_->config_.cost_weight * cost;
+  }
+
+ private:
+  /// Cost of set() + {handle}, summed in canonical sorted order with the
+  /// candidate at its sorted position - bit-identical to
+  /// Cost(WithAdded(set, handle)).
+  double CostWith(SourceHandle handle) const {
+    FRESHSEL_DCHECK(handle < oracle_->costs_.size())
+        << "unknown source handle " << handle;
+    double total = 0.0;
+    bool inserted = false;
+    for (SourceHandle h : sorted_) {
+      if (!inserted && handle < h) {
+        total += oracle_->costs_[handle];
+        inserted = true;
+      }
+      total += oracle_->costs_[h];
+    }
+    if (!inserted) total += oracle_->costs_[handle];
+    return total;
+  }
+
+  const ProfitOracle* oracle_;
+  estimation::QualityEstimator::EvalContext ctx_;
+  std::vector<SourceHandle> sorted_;
+  std::vector<estimation::EstimatedQuality> qualities_;
+};
+
+bool ProfitOracle::supports_incremental() const {
+  return estimator_->SupportsIncremental();
+}
+
+std::unique_ptr<MarginalEvalContext> ProfitOracle::MakeContext() const {
+  if (!supports_incremental()) return nullptr;
+  return std::make_unique<IncrementalContext>(this);
 }
 
 }  // namespace freshsel::selection

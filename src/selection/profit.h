@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -13,6 +14,52 @@
 namespace freshsel::selection {
 
 using SourceHandle = estimation::QualityEstimator::SourceHandle;
+
+/// Incremental marginal-evaluation protocol over a profit oracle: the
+/// context carries the evaluation state of a *current* set S so that
+/// scoring S + {x} costs O(1) oracle-internal work per candidate instead
+/// of re-evaluating the whole set (for the estimator-backed oracle:
+/// O(steps * |T_f|) instead of O(|S| * steps * |T_f|)). The greedy family
+/// re-roots the context with `Reset` after each accepted move, turning a
+/// selection run from O(k^2 n) into O(k n) estimator work.
+///
+/// Calling conventions mirror the plain oracle: `CurrentProfit`/`GainWith`
+/// etc. count one oracle call each (infeasible `ProfitWith`/`CurrentProfit`
+/// return -infinity without counting, exactly like `Profit`), so call
+/// accounting is identical between the incremental and plain paths.
+/// Evaluated values agree with the plain oracle to ulp precision - the
+/// factor products are associated in context order rather than set order -
+/// and are bit-identical whenever the context was `Reset` to the canonical
+/// sorted set and the candidate sorts last.
+///
+/// Contexts are single-threaded; parallel evaluation paths create one per
+/// worker chunk (`MakeContext` itself is safe to call concurrently on a
+/// thread-safe oracle).
+class MarginalEvalContext {
+ public:
+  virtual ~MarginalEvalContext() = default;
+
+  /// Rebuilds the context over `set`, which must be canonically sorted
+  /// (the representation the selection layer maintains, see set_util.h).
+  virtual void Reset(const std::vector<SourceHandle>& set) = 0;
+  /// Extends the current set by `handle`.
+  virtual void Push(SourceHandle handle) = 0;
+  /// Undoes the most recent `Push` exactly. Pre: the set is non-empty.
+  virtual void Pop() = 0;
+  /// The current set, canonically sorted.
+  virtual const std::vector<SourceHandle>& set() const = 0;
+
+  /// Value of the current set S (counts one oracle call, -infinity when S
+  /// is over budget).
+  virtual double CurrentProfit() = 0;
+  /// Gain component of S (counts one oracle call).
+  virtual double CurrentGain() = 0;
+  /// Value of S + {handle} without mutating the context; cost independent
+  /// of |S|.
+  virtual double ProfitWith(SourceHandle handle) = 0;
+  /// Gain of S + {handle} without mutating the context.
+  virtual double GainWith(SourceHandle handle) = 0;
+};
 
 /// Abstract set-function oracle the selection algorithms maximize. Concrete
 /// instances: `ProfitOracle` (the real estimator-backed profit) and the
@@ -35,6 +82,17 @@ class ProfitFunction {
   /// consult this before fanning out; implementations with unguarded
   /// mutable scratch state must leave it false.
   virtual bool thread_safe() const { return false; }
+
+  /// True when `MakeContext` returns a working incremental context. The
+  /// algorithms fall back to plain `Profit`/`Gain` calls otherwise, so
+  /// synthetic test oracles need not implement the protocol.
+  virtual bool supports_incremental() const { return false; }
+
+  /// A fresh incremental context over the empty set, or null when the
+  /// protocol is unsupported (see `supports_incremental`).
+  virtual std::unique_ptr<MarginalEvalContext> MakeContext() const {
+    return nullptr;
+  }
 
   std::uint64_t call_count() const {
     return calls_.load(std::memory_order_relaxed);
@@ -129,6 +187,15 @@ class ProfitOracle : public GainCostFunction {
 
   bool thread_safe() const override { return true; }
 
+  /// True when the estimator supports delta evaluation (effectiveness
+  /// caching on, at least one eval time).
+  bool supports_incremental() const override;
+
+  /// An incremental context backed by the estimator's `EvalContext`:
+  /// `ProfitWith`/`GainWith` score S + {x} in O(steps * |T_f|),
+  /// independent of |S|. Null when `supports_incremental()` is false.
+  std::unique_ptr<MarginalEvalContext> MakeContext() const override;
+
   /// Budget on normalized cost (from the config; +infinity by default).
   double budget() const override { return config_.budget; }
 
@@ -142,7 +209,14 @@ class ProfitOracle : public GainCostFunction {
   const Config& config() const { return config_; }
 
  private:
+  class IncrementalContext;
+
   ProfitOracle() = default;
+
+  /// Folds per-eval-time qualities into the configured aggregate with the
+  /// exact arithmetic of `Gain` (shared by the plain and delta paths).
+  double AggregateGain(
+      const std::vector<estimation::EstimatedQuality>& qualities) const;
 
   const estimation::QualityEstimator* estimator_ = nullptr;
   std::vector<double> costs_;      // Normalized per-handle costs.

@@ -32,6 +32,7 @@ Result<SelectionResult> Dispatch(const ProfitFunction& oracle,
     case Algorithm::kGreedy: {
       GreedyOptions options;
       options.lazy = config.lazy_greedy;
+      options.incremental = config.incremental_oracle;
       return Greedy(oracle, matroid, options);
     }
     case Algorithm::kMaxSub:
@@ -45,6 +46,7 @@ Result<SelectionResult> Dispatch(const ProfitFunction& oracle,
       params.restarts = config.grasp_restarts;
       params.seed = config.seed;
       params.pool = config.pool;
+      params.incremental = config.incremental_oracle;
       return Grasp(oracle, params, matroid);
     }
     case Algorithm::kHillClimb: {
@@ -53,6 +55,7 @@ Result<SelectionResult> Dispatch(const ProfitFunction& oracle,
       params.restarts = 1;
       params.seed = config.seed;
       params.pool = config.pool;
+      params.incremental = config.incremental_oracle;
       return Grasp(oracle, params, matroid);
     }
   }

@@ -35,6 +35,11 @@ struct SelectorConfig {
   /// are identical either way (see GreedyOptions::lazy), false forces the
   /// eager full re-scan.
   bool lazy_greedy = true;
+  /// Delta evaluation through the oracle's incremental context for the
+  /// greedy and GRASP paths when the oracle supports it (see
+  /// GreedyOptions::incremental); false forces plain full-set oracle
+  /// calls everywhere.
+  bool incremental_oracle = true;
   /// Optional thread pool (not owned) for GRASP's parallel candidate
   /// evaluation; used only when the oracle reports thread_safe().
   ThreadPool* pool = nullptr;

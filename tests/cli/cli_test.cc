@@ -55,7 +55,12 @@ TEST(ArgMapTest, TracksUnreadFlags) {
 class CliEndToEndTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/freshsel_cli_test";
+    // Unique per-test directory: ctest runs these cases as separate
+    // concurrent processes, and a shared path makes them trample each
+    // other's files.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = ::testing::TempDir() + "/freshsel_cli_test_" + info->name();
     std::filesystem::remove_all(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

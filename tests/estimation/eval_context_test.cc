@@ -1,0 +1,306 @@
+// EvalContext equivalence suite: the incremental delta-evaluation path
+// (Push / Pop / EstimateWith / EstimateAllTimes) is a pure acceleration of
+// `Estimate` - the values it returns must agree with fresh full
+// evaluations to ulp precision, across every Options flag combination,
+// and Pop must restore the pre-Push state bit-exactly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/time_types.h"
+#include "estimation/quality_estimator.h"
+#include "estimation/source_profile.h"
+#include "estimation/world_change_model.h"
+#include "source/source_simulator.h"
+#include "world/world_simulator.h"
+
+namespace freshsel::estimation {
+namespace {
+
+using SourceHandle = QualityEstimator::SourceHandle;
+
+/// Incremental products append the candidate's factor at the end rather
+/// than at its sorted position, so delta evaluations are ulp-equivalent,
+/// not bit-identical; 1e-12 relative is far above accumulated ulp noise
+/// and far below any quantity the selection layer distinguishes.
+constexpr double kTol = 1e-12;
+
+void ExpectQualityNear(const EstimatedQuality& a, const EstimatedQuality& b,
+                       const std::string& what) {
+  EXPECT_NEAR(a.coverage, b.coverage, kTol) << what;
+  EXPECT_NEAR(a.local_freshness, b.local_freshness, kTol) << what;
+  EXPECT_NEAR(a.global_freshness, b.global_freshness, kTol) << what;
+  EXPECT_NEAR(a.accuracy, b.accuracy, kTol) << what;
+  EXPECT_NEAR(a.expected_result, b.expected_result,
+              kTol * (1.0 + std::abs(b.expected_result)))
+      << what;
+  EXPECT_NEAR(a.expected_up, b.expected_up,
+              kTol * (1.0 + std::abs(b.expected_up)))
+      << what;
+  EXPECT_EQ(a.expected_world, b.expected_world) << what;
+}
+
+void ExpectQualityIdentical(const EstimatedQuality& a,
+                            const EstimatedQuality& b,
+                            const std::string& what) {
+  EXPECT_EQ(a.coverage, b.coverage) << what;
+  EXPECT_EQ(a.local_freshness, b.local_freshness) << what;
+  EXPECT_EQ(a.global_freshness, b.global_freshness) << what;
+  EXPECT_EQ(a.accuracy, b.accuracy) << what;
+  EXPECT_EQ(a.expected_result, b.expected_result) << what;
+  EXPECT_EQ(a.expected_up, b.expected_up) << what;
+  EXPECT_EQ(a.expected_world, b.expected_world) << what;
+}
+
+/// The 2x2 simulated world of quality_estimator_test.cc with 6
+/// heterogeneous sources; fixtures parameterized by the Options flag mask
+/// build estimators over three future eval times.
+class EvalContextTest : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr TimePoint kT0 = 300;
+  static constexpr TimePoint kHorizon = 500;
+
+  void SetUp() override {
+    world::DataDomain domain =
+        world::DataDomain::Create("loc", 2, "cat", 2).value();
+    world::WorldSpec spec{std::move(domain), {}, kHorizon};
+    spec.rates.push_back({1.5, 0.004, 0.008, 375});
+    spec.rates.push_back({0.8, 0.006, 0.004, 133});
+    spec.rates.push_back({1.0, 0.003, 0.010, 333});
+    spec.rates.push_back({0.5, 0.005, 0.006, 100});
+    Rng rng(97);
+    world_ = std::make_unique<world::World>(
+        world::SimulateWorld(spec, rng).value());
+
+    for (int i = 0; i < 6; ++i) {
+      source::SourceSpec s;
+      s.name = "s" + std::to_string(i);
+      s.scope = i < 3 ? std::vector<world::SubdomainId>{0, 1, 2, 3}
+                      : std::vector<world::SubdomainId>{
+                            static_cast<world::SubdomainId>(i - 3)};
+      s.schedule = {1 + i % 3, 0};
+      s.insert_capture = {0.05 * i, 2.0 + 4.0 * i};
+      s.update_capture = {0.05 * i, 3.0 + 4.0 * i};
+      s.delete_capture = {0.05 * i, 4.0 + 4.0 * i};
+      s.initial_awareness = 0.9 - 0.1 * i;
+      specs_.push_back(s);
+    }
+    histories_ = source::SimulateSources(*world_, specs_, rng).value();
+    model_ = std::make_unique<WorldChangeModel>(
+        WorldChangeModel::Learn(*world_, kT0).value());
+    profiles_ = LearnSourceProfiles(*world_, histories_, kT0).value();
+  }
+
+  /// Options decoded from the 4-bit flag mask `GetParam()`.
+  static QualityEstimator::Options OptionsFromMask(int mask) {
+    QualityEstimator::Options options;
+    options.per_event_survival = (mask & 1) != 0;
+    options.exponential_world_model = (mask & 2) != 0;
+    options.model_capture_backlog = (mask & 4) != 0;
+    options.model_ghost_result = (mask & 8) != 0;
+    return options;
+  }
+
+  QualityEstimator MakeEstimator(QualityEstimator::Options options) {
+    QualityEstimator est =
+        QualityEstimator::Create(*world_, *model_, {},
+                                 {kT0 + 15, kT0 + 45, kT0 + 90}, options)
+            .value();
+    for (const SourceProfile& p : profiles_) {
+      EXPECT_TRUE(est.AddSource(&p, 1).ok());
+    }
+    return est;
+  }
+
+  std::unique_ptr<world::World> world_;
+  std::vector<source::SourceSpec> specs_;
+  std::vector<source::SourceHistory> histories_;
+  std::unique_ptr<WorldChangeModel> model_;
+  std::vector<SourceProfile> profiles_;
+};
+
+TEST_P(EvalContextTest, EstimateWithMatchesFreshEstimate) {
+  QualityEstimator est = MakeEstimator(OptionsFromMask(GetParam()));
+  const std::size_t n = est.source_count();
+  for (std::uint64_t seed : {5u, 19u, 77u}) {
+    Rng rng(seed);
+    QualityEstimator::EvalContext ctx = est.MakeEvalContext();
+    std::vector<SourceHandle> set;
+    // Grow a random chain, checking every outside candidate at each size.
+    for (std::size_t round = 0; round <= n; ++round) {
+      for (TimePoint t : est.eval_times()) {
+        ExpectQualityNear(
+            ctx.EstimateCurrent(t), est.Estimate(set, t),
+            "current, mask " + std::to_string(GetParam()) + ", |S|=" +
+                std::to_string(set.size()) + ", t=" + std::to_string(t));
+        for (std::size_t c = 0; c < n; ++c) {
+          const SourceHandle candidate = static_cast<SourceHandle>(c);
+          bool in_set = false;
+          for (SourceHandle h : set) in_set |= (h == candidate);
+          if (in_set) continue;
+          std::vector<SourceHandle> with = set;
+          with.push_back(candidate);
+          ExpectQualityNear(
+              ctx.EstimateWith(candidate, t), est.Estimate(with, t),
+              "with " + std::to_string(c) + ", mask " +
+                  std::to_string(GetParam()) + ", |S|=" +
+                  std::to_string(set.size()) + ", t=" + std::to_string(t));
+        }
+      }
+      if (round == n) break;
+      SourceHandle next;
+      do {
+        next = static_cast<SourceHandle>(rng.NextBounded(n));
+      } while ([&] {
+        for (SourceHandle h : set) {
+          if (h == next) return true;
+        }
+        return false;
+      }());
+      set.push_back(next);
+      ctx.Push(next);
+    }
+  }
+}
+
+TEST_P(EvalContextTest, PushPopFuzzMatchesFreshEstimate) {
+  QualityEstimator est = MakeEstimator(OptionsFromMask(GetParam()));
+  const std::size_t n = est.source_count();
+  Rng rng(1234 + static_cast<std::uint64_t>(GetParam()));
+  QualityEstimator::EvalContext ctx = est.MakeEvalContext();
+  std::vector<SourceHandle> shadow;
+  std::vector<EstimatedQuality> batched;
+  for (int step = 0; step < 200; ++step) {
+    const double u = rng.UniformDouble(0.0, 1.0);
+    if (shadow.empty() || (u < 0.55 && shadow.size() < n)) {
+      SourceHandle next;
+      do {
+        next = static_cast<SourceHandle>(rng.NextBounded(n));
+      } while ([&] {
+        for (SourceHandle h : shadow) {
+          if (h == next) return true;
+        }
+        return false;
+      }());
+      ctx.Push(next);
+      shadow.push_back(next);
+    } else if (u < 0.9) {
+      ctx.Pop();
+      shadow.pop_back();
+    } else {
+      ctx.Clear();
+      shadow.clear();
+    }
+    ASSERT_EQ(ctx.pushed(), shadow) << "step " << step;
+    // Spot-check one eval time per step, the full batch every 16 steps.
+    const TimePoint t =
+        est.eval_times()[rng.NextBounded(est.eval_times().size())];
+    ExpectQualityNear(ctx.EstimateCurrent(t), est.Estimate(shadow, t),
+                      "fuzz step " + std::to_string(step) + ", mask " +
+                          std::to_string(GetParam()));
+    if (step % 16 == 0) {
+      ctx.EstimateAllTimes(batched);
+      ASSERT_EQ(batched.size(), est.eval_times().size());
+      for (std::size_t i = 0; i < batched.size(); ++i) {
+        ExpectQualityNear(
+            batched[i], est.Estimate(shadow, est.eval_times()[i]),
+            "fuzz batched step " + std::to_string(step));
+      }
+    }
+  }
+}
+
+TEST_P(EvalContextTest, PopRestoresBitExactly) {
+  QualityEstimator est = MakeEstimator(OptionsFromMask(GetParam()));
+  const std::size_t n = est.source_count();
+  QualityEstimator::EvalContext ctx = est.MakeEvalContext();
+  std::vector<EstimatedQuality> before;
+  std::vector<EstimatedQuality> after;
+  for (std::size_t depth = 0; depth < n; ++depth) {
+    ctx.EstimateAllTimes(before);
+    // Push a source whose near-zero miss products would amplify rounding
+    // error under divide-back-out; checkpoint restore must be exact.
+    const SourceHandle pushed = static_cast<SourceHandle>(depth);
+    ctx.Push(pushed);
+    ctx.Pop();
+    ctx.EstimateAllTimes(after);
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      ExpectQualityIdentical(after[i], before[i],
+                             "pop at depth " + std::to_string(depth) +
+                                 ", mask " + std::to_string(GetParam()));
+    }
+    ctx.Push(pushed);
+  }
+}
+
+TEST_P(EvalContextTest, BatchedEstimateAllTimesIsBitIdentical) {
+  QualityEstimator est = MakeEstimator(OptionsFromMask(GetParam()));
+  Rng rng(31);
+  std::vector<EstimatedQuality> batched;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<SourceHandle> set;
+    for (std::size_t s = 0; s < est.source_count(); ++s) {
+      if (rng.Bernoulli(0.5)) set.push_back(static_cast<SourceHandle>(s));
+    }
+    est.EstimateAllTimes(set, batched);
+    ASSERT_EQ(batched.size(), est.eval_times().size());
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+      ExpectQualityIdentical(
+          batched[i], est.Estimate(set, est.eval_times()[i]),
+          "batched round " + std::to_string(round) + ", mask " +
+              std::to_string(GetParam()));
+    }
+  }
+}
+
+TEST_P(EvalContextTest, SingletonDeltaFromEmptySetIsBitIdentical) {
+  // Multiplying an all-ones product by one factor is exact, so singleton
+  // delta evaluations agree with plain estimates bit for bit - the
+  // property BudgetedGreedy's phase-2 singleton scan relies on.
+  QualityEstimator est = MakeEstimator(OptionsFromMask(GetParam()));
+  QualityEstimator::EvalContext ctx = est.MakeEvalContext();
+  for (std::size_t s = 0; s < est.source_count(); ++s) {
+    const SourceHandle handle = static_cast<SourceHandle>(s);
+    for (TimePoint t : est.eval_times()) {
+      ExpectQualityIdentical(ctx.EstimateWith(handle, t),
+                             est.Estimate({handle}, t),
+                             "singleton " + std::to_string(s) + ", mask " +
+                                 std::to_string(GetParam()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptionCombos, EvalContextTest,
+                         ::testing::Range(0, 16));
+
+TEST(EvalContextSupportTest, RequiresCachingAndEvalTimes) {
+  world::DataDomain domain =
+      world::DataDomain::Create("loc", 1, "cat", 1).value();
+  world::WorldSpec spec{std::move(domain), {}, 400};
+  spec.rates.push_back({1.0, 0.004, 0.008, 250});
+  Rng rng(11);
+  world::World world = world::SimulateWorld(spec, rng).value();
+  WorldChangeModel model = WorldChangeModel::Learn(world, 300).value();
+
+  QualityEstimator::Options no_cache;
+  no_cache.cache_effectiveness = false;
+  EXPECT_FALSE(QualityEstimator::Create(world, model, {}, {310}, no_cache)
+                   .value()
+                   .SupportsIncremental());
+  EXPECT_FALSE(QualityEstimator::Create(world, model, {}, {})
+                   .value()
+                   .SupportsIncremental());
+  EXPECT_TRUE(QualityEstimator::Create(world, model, {}, {310})
+                  .value()
+                  .SupportsIncremental());
+}
+
+}  // namespace
+}  // namespace freshsel::estimation
