@@ -1,0 +1,7 @@
+// Macro-free twin of the overhead workload: FRESHSEL_FAULT_FORCE_OFF
+// strips every FRESHSEL_FAILPOINT* expansion from this TU regardless of
+// the build-wide FRESHSEL_FAULT setting.
+
+#define FRESHSEL_FAULT_FORCE_OFF
+#define FRESHSEL_FAULT_WORKLOAD_NS fault_off
+#include "fault_overhead_impl.h"

@@ -1,0 +1,6 @@
+// Failpoint-carrying twin of the overhead workload: macros as compiled for
+// this build (real registry lookups + relaxed atomic loads under
+// FRESHSEL_FAULT=ON, no-ops when the whole build is OFF).
+
+#define FRESHSEL_FAULT_WORKLOAD_NS fault_on
+#include "fault_overhead_impl.h"

@@ -1,0 +1,22 @@
+#ifndef FRESHSEL_BENCH_FAULT_OVERHEAD_WORKLOAD_H_
+#define FRESHSEL_BENCH_FAULT_OVERHEAD_WORKLOAD_H_
+
+#include <cstddef>
+
+namespace freshsel::bench {
+
+// Two compilations of the identical workload (fault_overhead_impl.h): the
+// fault_on TU keeps the FRESHSEL_FAILPOINT* macros as compiled for this
+// build, the fault_off TU defines FRESHSEL_FAULT_FORCE_OFF so every macro
+// expands to static_cast<void>(0). Their runtime difference is exactly the
+// cost of an unarmed failpoint site (see bench_fault_overhead.cpp).
+namespace fault_on {
+double RunWorkload(std::size_t iterations);
+}  // namespace fault_on
+namespace fault_off {
+double RunWorkload(std::size_t iterations);
+}  // namespace fault_off
+
+}  // namespace freshsel::bench
+
+#endif  // FRESHSEL_BENCH_FAULT_OVERHEAD_WORKLOAD_H_

@@ -13,10 +13,12 @@ Result<ArgMap> ArgMap::Parse(int argc, const char* const* argv) {
       const std::size_t eq = token.find('=');
       if (eq != std::string::npos) {
         args.flags_[token.substr(2, eq - 2)] = token.substr(eq + 1);
+      } else if (i + 1 >= argc ||
+                 std::string(argv[i + 1]).rfind("--", 0) == 0) {
+        // Bare boolean-style flag: `--strict` at end of line or followed
+        // by the next flag.
+        args.flags_[token.substr(2)] = "true";
       } else {
-        if (i + 1 >= argc) {
-          return Status::InvalidArgument("flag needs a value: " + token);
-        }
         args.flags_[token.substr(2)] = argv[++i];
       }
     } else if (args.command_.empty()) {
@@ -66,6 +68,16 @@ Result<double> ArgMap::GetDouble(const std::string& key,
                                    it->second);
   }
   return value;
+}
+
+Result<bool> ArgMap::GetBool(const std::string& key, bool fallback) const {
+  read_[key] = true;
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  return Status::InvalidArgument("--" + key + " expects true/false, got: " +
+                                 it->second);
 }
 
 std::vector<std::string> ArgMap::UnreadFlags() const {

@@ -12,11 +12,13 @@ namespace freshsel::cli {
 
 /// Minimal command-line argument map for the freshsel CLI:
 /// `command --flag value --other=value`. The first non-flag token is the
-/// command; flags may appear in either `--k v` or `--k=v` form.
+/// command; flags may appear in either `--k v` or `--k=v` form. A flag
+/// followed by another flag (or by the end of the line) is boolean-style
+/// and stores "true": `select --strict --seed 7`.
 class ArgMap {
  public:
-  /// Parses argv[1..argc). Returns InvalidArgument on a dangling `--flag`
-  /// with no value or a token that is neither the command nor a flag.
+  /// Parses argv[1..argc). Returns InvalidArgument on a token that is
+  /// neither the command nor a flag.
   static Result<ArgMap> Parse(int argc, const char* const* argv);
 
   const std::string& command() const { return command_; }
@@ -32,6 +34,10 @@ class ArgMap {
 
   /// Double flag; InvalidArgument when present but malformed.
   Result<double> GetDouble(const std::string& key, double fallback) const;
+
+  /// Boolean flag: absent -> fallback; bare `--flag`, "true" or "1" ->
+  /// true; "false" or "0" -> false; anything else is InvalidArgument.
+  Result<bool> GetBool(const std::string& key, bool fallback) const;
 
   /// Flags that were provided but never read (typo detection).
   std::vector<std::string> UnreadFlags() const;

@@ -11,9 +11,12 @@
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
+#include "estimation/degradation.h"
 #include "estimation/quality_estimator.h"
 #include "estimation/source_profile.h"
 #include "estimation/world_change_model.h"
+#include "fault/failpoint.h"
+#include "fault/retry.h"
 #include "harness/characterization.h"
 #include "harness/learned_scenario.h"
 #include "io/scenario_io.h"
@@ -43,14 +46,16 @@ struct LoadedScenario {
   TimePoint manifest_t0 = 0;  ///< 0 when no manifest was found.
 };
 
-Result<LoadedScenario> LoadScenarioDir(const std::string& dir) {
+Result<LoadedScenario> LoadScenarioDir(const std::string& dir,
+                                       const fault::RetryPolicy& retry) {
   const fs::path root(dir);
   std::error_code ec;
   if (!fs::is_directory(root, ec)) {
     return Status::NotFound("not a directory: " + dir);
   }
-  FRESHSEL_ASSIGN_OR_RETURN(world::World world,
-                            io::ReadWorldCsv((root / "world.csv").string()));
+  FRESHSEL_ASSIGN_OR_RETURN(
+      world::World world,
+      io::ReadWorldCsv((root / "world.csv").string(), retry));
   std::vector<std::string> source_files;
   for (const fs::directory_entry& entry : fs::directory_iterator(root)) {
     const std::string name = entry.path().filename().string();
@@ -66,7 +71,7 @@ Result<LoadedScenario> LoadScenarioDir(const std::string& dir) {
   sources.reserve(source_files.size());
   for (const std::string& file : source_files) {
     FRESHSEL_ASSIGN_OR_RETURN(source::SourceHistory history,
-                              io::ReadSourceHistoryCsv(file));
+                              io::ReadSourceHistoryCsv(file, retry));
     sources.push_back(std::move(history));
   }
   // Optional manifest: its first line is "t0,<value>".
@@ -139,18 +144,85 @@ class ObsSession {
 struct LearnedModels {
   estimation::WorldChangeModel world_model;
   std::vector<estimation::SourceProfile> profiles;
+  estimation::DegradationReport degradation;
 };
 
 Result<LearnedModels> LearnModels(const LoadedScenario& scenario,
-                                  TimePoint t0) {
+                                  TimePoint t0,
+                                  estimation::DegradationMode mode) {
   FRESHSEL_ASSIGN_OR_RETURN(
       estimation::WorldChangeModel world_model,
       estimation::WorldChangeModel::Learn(scenario.world, t0));
   FRESHSEL_ASSIGN_OR_RETURN(
-      std::vector<estimation::SourceProfile> profiles,
-      estimation::LearnSourceProfiles(scenario.world, scenario.sources,
-                                      t0));
-  return LearnedModels{std::move(world_model), std::move(profiles)};
+      estimation::RobustProfiles robust,
+      estimation::LearnSourceProfilesRobust(scenario.world, scenario.sources,
+                                            t0, mode));
+  return LearnedModels{std::move(world_model), std::move(robust.profiles),
+                       std::move(robust.report)};
+}
+
+/// Shared robustness plumbing (DESIGN.md §11): `--failpoints SPEC` arms
+/// the global registry for this run (previous arms are cleared so repeated
+/// in-process runs replay identically), `--retry-max` / `--retry-backoff`
+/// shape the RetryPolicy driving scenario I/O, and
+/// `--deterministic-metrics` makes the run report byte-reproducible.
+struct RobustnessOptions {
+  fault::RetryPolicy retry;
+  bool deterministic_metrics = false;
+};
+
+Result<RobustnessOptions> ReadRobustnessFlags(const ArgMap& args) {
+  const std::string failpoints = args.GetString("failpoints", "");
+  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t retry_max,
+                            args.GetInt("retry-max", 3));
+  FRESHSEL_ASSIGN_OR_RETURN(double retry_backoff,
+                            args.GetDouble("retry-backoff", 0.01));
+  RobustnessOptions options;
+  FRESHSEL_ASSIGN_OR_RETURN(options.deterministic_metrics,
+                            args.GetBool("deterministic-metrics", false));
+  if (retry_max < 1) {
+    return Status::InvalidArgument("--retry-max must be >= 1");
+  }
+  if (retry_backoff < 0.0) {
+    return Status::InvalidArgument("--retry-backoff must be >= 0");
+  }
+  if (!failpoints.empty()) {
+    if (!FRESHSEL_FAULT_ACTIVE) {
+      return Status::InvalidArgument(
+          "--failpoints given, but this build compiled failpoints out "
+          "(FRESHSEL_FAULT=OFF); rebuild with FRESHSEL_FAULT=ON");
+    }
+    fault::FailpointRegistry::Global().DisarmAll();
+    FRESHSEL_RETURN_IF_ERROR(
+        fault::FailpointRegistry::Global().ArmFromSpec(failpoints));
+  }
+  fault::RetryOptions retry_options;
+  retry_options.max_attempts = static_cast<int>(retry_max);
+  retry_options.initial_backoff_seconds = retry_backoff;
+  retry_options.max_backoff_seconds =
+      std::max(retry_backoff, retry_options.max_backoff_seconds);
+  options.retry = fault::RetryPolicy(retry_options);
+  return options;
+}
+
+/// `--strict` aborts on unfittable sources; `--degrade` (the default)
+/// substitutes subdomain priors and reports them.
+Result<estimation::DegradationMode> ReadDegradationMode(const ArgMap& args) {
+  FRESHSEL_ASSIGN_OR_RETURN(bool strict, args.GetBool("strict", false));
+  FRESHSEL_ASSIGN_OR_RETURN(bool degrade, args.GetBool("degrade", !strict));
+  if (strict && degrade) {
+    return Status::InvalidArgument("--strict and --degrade are exclusive");
+  }
+  return strict ? estimation::DegradationMode::kStrict
+                : estimation::DegradationMode::kDegrade;
+}
+
+void ReportDegradation(const estimation::DegradationReport& degradation,
+                       obs::RunReport* report, std::ostream& out) {
+  report->counters["degraded_sources"] = degradation.degraded.size();
+  for (const estimation::DegradedSource& source : degradation.degraded) {
+    out << "degraded: " << source.name << " - " << source.reason << "\n";
+  }
 }
 
 }  // namespace
@@ -165,6 +237,9 @@ Status RunSimulate(const ArgMap& args, std::ostream& out) {
   FRESHSEL_ASSIGN_OR_RETURN(std::int64_t categories,
                             args.GetInt("categories", 0));
   ObsSession obs_session("simulate", args);
+  FRESHSEL_ASSIGN_OR_RETURN(RobustnessOptions robust,
+                            ReadRobustnessFlags(args));
+  obs_session.report()->deterministic = robust.deterministic_metrics;
   FRESHSEL_RETURN_IF_ERROR(CheckUnreadFlags(args));
   if (out_dir.empty()) {
     return Status::InvalidArgument("simulate requires --out DIR");
@@ -210,12 +285,12 @@ Status RunSimulate(const ArgMap& args, std::ostream& out) {
 
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
-  FRESHSEL_RETURN_IF_ERROR(
-      io::WriteWorldCsv(scenario->world, out_dir + "/world.csv"));
+  FRESHSEL_RETURN_IF_ERROR(io::WriteWorldCsv(
+      scenario->world, out_dir + "/world.csv", robust.retry));
   for (std::size_t i = 0; i < scenario->sources.size(); ++i) {
     FRESHSEL_RETURN_IF_ERROR(io::WriteSourceHistoryCsv(
         scenario->sources[i],
-        out_dir + "/" + StringPrintf("source_%03zu.csv", i)));
+        out_dir + "/" + StringPrintf("source_%03zu.csv", i), robust.retry));
   }
   // Manifest: the training cutoff and class labels.
   std::ofstream manifest(out_dir + "/manifest.csv");
@@ -238,13 +313,19 @@ Status RunCharacterize(const ArgMap& args, std::ostream& out) {
   const std::string dir = args.GetString("dir", "");
   FRESHSEL_ASSIGN_OR_RETURN(std::int64_t t0, args.GetInt("t0", 0));
   ObsSession obs_session("characterize", args);
+  FRESHSEL_ASSIGN_OR_RETURN(RobustnessOptions robust,
+                            ReadRobustnessFlags(args));
+  obs_session.report()->deterministic = robust.deterministic_metrics;
+  FRESHSEL_ASSIGN_OR_RETURN(estimation::DegradationMode degradation_mode,
+                            ReadDegradationMode(args));
   FRESHSEL_RETURN_IF_ERROR(CheckUnreadFlags(args));
   if (dir.empty()) {
     return Status::InvalidArgument("characterize requires --dir DIR");
   }
   obs::RunReport& report = *obs_session.report();
   obs::WallTimer stage_timer;
-  FRESHSEL_ASSIGN_OR_RETURN(LoadedScenario scenario, LoadScenarioDir(dir));
+  FRESHSEL_ASSIGN_OR_RETURN(LoadedScenario scenario,
+                            LoadScenarioDir(dir, robust.retry));
   if (t0 <= 0) t0 = scenario.manifest_t0;  // Fall back to the manifest.
   if (t0 <= 0) {
     return Status::InvalidArgument(
@@ -262,9 +343,11 @@ Status RunCharacterize(const ArgMap& args, std::ostream& out) {
   report.AddStage("load", stage_timer.ElapsedSeconds());
   report.counters["sources"] = wrapped.sources.size();
   stage_timer.Restart();
-  FRESHSEL_ASSIGN_OR_RETURN(harness::LearnedScenario learned,
-                            harness::LearnScenario(wrapped));
+  FRESHSEL_ASSIGN_OR_RETURN(
+      harness::LearnedScenario learned,
+      harness::LearnScenarioRobust(wrapped, degradation_mode));
   report.AddStage("learn", stage_timer.ElapsedSeconds());
+  ReportDegradation(learned.degradation, &report, out);
   stage_timer.Restart();
   const std::vector<harness::SourceCharacterization> rows =
       harness::CharacterizeSources(learned, wrapped.classes);
@@ -306,6 +389,11 @@ Status RunSelect(const ArgMap& args, std::ostream& out) {
   FRESHSEL_ASSIGN_OR_RETURN(std::int64_t seed, args.GetInt("seed", 42));
   FRESHSEL_ASSIGN_OR_RETURN(std::int64_t threads, args.GetInt("threads", 1));
   ObsSession obs_session("select", args);
+  FRESHSEL_ASSIGN_OR_RETURN(RobustnessOptions robust,
+                            ReadRobustnessFlags(args));
+  obs_session.report()->deterministic = robust.deterministic_metrics;
+  FRESHSEL_ASSIGN_OR_RETURN(estimation::DegradationMode degradation_mode,
+                            ReadDegradationMode(args));
   FRESHSEL_RETURN_IF_ERROR(CheckUnreadFlags(args));
   if (dir.empty()) {
     return Status::InvalidArgument("select requires --dir DIR");
@@ -340,7 +428,8 @@ Status RunSelect(const ArgMap& args, std::ostream& out) {
     return Status::InvalidArgument("unknown --gain: " + gain_name);
   }
 
-  FRESHSEL_ASSIGN_OR_RETURN(LoadedScenario scenario, LoadScenarioDir(dir));
+  FRESHSEL_ASSIGN_OR_RETURN(LoadedScenario scenario,
+                            LoadScenarioDir(dir, robust.retry));
   if (t0 <= 0) t0 = scenario.manifest_t0;  // Fall back to the manifest.
   if (t0 <= 0) {
     return Status::InvalidArgument(
@@ -352,8 +441,9 @@ Status RunSelect(const ArgMap& args, std::ostream& out) {
   report.AddStage("load", stage_timer.ElapsedSeconds());
   stage_timer.Restart();
   FRESHSEL_ASSIGN_OR_RETURN(LearnedModels learned,
-                            LearnModels(scenario, t0));
+                            LearnModels(scenario, t0, degradation_mode));
   report.AddStage("learn", stage_timer.ElapsedSeconds());
+  ReportDegradation(learned.degradation, &report, out);
   stage_timer.Restart();
 
   FRESHSEL_ASSIGN_OR_RETURN(
@@ -494,7 +584,13 @@ int RunMain(int argc, const char* const* argv, std::ostream& out,
         << "  every command also accepts --metrics-out FILE (JSON run "
            "report)\n"
         << "                          and --trace-out FILE (chrome://tracing "
-           "JSON)\n";
+           "JSON)\n"
+        << "  robustness flags: --failpoints 'name=once|always|nth:N|"
+           "prob:P[:SEED]' --retry-max N --retry-backoff SECONDS\n"
+        << "                    --deterministic-metrics (byte-stable "
+           "--metrics-out), and for characterize/select:\n"
+        << "                    --strict (abort on unfittable sources) | "
+           "--degrade (substitute subdomain priors; default)\n";
     return args->command().empty() ? 2 : 2;
   }
   if (!status.ok()) {

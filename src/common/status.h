@@ -20,6 +20,7 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kUnimplemented,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -61,6 +62,11 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// Transient failure (flaky storage, injected fault); the canonical
+  /// retryable code for fault::RetryPolicy.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -43,6 +43,13 @@ TimePoint VersionCaptureDay(const source::CaptureRecord& rec,
 Result<SourceProfile> LearnSourceProfile(const world::World& world,
                                          const source::SourceHistory& history,
                                          TimePoint t0) {
+  return LearnSourceProfile(world, history, t0, nullptr);
+}
+
+Result<SourceProfile> LearnSourceProfile(const world::World& world,
+                                         const source::SourceHistory& history,
+                                         TimePoint t0,
+                                         SourceProfileFitStats* stats) {
   if (t0 <= 0 || t0 > world.horizon()) {
     return Status::InvalidArgument("t0 must be in (0, horizon]");
   }
@@ -130,6 +137,15 @@ Result<SourceProfile> LearnSourceProfile(const world::World& world,
         }
       }
     }
+  }
+
+  if (stats != nullptr) {
+    stats->insert_samples = km_insert.sample_size();
+    stats->insert_events = km_insert.observed_events();
+    stats->update_samples = km_update.sample_size();
+    stats->update_events = km_update.observed_events();
+    stats->delete_samples = km_delete.sample_size();
+    stats->delete_events = km_delete.observed_events();
   }
 
   auto fit_or_zero =

@@ -52,12 +52,43 @@ struct SourceProfile {
                        double event_time, std::int64_t divisor = 1) const;
 };
 
+/// Sample bookkeeping for the three Kaplan-Meier fits behind a profile.
+/// The degradation layer (degradation.h) uses it to decide whether a
+/// learned profile carries real capture signal: a component with zero
+/// samples or zero observed (uncensored) events fits to the constant-zero
+/// distribution, and a source where *every* component is in that state is
+/// indistinguishable from a source that captures nothing.
+struct SourceProfileFitStats {
+  std::size_t insert_samples = 0;
+  std::size_t insert_events = 0;
+  std::size_t update_samples = 0;
+  std::size_t update_events = 0;
+  std::size_t delete_samples = 0;
+  std::size_t delete_events = 0;
+
+  std::size_t total_samples() const {
+    return insert_samples + update_samples + delete_samples;
+  }
+  std::size_t total_events() const {
+    return insert_events + update_events + delete_events;
+  }
+  /// True when at least one component observed an actual capture, i.e. the
+  /// KM fits contain signal rather than all-zero fallbacks.
+  bool fittable() const { return total_events() > 0; }
+};
+
 /// Learns a source profile from the world evolution and the source's
 /// observed stream, using only information available at t0.
 /// Returns InvalidArgument unless 0 < t0 <= world.horizon().
 Result<SourceProfile> LearnSourceProfile(
     const world::World& world, const source::SourceHistory& history,
     TimePoint t0);
+
+/// As above, additionally reporting the KM sample counts behind the fit.
+/// `stats` may be null.
+Result<SourceProfile> LearnSourceProfile(
+    const world::World& world, const source::SourceHistory& history,
+    TimePoint t0, SourceProfileFitStats* stats);
 
 /// Learns profiles for a whole roster.
 Result<std::vector<SourceProfile>> LearnSourceProfiles(

@@ -1,0 +1,81 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "obs/macros.h"
+
+namespace freshsel::fault {
+
+RetryPolicy::RetryPolicy(const RetryOptions& options) : options_(options) {
+  FRESHSEL_CHECK(options_.max_attempts >= 1)
+      << "max_attempts must be >= 1, got " << options_.max_attempts;
+  FRESHSEL_CHECK_NONNEG(options_.initial_backoff_seconds);
+  FRESHSEL_CHECK(options_.backoff_multiplier >= 1.0)
+      << "backoff_multiplier must be >= 1, got "
+      << options_.backoff_multiplier;
+  FRESHSEL_CHECK_NONNEG(options_.max_backoff_seconds);
+  FRESHSEL_CHECK_PROB(options_.jitter_fraction);
+  sleep_fn_ = [](double seconds) {
+    if (seconds <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  };
+}
+
+bool RetryPolicy::IsRetryable(const Status& status) const {
+  switch (status.code()) {
+    case StatusCode::kIoError:
+      return options_.retry_io_error;
+    case StatusCode::kUnavailable:
+      return options_.retry_unavailable;
+    default:
+      return false;
+  }
+}
+
+double RetryPolicy::BackoffSeconds(int retry) const {
+  FRESHSEL_CHECK_NONNEG(retry);
+  const double base = std::min(
+      options_.initial_backoff_seconds *
+          std::pow(options_.backoff_multiplier, static_cast<double>(retry)),
+      options_.max_backoff_seconds);
+  if (options_.jitter_fraction <= 0.0) return base;
+  // One private Rng stream per Run(): skipping to draw `retry` keeps the
+  // schedule a pure function of (options, retry) — no cross-call state.
+  Rng rng(options_.jitter_seed);
+  double u = 0.0;
+  for (int i = 0; i <= retry; ++i) u = rng.NextDouble();
+  return base * (1.0 + options_.jitter_fraction * (2.0 * u - 1.0));
+}
+
+Status RetryPolicy::Run(std::string_view op_name,
+                        const std::function<Status()>& op) const {
+  Status status = Status::OK();
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      FRESHSEL_OBS_COUNT("io.retries", 1);
+      if (on_retry_) on_retry_(op_name, attempt - 1, status);
+      sleep_fn_(BackoffSeconds(attempt - 1));
+    }
+    status = op();
+    if (status.ok() || !IsRetryable(status)) return status;
+  }
+  FRESHSEL_OBS_COUNT("io.retries_exhausted", 1);
+  return status;
+}
+
+void RetryPolicy::set_sleep_fn(SleepFn sleep_fn) {
+  FRESHSEL_CHECK(sleep_fn != nullptr) << "sleep_fn must be callable";
+  sleep_fn_ = std::move(sleep_fn);
+}
+
+void RetryPolicy::set_on_retry(RetryHook hook) {
+  on_retry_ = std::move(hook);
+}
+
+}  // namespace freshsel::fault

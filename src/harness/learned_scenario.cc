@@ -16,7 +16,21 @@ Result<LearnedScenario> LearnScenarioWithSources(
       std::vector<estimation::SourceProfile> profiles,
       estimation::LearnSourceProfiles(scenario.world, sources, scenario.t0));
   return LearnedScenario{&scenario, std::move(world_model),
-                         std::move(profiles)};
+                         std::move(profiles), estimation::DegradationReport{}};
+}
+
+Result<LearnedScenario> LearnScenarioRobust(const workloads::Scenario& scenario,
+                                            estimation::DegradationMode mode) {
+  FRESHSEL_ASSIGN_OR_RETURN(
+      estimation::WorldChangeModel world_model,
+      estimation::WorldChangeModel::Learn(scenario.world, scenario.t0));
+  FRESHSEL_ASSIGN_OR_RETURN(
+      estimation::RobustProfiles robust,
+      estimation::LearnSourceProfilesRobust(scenario.world, scenario.sources,
+                                            scenario.t0, mode));
+  return LearnedScenario{&scenario, std::move(world_model),
+                         std::move(robust.profiles),
+                         std::move(robust.report)};
 }
 
 }  // namespace freshsel::harness

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "estimation/degradation.h"
 #include "estimation/source_profile.h"
 #include "estimation/world_change_model.h"
 #include "workloads/scenario.h"
@@ -17,6 +18,9 @@ struct LearnedScenario {
   const workloads::Scenario* scenario = nullptr;
   estimation::WorldChangeModel world_model;
   std::vector<estimation::SourceProfile> profiles;
+  /// Substitutions performed when learned via LearnScenarioRobust in
+  /// degrade mode; empty for the plain pipeline.
+  estimation::DegradationReport degradation;
 
   const world::World& world() const { return scenario->world; }
   TimePoint t0() const { return scenario->t0; }
@@ -30,6 +34,13 @@ Result<LearnedScenario> LearnScenario(const workloads::Scenario& scenario);
 Result<LearnedScenario> LearnScenarioWithSources(
     const workloads::Scenario& scenario,
     const std::vector<source::SourceHistory>& sources);
+
+/// Degradation-aware pipeline (DESIGN.md §11): profiles are learned via
+/// estimation::LearnSourceProfilesRobust. kStrict aborts when any source
+/// is unfittable; kDegrade substitutes subdomain-prior profiles and
+/// records them in `degradation`.
+Result<LearnedScenario> LearnScenarioRobust(const workloads::Scenario& scenario,
+                                            estimation::DegradationMode mode);
 
 }  // namespace freshsel::harness
 

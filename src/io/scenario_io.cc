@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 #include "obs/macros.h"
 
 namespace freshsel::io {
@@ -48,6 +49,8 @@ Result<std::vector<TimePoint>> ParseTimes(const std::string& text) {
 Status WriteWorldCsv(const world::World& world, const std::string& path) {
   FRESHSEL_TRACE_SPAN("io/write_world_csv");
   FRESHSEL_OBS_SCOPED_LATENCY("io.write_world.seconds");
+  FRESHSEL_FAILPOINT_RETURN(
+      "io.write", Status::Unavailable("injected fault: io.write " + path));
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   const world::DataDomain& domain = world.domain();
@@ -73,6 +76,8 @@ Status WriteWorldCsv(const world::World& world, const std::string& path) {
 Result<world::World> ReadWorldCsv(const std::string& path) {
   FRESHSEL_TRACE_SPAN("io/read_world_csv");
   FRESHSEL_OBS_SCOPED_LATENCY("io.read_world.seconds");
+  FRESHSEL_FAILPOINT_RETURN(
+      "io.read", Status::Unavailable("injected fault: io.read " + path));
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   std::string line;
@@ -130,6 +135,8 @@ Result<world::World> ReadWorldCsv(const std::string& path) {
 Status WriteSourceHistoryCsv(const source::SourceHistory& history,
                              const std::string& path) {
   FRESHSEL_TRACE_SPAN("io/write_source_csv");
+  FRESHSEL_FAILPOINT_RETURN(
+      "io.write", Status::Unavailable("injected fault: io.write " + path));
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   const source::SourceSpec& spec = history.spec();
@@ -161,6 +168,8 @@ Status WriteSourceHistoryCsv(const source::SourceHistory& history,
 
 Result<source::SourceHistory> ReadSourceHistoryCsv(const std::string& path) {
   FRESHSEL_TRACE_SPAN("io/read_source_csv");
+  FRESHSEL_FAILPOINT_RETURN(
+      "io.read", Status::Unavailable("injected fault: io.read " + path));
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   std::string line;
@@ -235,6 +244,31 @@ Result<source::SourceHistory> ReadSourceHistoryCsv(const std::string& path) {
     FRESHSEL_OBS_COUNT("io.source_rows_read", 1);
   }
   return history;
+}
+
+Result<world::World> ReadWorldCsv(const std::string& path,
+                                  const fault::RetryPolicy& retry) {
+  return retry.RunResult<world::World>(
+      "io.read_world", [&path]() { return ReadWorldCsv(path); });
+}
+
+Result<source::SourceHistory> ReadSourceHistoryCsv(
+    const std::string& path, const fault::RetryPolicy& retry) {
+  return retry.RunResult<source::SourceHistory>(
+      "io.read_source", [&path]() { return ReadSourceHistoryCsv(path); });
+}
+
+Status WriteWorldCsv(const world::World& world, const std::string& path,
+                     const fault::RetryPolicy& retry) {
+  return retry.Run("io.write_world",
+                   [&]() { return WriteWorldCsv(world, path); });
+}
+
+Status WriteSourceHistoryCsv(const source::SourceHistory& history,
+                             const std::string& path,
+                             const fault::RetryPolicy& retry) {
+  return retry.Run("io.write_source",
+                   [&]() { return WriteSourceHistoryCsv(history, path); });
 }
 
 }  // namespace freshsel::io

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "fault/retry.h"
 #include "source/source_history.h"
 #include "world/world.h"
 
@@ -43,6 +44,21 @@ Status WriteSourceHistoryCsv(const source::SourceHistory& history,
 
 /// Reads a source history written by WriteSourceHistoryCsv.
 Result<source::SourceHistory> ReadSourceHistoryCsv(const std::string& path);
+
+/// Retrying variants for flaky storage (see DESIGN.md §11): the plain
+/// loaders above carry `io.read` / `io.write` failpoints at their entry,
+/// and these wrappers drive them through `retry` — transient failures
+/// (IoError, Unavailable) are reattempted under the policy's capped
+/// exponential backoff, each retry bumping the obs counter `io.retries`.
+Result<world::World> ReadWorldCsv(const std::string& path,
+                                  const fault::RetryPolicy& retry);
+Result<source::SourceHistory> ReadSourceHistoryCsv(
+    const std::string& path, const fault::RetryPolicy& retry);
+Status WriteWorldCsv(const world::World& world, const std::string& path,
+                     const fault::RetryPolicy& retry);
+Status WriteSourceHistoryCsv(const source::SourceHistory& history,
+                             const std::string& path,
+                             const fault::RetryPolicy& retry);
 
 }  // namespace freshsel::io
 

@@ -35,12 +35,18 @@ std::string RunReport::ToJson() const {
   for (const Stage& stage : stages) {
     writer.BeginObject();
     writer.Field("name", std::string_view(stage.name));
-    writer.Field("seconds", stage.seconds);
+    writer.Field("seconds", deterministic ? 0.0 : stage.seconds);
     writer.EndObject();
   }
   writer.EndArray();
   writer.Key("metrics");
-  metrics.AppendJson(writer);
+  if (deterministic) {
+    MetricsSnapshot scrubbed = metrics;
+    scrubbed.histograms.clear();
+    scrubbed.AppendJson(writer);
+  } else {
+    metrics.AppendJson(writer);
+  }
   writer.EndObject();
   return writer.TakeString();
 }

@@ -46,6 +46,13 @@ struct RunReport {
 
   MetricsSnapshot metrics;
 
+  /// When true, ToJson emits a byte-reproducible document for golden-file
+  /// tests (`--deterministic-metrics`): stage wall times are written as 0
+  /// and latency histograms are omitted from the embedded snapshot.
+  /// Counters and gauges stay — for a fixed seed they must already be
+  /// deterministic.
+  bool deterministic = false;
+
   void AddStage(std::string stage_name, double seconds) {
     stages.push_back(Stage{std::move(stage_name), seconds});
   }

@@ -6,6 +6,7 @@
 
 #include "cli/args.h"
 #include "cli/commands.h"
+#include "fault/failpoint.h"
 #include "obs/macros.h"
 
 namespace freshsel::cli {
@@ -34,9 +35,6 @@ TEST(ArgMapTest, DefaultsApplyWhenAbsent) {
 }
 
 TEST(ArgMapTest, RejectsMalformed) {
-  const char* dangling[] = {"freshsel", "select", "--dir"};
-  EXPECT_FALSE(ArgMap::Parse(3, dangling).ok());
-
   const char* stray[] = {"freshsel", "select", "extra"};
   EXPECT_FALSE(ArgMap::Parse(3, stray).ok());
 
@@ -44,6 +42,26 @@ TEST(ArgMapTest, RejectsMalformed) {
   EXPECT_FALSE(args.GetInt("n", 0).ok());
   ArgMap args2 = ParseOk({"x", "--f", "1.5x"});
   EXPECT_FALSE(args2.GetDouble("f", 0).ok());
+}
+
+TEST(ArgMapTest, BareFlagsParseAsBooleans) {
+  // A flag at end-of-line or followed by another flag is boolean-style.
+  ArgMap args = ParseOk({"select", "--strict", "--dir", "d", "--verbose"});
+  EXPECT_EQ(args.GetBool("strict", false).value(), true);
+  EXPECT_EQ(args.GetBool("verbose", false).value(), true);
+  EXPECT_EQ(args.GetString("dir", ""), "d");
+  EXPECT_EQ(args.GetBool("absent", false).value(), false);
+  EXPECT_EQ(args.GetBool("missing", true).value(), true);
+}
+
+TEST(ArgMapTest, GetBoolParsesExplicitValues) {
+  ArgMap args = ParseOk({"x", "--a=true", "--b", "0", "--c=1", "--d",
+                         "false", "--bad", "maybe"});
+  EXPECT_EQ(args.GetBool("a", false).value(), true);
+  EXPECT_EQ(args.GetBool("b", true).value(), false);
+  EXPECT_EQ(args.GetBool("c", false).value(), true);
+  EXPECT_EQ(args.GetBool("d", true).value(), false);
+  EXPECT_FALSE(args.GetBool("bad", false).ok());
 }
 
 TEST(ArgMapTest, TracksUnreadFlags) {
@@ -217,6 +235,90 @@ TEST_F(CliEndToEndTest, MetricsAndTraceOutputs) {
   EXPECT_NE(trace.find("selection/grasp"), std::string::npos);
 #endif
 }
+
+TEST_F(CliEndToEndTest, RobustnessFlagsAreValidated) {
+  std::string output;
+  ASSERT_EQ(Run({"simulate", "--workload", "bl", "--out", dir_.c_str(),
+                 "--scale", "0.3", "--locations", "5", "--categories",
+                 "2"},
+                &output),
+            0)
+      << output;
+  // Exclusive mode flags.
+  EXPECT_NE(Run({"select", "--dir", dir_.c_str(), "--t0", "100",
+                 "--strict", "--degrade"},
+                &output),
+            0);
+  EXPECT_NE(output.find("exclusive"), std::string::npos);
+  // Retry shape validation.
+  EXPECT_NE(Run({"select", "--dir", dir_.c_str(), "--t0", "100",
+                 "--retry-max", "0"},
+                &output),
+            0);
+  EXPECT_NE(Run({"select", "--dir", dir_.c_str(), "--t0", "100",
+                 "--retry-backoff", "-1"},
+                &output),
+            0);
+  // Malformed failpoint specs fail before any work happens (or, in an
+  // OFF build, any --failpoints value is refused up front).
+  EXPECT_NE(Run({"select", "--dir", dir_.c_str(), "--t0", "100",
+                 "--failpoints", "io.read=bogus"},
+                &output),
+            0);
+  // A fittable BL roster passes strict mode.
+  EXPECT_EQ(Run({"select", "--dir", dir_.c_str(), "--t0", "100",
+                 "--points", "3", "--stride", "14", "--strict"},
+                &output),
+            0)
+      << output;
+}
+
+#if FRESHSEL_FAULT_ACTIVE
+TEST_F(CliEndToEndTest, InjectedIoFaultsAreAbsorbedByRetries) {
+  std::string output;
+  ASSERT_EQ(Run({"simulate", "--workload", "bl", "--out", dir_.c_str(),
+                 "--scale", "0.3", "--locations", "5", "--categories",
+                 "2"},
+                &output),
+            0)
+      << output;
+  const std::string metrics_path = dir_ + "/metrics.json";
+  const std::string metrics_flag = "--metrics-out=" + metrics_path;
+  // Every second read fails; one retry each absorbs all of them.
+  ASSERT_EQ(Run({"select", "--dir", dir_.c_str(), "--t0", "100",
+                 "--points", "3", "--stride", "14", "--failpoints",
+                 "io.read=nth:2", "--retry-max", "5", "--retry-backoff",
+                 "0", "--deterministic-metrics", metrics_flag.c_str()},
+                &output),
+            0)
+      << output;
+  std::stringstream metrics_buf;
+  metrics_buf << std::ifstream(metrics_path).rdbuf();
+  const std::string metrics = metrics_buf.str();
+  EXPECT_NE(metrics.find("\"fault.injected\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"io.retries\""), std::string::npos);
+  fault::FailpointRegistry::Global().DisarmAll();
+
+  // An always-failing read exhausts the retry budget and surfaces the
+  // injected error.
+  EXPECT_NE(Run({"select", "--dir", dir_.c_str(), "--t0", "100",
+                 "--failpoints", "io.read=always", "--retry-max", "2",
+                 "--retry-backoff", "0"},
+                &output),
+            0);
+  EXPECT_NE(output.find("injected fault"), std::string::npos);
+  fault::FailpointRegistry::Global().DisarmAll();
+}
+#else
+TEST_F(CliEndToEndTest, FailpointsFlagRefusedInOffBuild) {
+  std::string output;
+  EXPECT_NE(Run({"select", "--dir", dir_.c_str(), "--t0", "100",
+                 "--failpoints", "io.read=always"},
+                &output),
+            0);
+  EXPECT_NE(output.find("compiled failpoints out"), std::string::npos);
+}
+#endif
 
 TEST_F(CliEndToEndTest, ErrorsAreReported) {
   std::string output;

@@ -29,6 +29,16 @@ TEST(CheckDeathTest, MessageNamesFileAndCondition) {
   EXPECT_DEATH(FRESHSEL_CHECK(false), "check_test.cc");
 }
 
+TEST(CheckDeathTest, MessageCarriesLineNumber) {
+  EXPECT_DEATH(FRESHSEL_CHECK(false), "check_test\\.cc:[0-9]+");
+}
+
+TEST(CheckDeathTest, StreamedDetailAcceptsMultipleValues) {
+  EXPECT_DEATH(FRESHSEL_CHECK(false) << "k=" << 3 << " name=" << "x"
+                                     << " p=" << 0.5,
+               "k=3 name=x p=0.5");
+}
+
 TEST(CheckDeathTest, CheckProbRejectsOutOfRangeAndNan) {
   EXPECT_DEATH(FRESHSEL_CHECK_PROB(1.5), "must be a probability");
   EXPECT_DEATH(FRESHSEL_CHECK_PROB(-0.1), "must be a probability");
@@ -43,6 +53,19 @@ TEST(CheckDeathTest, CheckFiniteRejectsInfAndNan) {
 
 TEST(CheckDeathTest, CheckNonnegRejectsNegative) {
   EXPECT_DEATH(FRESHSEL_CHECK_NONNEG(-1e-9), "finite and non-negative");
+  EXPECT_DEATH(FRESHSEL_CHECK_NONNEG(std::nan("")), "finite and non-negative");
+  EXPECT_DEATH(
+      FRESHSEL_CHECK_NONNEG(-std::numeric_limits<double>::infinity()),
+      "finite and non-negative");
+}
+
+TEST(CheckTest, ChecksComposeInExpressionContexts) {
+  // The macros must stay single statements usable in unbraced control flow.
+  if (true)
+    FRESHSEL_CHECK(true) << "then-arm";
+  else
+    FRESHSEL_CHECK(true) << "else-arm";
+  for (int i = 0; i < 2; ++i) FRESHSEL_CHECK_NONNEG(static_cast<double>(i));
 }
 
 #ifndef NDEBUG

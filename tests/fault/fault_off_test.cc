@@ -1,0 +1,64 @@
+// Compile-out regression for the failpoint macros: with
+// FRESHSEL_FAULT_FORCE_OFF defined before including fault/failpoint.h, the
+// macros in THIS translation unit must expand to static_cast<void>(0) —
+// armed failpoints neither fire nor account hits here, while the fault
+// library API (registry, arming, retry) keeps working. A whole-build
+// -DFRESHSEL_FAULT=OFF behaves identically, which is what the CI OFF-mode
+// matrix job verifies with this same test.
+#define FRESHSEL_FAULT_FORCE_OFF
+#include "fault/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace freshsel::fault {
+namespace {
+
+static_assert(FRESHSEL_FAULT_ACTIVE == 0,
+              "FRESHSEL_FAULT_FORCE_OFF must zero FRESHSEL_FAULT_ACTIVE");
+
+Status OffTuOperation() {
+  FRESHSEL_FAILPOINT_RETURN("offtu.return",
+                            Status::Unavailable("must never inject"));
+  FRESHSEL_FAILPOINT("offtu.touch");
+  return Status::OK();
+}
+
+TEST(FaultOffTest, ArmedFailpointsAreInertInThisTu) {
+  // Arm through the registry directly; the macro call sites above must not
+  // even consult it.
+  FailpointRegistry::Global().Get("offtu.return").Arm(TriggerSpec::Always());
+  FailpointRegistry::Global().Get("offtu.touch").Arm(TriggerSpec::Always());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(OffTuOperation().ok());
+  }
+  EXPECT_EQ(FailpointRegistry::Global().Get("offtu.return").hits(), 0u);
+  EXPECT_EQ(FailpointRegistry::Global().Get("offtu.return").fires(), 0u);
+  EXPECT_EQ(FailpointRegistry::Global().Get("offtu.touch").hits(), 0u);
+  FailpointRegistry::Global().Get("offtu.return").Disarm();
+  FailpointRegistry::Global().Get("offtu.touch").Disarm();
+}
+
+TEST(FaultOffTest, RegistryApiStillWorksWhenMacrosAreOff) {
+  // The library itself is always built: programmatic use is unaffected.
+  Failpoint& point = FailpointRegistry::Global().Get("offtu.direct");
+  point.Arm(TriggerSpec::EveryNth(2));
+  EXPECT_FALSE(point.ShouldFail());
+  EXPECT_TRUE(point.ShouldFail());
+  point.Disarm();
+}
+
+TEST(FaultOffTest, MacrosAreValidStatementsInControlFlow) {
+  // static_cast<void>(0) must remain usable wherever a statement is; an
+  // expansion with a stray semicolon or a bare block would break these.
+  if (true)
+    FRESHSEL_FAILPOINT("offtu.if");
+  else
+    FRESHSEL_FAILPOINT("offtu.else");
+  for (int i = 0; i < 2; ++i) FRESHSEL_FAILPOINT("offtu.loop");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace freshsel::fault
