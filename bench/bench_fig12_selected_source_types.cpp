@@ -2,6 +2,7 @@
 // defined over coverage vs accuracy - accuracy prefers smaller, more
 // specialized sources.
 
+#include <cstdint>
 #include <iostream>
 #include <map>
 

@@ -6,6 +6,7 @@
 //  (e) GDELT: coverage timelines for US events, two source sets;
 //  (f) GDELT: largest US source at full vs half frequency.
 
+#include <cstdint>
 #include <cstdio>
 #include <algorithm>
 #include <iostream>

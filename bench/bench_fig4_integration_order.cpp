@@ -3,6 +3,7 @@
 // falls and accuracy degrades (Example 5).
 
 #include <algorithm>
+#include <cstdint>
 #include <iostream>
 
 #include "bench_util.h"

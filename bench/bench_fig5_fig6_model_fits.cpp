@@ -5,6 +5,7 @@
 //  Fig 6:    Poisson fit of daily appearances for a GDELT domain point.
 
 #include <algorithm>
+#include <cstdint>
 #include <iostream>
 
 #include "bench_util.h"

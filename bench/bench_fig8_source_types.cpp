@@ -2,6 +2,7 @@
 // locations x categories (event types) it spans and its size, for BL (a)
 // and GDELT (b).
 
+#include <cstdint>
 #include <iostream>
 #include <set>
 

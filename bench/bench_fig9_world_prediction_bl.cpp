@@ -4,6 +4,7 @@
 //  (b) #listings per business-category group (largest categories, 4 groups).
 
 #include <algorithm>
+#include <cstdint>
 #include <iostream>
 
 #include "bench_util.h"

@@ -4,6 +4,7 @@
 // run times. Gains: Linear / Quadratic / Step x {coverage, accuracy} and
 // DataGain, over six domain points and ten future time points.
 
+#include <cstdint>
 #include <iostream>
 
 #include "bench_util.h"

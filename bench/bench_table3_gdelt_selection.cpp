@@ -1,6 +1,7 @@
 // Reproduces Table 3: selection quality and runtime on GDELT (six US
 // domain points, LinearGain with coverage and DataGain).
 
+#include <cstdint>
 #include <iostream>
 
 #include "bench_util.h"

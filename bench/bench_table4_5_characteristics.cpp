@@ -3,6 +3,7 @@
 // sources selected, for BL (coverage and accuracy gains) and GDELT
 // (coverage gain).
 
+#include <cstdint>
 #include <iostream>
 
 #include "bench_util.h"

@@ -3,6 +3,7 @@
 // number of (distinct) sources selected; Table 7 - the average frequency
 // divisor chosen for uniform vs specialized sources.
 
+#include <cstdint>
 #include <iostream>
 
 #include "bench_util.h"

@@ -1,3 +1,5 @@
+// FRESHSEL_LINT_ALLOW(include-guard): textual-include twin, see below.
+//
 // Workload body shared by the fault_on / fault_off translation units of
 // bench_fault_overhead. No include guard: each TU includes this exactly
 // once after defining FRESHSEL_FAULT_WORKLOAD_NS (and, for the off

@@ -1,25 +1,27 @@
-// freshsel_lint: repo-specific static checks for the freshsel library tree.
+// freshsel_lint: the repo-specific static-analysis rule engine for the
+// freshsel tree (see DESIGN.md §12 and cli/tools/lint_lib.h for the rule
+// catalog and the inline suppression syntax).
 //
-// Rules (see DESIGN.md, "Analysis builds"):
-//   no-rand               rand()/srand() are banned everywhere; use
-//                         freshsel::Rng so experiments stay reproducible.
-//   no-using-namespace    `using namespace` in a header leaks into every
-//                         includer; banned in .h files.
-//   no-bare-assert        library code must use FRESHSEL_CHECK*/DCHECK*
-//                         (always-on, formatted, testable) instead of
-//                         assert(); static_assert is fine.
-//   include-guard         every header carries the canonical include guard
-//                         FRESHSEL_<RELATIVE_PATH>_H_ (or #pragma once).
-//   iwyu-spot             spot include-what-you-use checks for the two
-//                         headers most often picked up transitively:
-//                         std::numeric_limits needs a direct
-//                         #include <limits>, and the std::[u]intN_t
-//                         aliases need a direct #include <cstdint>.
+// Usage:
+//   freshsel_lint [FLAGS] PATH...
 //
-// Usage: freshsel_lint [--no-assert-rule] [--guard-prefix PREFIX] PATH...
 // Each PATH is a file or a directory scanned recursively for .h/.cc/.cpp.
+//
+// Flags:
+//   --format text|json|sarif   Output format (default: text). SARIF 2.1.0
+//                              is what CI uploads to code scanning.
+//   --output FILE              Write the report to FILE instead of stdout.
+//   --list-rules               Print the rule catalog and exit.
+//   --disable RULE             Skip a rule (repeatable).
+//   --fix                      Apply mechanical fixes for fixable rules
+//                              (iwyu-spot, failpoint-name), then re-lint.
+//   --fix-dry-run              Print the fixes as a diff without applying.
+//   --no-assert-rule           Allow bare assert() (test trees).
+//   --guard-prefix PREFIX      Include-guard prefix (default FRESHSEL_).
+//
 // Exits 0 when clean, 1 when any finding is reported, 2 on usage errors.
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <string_view>
@@ -27,9 +29,32 @@
 
 #include "cli/tools/lint_lib.h"
 
+namespace {
+
+constexpr std::string_view kUsage =
+    "usage: freshsel_lint [--format text|json|sarif] [--output FILE]\n"
+    "                     [--list-rules] [--disable RULE]... [--fix]\n"
+    "                     [--fix-dry-run] [--no-assert-rule]\n"
+    "                     [--guard-prefix PREFIX] PATH...\n";
+
+int ListRules() {
+  for (const freshsel::lint::RuleInfo& rule :
+       freshsel::lint::RuleCatalog()) {
+    std::cout << rule.id << (rule.fixable ? "  [fixable]" : "") << "\n    "
+              << rule.summary << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   freshsel::lint::LintOptions options;
   std::vector<std::string> paths;
+  std::string format = "text";
+  std::string output_file;
+  bool fix = false;
+  bool fix_dry_run = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--no-assert-rule") {
@@ -40,9 +65,43 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.guard_prefix = argv[++i];
+    } else if (arg == "--format") {
+      if (i + 1 >= argc) {
+        std::cerr << "freshsel_lint: --format needs a value\n";
+        return 2;
+      }
+      format = argv[++i];
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::cerr << "freshsel_lint: unknown format '" << format
+                  << "' (want text, json, or sarif)\n";
+        return 2;
+      }
+    } else if (arg == "--output") {
+      if (i + 1 >= argc) {
+        std::cerr << "freshsel_lint: --output needs a value\n";
+        return 2;
+      }
+      output_file = argv[++i];
+    } else if (arg == "--disable") {
+      if (i + 1 >= argc) {
+        std::cerr << "freshsel_lint: --disable needs a rule id\n";
+        return 2;
+      }
+      const std::string rule = argv[++i];
+      if (!freshsel::lint::IsKnownRule(rule)) {
+        std::cerr << "freshsel_lint: --disable: unknown rule '" << rule
+                  << "' (see --list-rules)\n";
+        return 2;
+      }
+      options.disabled_rules.insert(rule);
+    } else if (arg == "--list-rules") {
+      return ListRules();
+    } else if (arg == "--fix") {
+      fix = true;
+    } else if (arg == "--fix-dry-run") {
+      fix_dry_run = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: freshsel_lint [--no-assert-rule] "
-                   "[--guard-prefix PREFIX] PATH...\n";
+      std::cout << kUsage;
       return 0;
     } else if (!arg.empty() && arg.front() == '-') {
       std::cerr << "freshsel_lint: unknown flag: " << arg << "\n";
@@ -52,18 +111,57 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) {
-    std::cerr << "usage: freshsel_lint [--no-assert-rule] "
-                 "[--guard-prefix PREFIX] PATH...\n";
+    std::cerr << kUsage;
     return 2;
   }
-  std::size_t files_scanned = 0;
-  const std::vector<freshsel::lint::Finding> findings =
-      freshsel::lint::LintPaths(paths, options, &files_scanned);
-  for (const freshsel::lint::Finding& f : findings) {
-    std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
+  if (fix && fix_dry_run) {
+    std::cerr << "freshsel_lint: --fix and --fix-dry-run are exclusive\n";
+    return 2;
   }
-  std::cout << "freshsel_lint: " << files_scanned << " file(s), "
-            << findings.size() << " finding(s)\n";
+
+  std::size_t files_scanned = 0;
+  std::vector<freshsel::lint::Finding> findings =
+      freshsel::lint::LintPaths(paths, options, &files_scanned);
+
+  if (fix || fix_dry_run) {
+    const std::vector<freshsel::lint::FixEdit> edits =
+        freshsel::lint::ApplyFixes(findings, /*apply=*/fix);
+    std::cerr << freshsel::lint::EditsToDiff(edits);
+    std::cerr << "freshsel_lint: " << edits.size() << " fix(es) "
+              << (fix ? "applied" : "available (dry run)") << "\n";
+    if (fix) {
+      // Re-lint so the report reflects the repaired tree.
+      findings = freshsel::lint::LintPaths(paths, options, &files_scanned);
+    }
+  }
+
+  std::string report;
+  if (format == "json") {
+    report = freshsel::lint::FindingsToJson(findings, files_scanned);
+  } else if (format == "sarif") {
+    report = freshsel::lint::FindingsToSarif(findings);
+  }
+
+  if (!output_file.empty()) {
+    std::ofstream out(output_file);
+    if (!out) {
+      std::cerr << "freshsel_lint: cannot write " << output_file << "\n";
+      return 2;
+    }
+    out << (format == "text"
+                ? freshsel::lint::FindingsToText(findings, files_scanned)
+                : report);
+  }
+
+  if (format == "text") {
+    for (const freshsel::lint::Finding& f : findings) {
+      std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    }
+    std::cout << "freshsel_lint: " << files_scanned << " file(s), "
+              << findings.size() << " finding(s)\n";
+  } else if (output_file.empty()) {
+    std::cout << report;
+  }
   return findings.empty() ? 0 : 1;
 }

@@ -15,8 +15,10 @@ namespace freshsel {
 /// Invariant: exactly one of {value, error status} is present. Constructing a
 /// `Result` from an OK status is a programming error and is converted to an
 /// Internal error in release builds.
+/// [[nodiscard]]: dropping a Result<T> loses both the value and the error;
+/// see the matching note on Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value makes `return value;` work in
   /// functions returning `Result<T>`.

@@ -18,42 +18,42 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (true) {
-    work_cv_.wait(lock, [this] {
-      return shutdown_ || (has_batch_ && batch_.next < batch_.chunks);
-    });
+    while (!shutdown_ && !(has_batch_ && batch_.next < batch_.chunks)) {
+      work_cv_.Wait(mutex_);
+    }
     if (shutdown_) return;
-    RunChunks(lock);
+    RunChunks();
   }
 }
 
-void ThreadPool::RunChunks(std::unique_lock<std::mutex>& lock) {
+void ThreadPool::RunChunks() {
   while (has_batch_ && batch_.next < batch_.chunks) {
     const std::size_t index = batch_.next++;
     const std::size_t begin = index * batch_.chunk;
     const std::size_t end = std::min(begin + batch_.chunk, batch_.n);
     const auto* body = batch_.body;
     const std::uint64_t context = batch_.context;
-    lock.unlock();
+    mutex_.Unlock();
     {
       // Run the chunk under the scheduling thread's task context so trace
       // spans opened inside attribute to the span that called ParallelFor.
       ScopedTaskContext scoped_context(context);
       (*body)(begin, end);
     }
-    lock.lock();
+    mutex_.Lock();
     if (++batch_.done == batch_.chunks) {
       has_batch_ = false;
-      done_cv_.notify_all();
+      done_cv_.NotifyAll();
     }
   }
 }
@@ -66,7 +66,7 @@ void ThreadPool::ParallelFor(
     body(0, n);
     return;
   }
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   batch_.body = &body;
   batch_.context = CurrentTaskContext();
   batch_.n = n;
@@ -78,10 +78,10 @@ void ThreadPool::ParallelFor(
   batch_.next = 0;
   batch_.done = 0;
   has_batch_ = true;
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The caller helps: claim chunks like a worker, then wait for stragglers.
-  RunChunks(lock);
-  done_cv_.wait(lock, [this] { return !has_batch_; });
+  RunChunks();
+  while (has_batch_) done_cv_.Wait(mutex_);
 }
 
 ThreadPool& ThreadPool::Shared() {

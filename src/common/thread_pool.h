@@ -1,13 +1,14 @@
 #ifndef FRESHSEL_COMMON_THREAD_POOL_H_
 #define FRESHSEL_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace freshsel {
 
@@ -18,6 +19,9 @@ namespace freshsel {
 /// index order*, so a parallel run is bit-identical to a serial one (see
 /// DESIGN.md, "Oracle-acceleration layer"). The pool never spawns or joins
 /// threads per call; workers live for the pool's lifetime.
+///
+/// All batch state is `GUARDED_BY(mutex_)` and the guard is
+/// compiler-checked under `-DFRESHSEL_THREAD_SAFETY=ON` (DESIGN.md §12).
 ///
 /// Tasks must not throw: the library communicates failures through
 /// `Status`/`Result`, and an escaping exception would terminate.
@@ -44,7 +48,8 @@ class ThreadPool {
   /// at a time per pool; nested calls from inside a task are not supported.
   void ParallelFor(std::size_t n,
                    const std::function<void(std::size_t begin,
-                                            std::size_t end)>& body);
+                                            std::size_t end)>& body)
+      FRESHSEL_EXCLUDES(mutex_);
 
   /// Shared process-wide pool sized to the hardware (clamped to [2, 8]).
   /// Intended for benches and the CLI; tests construct their own pools.
@@ -64,17 +69,17 @@ class ThreadPool {
     std::uint64_t context = 0;
   };
 
-  void WorkerLoop();
-  /// Claims and runs chunks of the current batch until none remain.
-  /// Pre: `lock` holds `mutex_`.
-  void RunChunks(std::unique_lock<std::mutex>& lock);
+  void WorkerLoop() FRESHSEL_EXCLUDES(mutex_);
+  /// Claims and runs chunks of the current batch until none remain;
+  /// temporarily drops the lock around each chunk body.
+  void RunChunks() FRESHSEL_REQUIRES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;   // Signals workers: batch or shutdown.
-  std::condition_variable done_cv_;   // Signals the caller: batch finished.
-  Batch batch_;
-  bool has_batch_ = false;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  CondVar work_cv_;   // Signals workers: batch or shutdown.
+  CondVar done_cv_;   // Signals the caller: batch finished.
+  Batch batch_ FRESHSEL_GUARDED_BY(mutex_);
+  bool has_batch_ FRESHSEL_GUARDED_BY(mutex_) = false;
+  bool shutdown_ FRESHSEL_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> threads_;
 };
 

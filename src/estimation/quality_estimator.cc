@@ -4,7 +4,6 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "common/check.h"
@@ -232,7 +231,7 @@ const QualityEstimator::SourceTimeTable& QualityEstimator::SourceTableFor(
     FRESHSEL_OBS_COUNT("estimation.memo.hits", 1);
     return *table;
   }
-  std::lock_guard<std::mutex> lock(sync_->mutex);
+  MutexLock lock(sync_->mutex);
   if (const SourceTimeTable* table =
           slot.table.load(std::memory_order_relaxed)) {
     FRESHSEL_OBS_COUNT("estimation.memo.hits", 1);
@@ -248,7 +247,7 @@ const QualityEstimator::SourceTimeTable& QualityEstimator::SourceTableFor(
 
 QualityEstimator::Scratch QualityEstimator::AcquireScratch() const {
   {
-    std::lock_guard<std::mutex> lock(sync_->mutex);
+    MutexLock lock(sync_->mutex);
     if (!sync_->scratch_pool.empty()) {
       Scratch scratch = std::move(sync_->scratch_pool.back());
       sync_->scratch_pool.pop_back();
@@ -266,7 +265,7 @@ QualityEstimator::Scratch QualityEstimator::AcquireScratch() const {
 }
 
 void QualityEstimator::ReleaseScratch(Scratch&& scratch) const {
-  std::lock_guard<std::mutex> lock(sync_->mutex);
+  MutexLock lock(sync_->mutex);
   sync_->scratch_pool.push_back(std::move(scratch));
 }
 

@@ -4,10 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/bit_vector.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/result.h"
 #include "common/time_types.h"
 #include "estimation/source_profile.h"
@@ -344,9 +345,12 @@ class QualityEstimator {
 
   /// Mutable evaluation state shared by concurrent Estimate calls. Held
   /// behind a unique_ptr so the estimator stays movable (mutexes are not).
+  /// The same mutex doubles as the memo fill lock (SourceTableFor): the
+  /// published tables themselves are lock-free, only building is serial.
   struct SyncState {
-    std::mutex mutex;
-    std::vector<Scratch> scratch_pool;  ///< Free list, guarded by mutex.
+    Mutex mutex;
+    /// Free list of evaluation scratch buffers.
+    std::vector<Scratch> scratch_pool FRESHSEL_GUARDED_BY(mutex);
   };
 
   static constexpr std::size_t kNoTimeIndex =

@@ -38,7 +38,7 @@ void Failpoint::Arm(const TriggerSpec& spec) {
   FRESHSEL_CHECK(spec.mode != TriggerMode::kEveryNth || spec.every_nth >= 1)
       << "failpoint " << name_ << ": every_nth must be >= 1";
   FRESHSEL_CHECK_PROB(spec.probability);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   spec_ = spec;
   hits_ = 0;
   fires_ = 0;
@@ -49,14 +49,14 @@ void Failpoint::Arm(const TriggerSpec& spec) {
 }
 
 void Failpoint::Disarm() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   armed_.store(false, std::memory_order_relaxed);
   spec_ = TriggerSpec{};
   rng_ = nullptr;
 }
 
 bool Failpoint::Evaluate() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Arming state may have changed between the fast-path load and here.
   if (!armed_.load(std::memory_order_relaxed)) return false;
   ++hits_;
@@ -86,17 +86,17 @@ bool Failpoint::Evaluate() {
 }
 
 Failpoint::State Failpoint::state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return State{spec_, hits_, fires_};
 }
 
 std::uint64_t Failpoint::fires() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return fires_;
 }
 
 std::uint64_t Failpoint::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return hits_;
 }
 
@@ -114,7 +114,7 @@ FailpointRegistry& FailpointRegistry::Global() {
 }
 
 Failpoint& FailpointRegistry::Get(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = points_.find(name);
   if (it == points_.end()) {
     it = points_
@@ -126,7 +126,7 @@ Failpoint& FailpointRegistry::Get(std::string_view name) {
 }
 
 Failpoint* FailpointRegistry::Lookup(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = points_.find(name);
   return it == points_.end() ? nullptr : it->second.get();
 }
@@ -240,12 +240,12 @@ Status FailpointRegistry::ArmFromEnv() {
 }
 
 void FailpointRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, point] : points_) point->Disarm();
 }
 
 std::vector<FailpointRegistry::Entry> FailpointRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<Entry> entries;
   entries.reserve(points_.size());
   for (const auto& [name, point] : points_) {
@@ -255,7 +255,7 @@ std::vector<FailpointRegistry::Entry> FailpointRegistry::Snapshot() const {
 }
 
 std::uint64_t FailpointRegistry::TotalFires() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [name, point] : points_) total += point->fires();
   return total;

@@ -5,13 +5,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace freshsel::fault {
 
@@ -108,11 +109,12 @@ class Failpoint {
 
   const std::string name_;
   std::atomic<bool> armed_{false};
-  mutable std::mutex mutex_;
-  TriggerSpec spec_;          // Guarded by mutex_.
-  std::uint64_t hits_ = 0;    // Guarded by mutex_.
-  std::uint64_t fires_ = 0;   // Guarded by mutex_.
-  std::unique_ptr<Rng> rng_;  // Guarded by mutex_ (kProbability only).
+  mutable Mutex mutex_;
+  TriggerSpec spec_ FRESHSEL_GUARDED_BY(mutex_);
+  std::uint64_t hits_ FRESHSEL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t fires_ FRESHSEL_GUARDED_BY(mutex_) = 0;
+  /// kProbability only.
+  std::unique_ptr<Rng> rng_ FRESHSEL_GUARDED_BY(mutex_);
 };
 
 /// Process-wide registry of failpoints, mirroring obs::MetricsRegistry:
@@ -161,8 +163,9 @@ class FailpointRegistry {
   std::uint64_t TotalFires() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Failpoint>, std::less<>> points_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Failpoint>, std::less<>> points_
+      FRESHSEL_GUARDED_BY(mutex_);
 };
 
 }  // namespace freshsel::fault

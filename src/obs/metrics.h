@@ -7,11 +7,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/timer.h"
 
 namespace freshsel::obs {
@@ -145,10 +146,16 @@ class MetricsRegistry {
   void ResetAll();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mutex_;
+  /// Name -> metric maps are guarded; the metric objects themselves are
+  /// lock-free and returned by reference past the lock (never destroyed,
+  /// see class comment), so only registration takes the mutex.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      FRESHSEL_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      FRESHSEL_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      FRESHSEL_GUARDED_BY(mutex_);
 };
 
 /// RAII timer that records its lifetime (in seconds) into a histogram on

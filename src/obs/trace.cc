@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/task_context.h"
+#include "common/thread_annotations.h"
 #include "obs/clock.h"
 #include "obs/json.h"
 
@@ -26,19 +27,20 @@ struct ThreadBuffer {
     events.resize(kRingCapacity);
   }
 
-  std::mutex mutex;
+  Mutex mutex;
   std::uint32_t tid;
-  std::vector<TraceEvent> events;
-  std::size_t size = 0;   ///< Valid events (<= capacity).
-  std::size_t next = 0;   ///< Ring write cursor.
-  std::uint64_t dropped = 0;
+  std::vector<TraceEvent> events FRESHSEL_GUARDED_BY(mutex);
+  std::size_t size FRESHSEL_GUARDED_BY(mutex) = 0;   ///< Valid events.
+  std::size_t next FRESHSEL_GUARDED_BY(mutex) = 0;   ///< Ring write cursor.
+  std::uint64_t dropped FRESHSEL_GUARDED_BY(mutex) = 0;
 };
 
 struct TraceState {
   std::atomic<bool> enabled{false};
   std::atomic<std::uint64_t> next_span_id{1};
-  std::mutex registry_mutex;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  Mutex registry_mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers
+      FRESHSEL_GUARDED_BY(registry_mutex);
 };
 
 TraceState& State() {
@@ -49,7 +51,7 @@ TraceState& State() {
 ThreadBuffer& LocalBuffer() {
   thread_local ThreadBuffer* buffer = [] {
     TraceState& state = State();
-    std::lock_guard<std::mutex> lock(state.registry_mutex);
+    MutexLock lock(state.registry_mutex);
     state.buffers.push_back(std::make_unique<ThreadBuffer>(
         static_cast<std::uint32_t>(state.buffers.size())));
     return state.buffers.back().get();
@@ -58,7 +60,7 @@ ThreadBuffer& LocalBuffer() {
 }
 
 void RecordEvent(ThreadBuffer& buffer, const TraceEvent& event) {
-  std::lock_guard<std::mutex> lock(buffer.mutex);
+  MutexLock lock(buffer.mutex);
   if (buffer.size == kRingCapacity) ++buffer.dropped;
   buffer.events[buffer.next] = event;
   buffer.next = (buffer.next + 1) % kRingCapacity;
@@ -77,9 +79,9 @@ bool TraceEnabled() {
 
 void ClearTrace() {
   TraceState& state = State();
-  std::lock_guard<std::mutex> registry_lock(state.registry_mutex);
+  MutexLock registry_lock(state.registry_mutex);
   for (const auto& buffer : state.buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mutex);
+    MutexLock lock(buffer->mutex);
     buffer->size = 0;
     buffer->next = 0;
     buffer->dropped = 0;
@@ -89,9 +91,9 @@ void ClearTrace() {
 std::vector<TraceEvent> CollectTrace() {
   TraceState& state = State();
   std::vector<TraceEvent> events;
-  std::lock_guard<std::mutex> registry_lock(state.registry_mutex);
+  MutexLock registry_lock(state.registry_mutex);
   for (const auto& buffer : state.buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mutex);
+    MutexLock lock(buffer->mutex);
     // Oldest-first: the ring is [next - size, next).
     for (std::size_t i = 0; i < buffer->size; ++i) {
       const std::size_t index =
@@ -110,9 +112,9 @@ std::vector<TraceEvent> CollectTrace() {
 std::uint64_t TraceDroppedCount() {
   TraceState& state = State();
   std::uint64_t dropped = 0;
-  std::lock_guard<std::mutex> registry_lock(state.registry_mutex);
+  MutexLock registry_lock(state.registry_mutex);
   for (const auto& buffer : state.buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mutex);
+    MutexLock lock(buffer->mutex);
     dropped += buffer->dropped;
   }
   return dropped;

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "obs/macros.h"
 
 namespace freshsel::selection {
@@ -28,12 +28,26 @@ CachedProfitOracle::CachedProfitOracle(const ProfitFunction& base)
     : base_(&base),
       gain_cost_(dynamic_cast<const GainCostFunction*>(&base)) {}
 
+CachedProfitOracle::Cache& CachedProfitOracle::CacheFor(
+    CacheKind kind) const {
+  switch (kind) {
+    case CacheKind::kProfit:
+      return profit_cache_;
+    case CacheKind::kGain:
+      return gain_cache_;
+    case CacheKind::kCost:
+      break;
+  }
+  return cost_cache_;
+}
+
 template <typename Eval>
-double CachedProfitOracle::Memoize(Cache& cache,
+double CachedProfitOracle::Memoize(CacheKind kind,
                                    const std::vector<SourceHandle>& set,
                                    const Eval& eval) const {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
+    const Cache& cache = CacheFor(kind);
     auto it = cache.find(set);
     if (it != cache.end()) {
       ++stats_.hits;
@@ -46,10 +60,10 @@ double CachedProfitOracle::Memoize(Cache& cache,
   // benign: both compute the identical deterministic value.
   const double value = eval();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.misses;
     calls_.fetch_add(1, std::memory_order_relaxed);
-    cache.emplace(set, value);
+    CacheFor(kind).emplace(set, value);
   }
   FRESHSEL_OBS_COUNT("selection.cache.misses", 1);
   return value;
@@ -57,19 +71,19 @@ double CachedProfitOracle::Memoize(Cache& cache,
 
 double CachedProfitOracle::Profit(
     const std::vector<SourceHandle>& set) const {
-  return Memoize(profit_cache_, set, [&] { return base_->Profit(set); });
+  return Memoize(CacheKind::kProfit, set, [&] { return base_->Profit(set); });
 }
 
 double CachedProfitOracle::Gain(const std::vector<SourceHandle>& set) const {
   FRESHSEL_CHECK(gain_cost_ != nullptr)
       << "CachedProfitOracle::Gain needs a GainCostFunction base";
-  return Memoize(gain_cache_, set, [&] { return gain_cost_->Gain(set); });
+  return Memoize(CacheKind::kGain, set, [&] { return gain_cost_->Gain(set); });
 }
 
 double CachedProfitOracle::Cost(const std::vector<SourceHandle>& set) const {
   FRESHSEL_CHECK(gain_cost_ != nullptr)
       << "CachedProfitOracle::Cost needs a GainCostFunction base";
-  return Memoize(cost_cache_, set, [&] { return gain_cost_->Cost(set); });
+  return Memoize(CacheKind::kCost, set, [&] { return gain_cost_->Cost(set); });
 }
 
 double CachedProfitOracle::budget() const {
@@ -99,19 +113,19 @@ class CachedProfitOracle::CachedContext final : public MarginalEvalContext {
   }
 
   double CurrentProfit() override {
-    return owner_->Memoize(owner_->profit_cache_, base_->set(),
+    return owner_->Memoize(CacheKind::kProfit, base_->set(),
                            [&] { return base_->CurrentProfit(); });
   }
   double CurrentGain() override {
-    return owner_->Memoize(owner_->gain_cache_, base_->set(),
+    return owner_->Memoize(CacheKind::kGain, base_->set(),
                            [&] { return base_->CurrentGain(); });
   }
   double ProfitWith(SourceHandle handle) override {
-    return owner_->Memoize(owner_->profit_cache_, KeyWith(handle),
+    return owner_->Memoize(CacheKind::kProfit, KeyWith(handle),
                            [&] { return base_->ProfitWith(handle); });
   }
   double GainWith(SourceHandle handle) override {
-    return owner_->Memoize(owner_->gain_cache_, KeyWith(handle),
+    return owner_->Memoize(CacheKind::kGain, KeyWith(handle),
                            [&] { return base_->GainWith(handle); });
   }
 
@@ -141,12 +155,12 @@ std::unique_ptr<MarginalEvalContext> CachedProfitOracle::MakeContext() const {
 }
 
 CachedProfitOracle::Stats CachedProfitOracle::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 void CachedProfitOracle::ClearCaches() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   profit_cache_.clear();
   gain_cache_.clear();
   cost_cache_.clear();

@@ -3,10 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "selection/profit.h"
 
 namespace freshsel::selection {
@@ -90,18 +91,24 @@ class CachedProfitOracle : public GainCostFunction {
   using Cache =
       std::unordered_map<std::vector<SourceHandle>, double, SetHash>;
 
+  /// Which of the three memo maps an evaluation lands in. Selected *under*
+  /// the cache mutex (CacheFor) so the guarded maps are never referenced
+  /// unlocked — the thread-safety analysis checks this (DESIGN.md §12).
+  enum class CacheKind { kProfit, kGain, kCost };
+  Cache& CacheFor(CacheKind kind) const FRESHSEL_REQUIRES(mutex_);
+
   template <typename Eval>
-  double Memoize(Cache& cache, const std::vector<SourceHandle>& set,
-                 const Eval& eval) const;
+  double Memoize(CacheKind kind, const std::vector<SourceHandle>& set,
+                 const Eval& eval) const FRESHSEL_EXCLUDES(mutex_);
 
   const ProfitFunction* base_;
   const GainCostFunction* gain_cost_;  // Null when base is profit-only.
 
-  mutable std::mutex mutex_;
-  mutable Cache profit_cache_;
-  mutable Cache gain_cache_;
-  mutable Cache cost_cache_;
-  mutable Stats stats_;
+  mutable Mutex mutex_;
+  mutable Cache profit_cache_ FRESHSEL_GUARDED_BY(mutex_);
+  mutable Cache gain_cache_ FRESHSEL_GUARDED_BY(mutex_);
+  mutable Cache cost_cache_ FRESHSEL_GUARDED_BY(mutex_);
+  mutable Stats stats_ FRESHSEL_GUARDED_BY(mutex_);
 };
 
 }  // namespace freshsel::selection

@@ -1,8 +1,10 @@
 #include "cli/tools/lint_lib.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -257,6 +259,340 @@ TEST_F(FreshselLintTest, MissingPathReportsIoFinding) {
       LintPaths({(root_ / "does_not_exist").string()}, LintOptions(), nullptr);
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "io");
+}
+
+// ---------------------------------------------------------------------------
+// Rule catalog.
+
+TEST_F(FreshselLintTest, RuleCatalogIsSortedUniqueAndKnown) {
+  const std::vector<RuleInfo>& catalog = RuleCatalog();
+  ASSERT_FALSE(catalog.empty());
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_LT(catalog[i - 1].id, catalog[i].id) << "catalog not sorted";
+  }
+  for (const RuleInfo& rule : catalog) {
+    EXPECT_TRUE(IsKnownRule(rule.id));
+    EXPECT_FALSE(rule.summary.empty());
+  }
+  EXPECT_FALSE(IsKnownRule("no-such-rule"));
+  // The fixable set is exactly what ApplyFixes can repair.
+  std::set<std::string> fixable;
+  for (const RuleInfo& rule : catalog) {
+    if (rule.fixable) fixable.insert(rule.id);
+  }
+  EXPECT_EQ(fixable, (std::set<std::string>{"failpoint-name", "iwyu-spot"}));
+}
+
+TEST_F(FreshselLintTest, DisabledRulesAreSkipped) {
+  WriteFixture("bad_rand.cc", "int Roll() { return rand() % 6; }\n");
+  LintOptions options;
+  options.disabled_rules.insert("no-rand");
+  EXPECT_TRUE(Lint(options).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Inline suppressions.
+
+TEST_F(FreshselLintTest, SuppressionWithReasonEatsFindingSameLine) {
+  WriteFixture("ok_rand.cc",
+               "int Roll() { return rand() % 6; }"
+               "  // FRESHSEL_LINT_ALLOW(no-rand): fixture needs libc rand\n");
+  EXPECT_TRUE(Lint().empty());
+}
+
+TEST_F(FreshselLintTest, SuppressionOnLineAboveEatsFinding) {
+  WriteFixture("ok_rand2.cc",
+               "// FRESHSEL_LINT_ALLOW(no-rand): seeding comparison baseline\n"
+               "int Roll() { return rand() % 6; }\n");
+  EXPECT_TRUE(Lint().empty());
+}
+
+TEST_F(FreshselLintTest, SuppressionWithoutReasonIsReported) {
+  WriteFixture("noreason.cc",
+               "// FRESHSEL_LINT_ALLOW(no-rand)\n"
+               "int Roll() { return rand() % 6; }\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lint-allow");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_NE(findings[0].message.find("reason"), std::string::npos);
+}
+
+TEST_F(FreshselLintTest, SuppressionOfUnknownRuleIsReported) {
+  WriteFixture("unknown.cc",
+               "// FRESHSEL_LINT_ALLOW(no-such-rule): oops\n"
+               "int F() { return 0; }\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lint-allow");
+  EXPECT_NE(findings[0].message.find("unknown rule"), std::string::npos);
+}
+
+TEST_F(FreshselLintTest, StaleSuppressionIsReported) {
+  WriteFixture("stale.cc",
+               "// FRESHSEL_LINT_ALLOW(no-rand): nothing to suppress here\n"
+               "int F() { return 0; }\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lint-allow");
+  EXPECT_NE(findings[0].message.find("matches no finding"), std::string::npos);
+}
+
+TEST_F(FreshselLintTest, ParseSuppressionsUnits) {
+  const std::vector<Suppression> parsed = ParseSuppressions(
+      "// FRESHSEL_LINT_ALLOW(no-rand): baseline\n"
+      "// FRESHSEL_LINT_ALLOW(raw-mutex)\n"
+      "const char* s = \"FRESHSEL_LINT_ALLOW(no-rand): in a string\";\n"
+      "// FRESHSEL_LINT_ALLOW(<rule-id>): placeholder, not a marker\n");
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].line, 1u);
+  EXPECT_EQ(parsed[0].rule, "no-rand");
+  EXPECT_TRUE(parsed[0].has_reason);
+  EXPECT_EQ(parsed[1].line, 2u);
+  EXPECT_EQ(parsed[1].rule, "raw-mutex");
+  EXPECT_FALSE(parsed[1].has_reason);
+}
+
+// ---------------------------------------------------------------------------
+// status-must-use.
+
+TEST_F(FreshselLintTest, FlagsDiscardedStatusCallAcrossFiles) {
+  WriteFixture("api.cc",
+               "#include \"common/status.h\"\n"
+               "freshsel::Status Save(int x);\n"
+               "freshsel::Result<int> Load();\n");
+  WriteFixture("caller.cc",
+               "void F() {\n"
+               "  Save(1);\n"
+               "  Load();\n"
+               "}\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "status-must-use");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_NE(findings[0].message.find("Save"), std::string::npos);
+  EXPECT_EQ(findings[1].line, 3u);
+}
+
+TEST_F(FreshselLintTest, DoesNotFlagUsedStatusResults) {
+  WriteFixture("api.cc",
+               "freshsel::Status Save(int x);\n"
+               "freshsel::Result<int> Load();\n");
+  WriteFixture("caller.cc",
+               "int F() {\n"
+               "  freshsel::Status s = Save(1);\n"
+               "  FRESHSEL_RETURN_IF_ERROR(Save(2));\n"
+               "  (void)Save(3);\n"
+               "  if (!Save(4).ok()) return 1;\n"
+               "  return Load().value_or(0);\n"
+               "}\n");
+  EXPECT_TRUE(Lint().empty());
+}
+
+TEST_F(FreshselLintTest, LocalVoidDeclarationExemptsSameNamedFunction) {
+  // Another file's `Status PanelA(...)` must not taint this file's
+  // unrelated `void PanelA(...)` procedure (tree-wide name matching).
+  WriteFixture("other.cc", "freshsel::Status PanelA(int x);\n");
+  WriteFixture("local.cc",
+               "void PanelA(double y) {}\n"
+               "void F() { PanelA(1.5); }\n");
+  EXPECT_TRUE(Lint().empty());
+}
+
+TEST_F(FreshselLintTest, StatusMustUseSkipsContinuationLines) {
+  WriteFixture("api.cc", "freshsel::Status Save(int x);\n");
+  WriteFixture("caller.cc",
+               "int F() {\n"
+               "  int x = 1 +\n"
+               "      Save(2).ok();\n"
+               "  return x;\n"
+               "}\n");
+  EXPECT_TRUE(Lint().empty());
+}
+
+TEST_F(FreshselLintTest, CollectStatusFunctionsUnits) {
+  StatusFunctions fns;
+  CollectStatusFunctions(
+      "freshsel::Status Flush();\n"
+      "Result<std::vector<int>> Parse(const std::string& s);\n"
+      "Status Writer::Commit(int n) {\n"
+      "void NotAStatus();\n"
+      "Status value = Other();\n",
+      &fns);
+  EXPECT_EQ(fns, (StatusFunctions{"Flush", "Parse", "Commit"}));
+}
+
+// ---------------------------------------------------------------------------
+// nondeterminism.
+
+TEST_F(FreshselLintTest, FlagsWallClockTimeAndRandomDevice) {
+  WriteFixture("bad_seed.cc",
+               "#include <ctime>\n"
+               "long Seed() { return time(nullptr); }\n"
+               "long Seed2() { return std::time(nullptr); }\n"
+               "unsigned Seed3() { return std::random_device{}(); }\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "nondeterminism");
+}
+
+TEST_F(FreshselLintTest, FlagsUnorderedContainersOnlyInOutputPaths) {
+  WriteFixture("io/writer.cc",
+               "#include <unordered_map>\n"
+               "std::unordered_map<int, int> index;\n");
+  WriteFixture("selection/solver.cc",
+               "#include <unordered_set>\n"
+               "std::unordered_set<int> seen;\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 2u);  // Include line + use line, io/ only.
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "nondeterminism");
+    EXPECT_NE(f.file.find("writer"), std::string::npos);
+  }
+}
+
+TEST_F(FreshselLintTest, NondeterminismIgnoresTimeLookalikes) {
+  WriteFixture("ok_time.cc",
+               "int timeout(int t) { return t; }\n"
+               "struct T { double eval_time; };\n"
+               "double RunTime(const T& t) { return t.eval_time; }\n");
+  EXPECT_TRUE(Lint().empty());
+}
+
+// ---------------------------------------------------------------------------
+// raw-mutex.
+
+TEST_F(FreshselLintTest, FlagsRawMutexOutsideCommon) {
+  WriteFixture("selection/locking.cc",
+               "#include <mutex>\n"
+               "std::mutex mu;\n"
+               "void F() { std::lock_guard<std::mutex> lock(mu); }\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "raw-mutex");
+}
+
+TEST_F(FreshselLintTest, AllowsRawMutexInCommon) {
+  WriteFixture("common/mutex_impl.cc",
+               "#include <mutex>\n"
+               "std::mutex mu;\n"
+               "void F() { std::unique_lock<std::mutex> lock(mu); }\n");
+  EXPECT_TRUE(Lint().empty());
+}
+
+// ---------------------------------------------------------------------------
+// failpoint-name.
+
+TEST_F(FreshselLintTest, FlagsMalformedFailpointNames) {
+  // The macro name is spelled split so the lint gate scanning this test's
+  // own source never sees a contiguous failpoint token in the fixture text.
+  WriteFixture("fault/site.cc",
+               std::string("void F() {\n  FRESHSEL_") +
+                   "FAILPOINT(\"BadName\");\n  FRESHSEL_" +
+                   "FAILPOINT_RETURN(\n      \"io.read\", s);\n}\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "failpoint-name");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_NE(findings[0].message.find("BadName"), std::string::npos);
+}
+
+TEST_F(FreshselLintTest, FailpointRuleSkipsMacroDefinition) {
+  WriteFixture("fault/macros_fixture.h",
+               std::string("#ifndef FRESHSEL_FAULT_MACROS_FIXTURE_H_\n"
+                           "#define FRESHSEL_FAULT_MACROS_FIXTURE_H_\n"
+                           "#define FRESHSEL_") +
+                   "FAILPOINT(name) DoCheck(name)\n"
+                   "#endif  // FRESHSEL_FAULT_MACROS_FIXTURE_H_\n");
+  EXPECT_TRUE(Lint().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Output formats.
+
+TEST_F(FreshselLintTest, JsonOutputEscapesAndCounts) {
+  const std::vector<Finding> findings = {
+      {"src/a.cc", 3, "no-rand", "uses \"rand\"\nbadly"},
+  };
+  const std::string json = FindingsToJson(findings, 7);
+  EXPECT_NE(json.find("\"files_scanned\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\\\"rand\\\"\\nbadly"), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+}
+
+TEST_F(FreshselLintTest, SarifGolden) {
+  const std::vector<Finding> findings = {
+      {"src/common/random.cc", 42, "no-rand", "rand() is banned"},
+  };
+  const std::string sarif = FindingsToSarif(findings);
+  // Structural golden checks: schema header, the full rule catalog in
+  // tool.driver.rules, one result bound to its rule by id and index.
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-schema-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"freshsel_lint\""), std::string::npos);
+  for (const RuleInfo& rule : RuleCatalog()) {
+    EXPECT_NE(sarif.find("{\"id\": \"" + rule.id + "\""), std::string::npos)
+        << rule.id;
+  }
+  const std::string expected_result =
+      "        {\"ruleId\": \"no-rand\", \"ruleIndex\": 6, "
+      "\"level\": \"error\", \"message\": {\"text\": \"rand() is "
+      "banned\"}, \"locations\": [{\"physicalLocation\": "
+      "{\"artifactLocation\": {\"uri\": \"src/common/random.cc\"}, "
+      "\"region\": {\"startLine\": 42}}}]}";
+  EXPECT_NE(sarif.find(expected_result), std::string::npos) << sarif;
+}
+
+TEST_F(FreshselLintTest, SarifEmptyFindingsIsStillARun) {
+  const std::string sarif = FindingsToSarif({});
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// --fix.
+
+TEST_F(FreshselLintTest, FixInsertsMissingIncludeSorted) {
+  const fs::path file = WriteFixture(
+      "needs_cstdint.cc",
+      "#include <string>\n"
+      "#include <vector>\n"
+      "std::uint64_t Sum();\n");
+  std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 1u);
+  ASSERT_EQ(findings[0].rule, "iwyu-spot");
+
+  // Dry run: edits reported, file untouched.
+  const std::vector<FixEdit> dry = ApplyFixes(findings, /*apply=*/false);
+  ASSERT_EQ(dry.size(), 1u);
+  EXPECT_EQ(dry[0].rule, "iwyu-spot");
+  EXPECT_EQ(dry[0].after, "#include <cstdint>");
+  EXPECT_EQ(dry[0].line, 1u);  // Sorted before <string>.
+  EXPECT_TRUE(HasRule(Lint(), "iwyu-spot")) << "dry run must not write";
+  EXPECT_FALSE(EditsToDiff(dry).empty());
+
+  // Apply: file repaired, re-lint clean.
+  const std::vector<FixEdit> applied = ApplyFixes(findings, /*apply=*/true);
+  ASSERT_EQ(applied.size(), 1u);
+  EXPECT_TRUE(Lint().empty());
+  std::ifstream in(file);
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "#include <cstdint>");
+}
+
+TEST_F(FreshselLintTest, FixRewritesFailpointName) {
+  const fs::path file = WriteFixture(
+      "io/loader.cc", std::string("void F() {\n  FRESHSEL_") +
+                          "FAILPOINT(\"ReadHeader\");\n}\n");
+  std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 1u);
+  ASSERT_EQ(findings[0].rule, "failpoint-name");
+  const std::vector<FixEdit> applied = ApplyFixes(findings, /*apply=*/true);
+  ASSERT_EQ(applied.size(), 1u);
+  // Lowercased and prefixed with the directory-derived subsystem.
+  EXPECT_NE(applied[0].after.find("\"io.readheader\""), std::string::npos);
+  EXPECT_TRUE(Lint().empty());
 }
 
 TEST_F(FreshselLintTest, RealLibraryTreeIsClean) {

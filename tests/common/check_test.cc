@@ -1,6 +1,7 @@
 #include "common/check.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 

@@ -1,5 +1,6 @@
 #include "common/random.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <algorithm>

@@ -5,7 +5,6 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <numeric>
 #include <set>
 #include <utility>
@@ -41,10 +40,10 @@ TEST(ThreadPoolTest, ChunkBoundariesDependOnlyOnSizeAndN) {
   // determinism guarantee the selection layer builds on.
   ThreadPool pool(3);
   auto partition = [&](std::size_t n) {
-    std::mutex mutex;
+    Mutex mutex;
     std::set<std::pair<std::size_t, std::size_t>> chunks;
     pool.ParallelFor(n, [&](std::size_t begin, std::size_t end) {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       chunks.emplace(begin, end);
     });
     return chunks;

@@ -1,0 +1,44 @@
+// Deliberately mis-annotated translation unit. NOT part of any build
+// target: CMake try_compiles this file when FRESHSEL_THREAD_SAFETY=ON and
+// FAILS THE CONFIGURE if it compiles — i.e. the fixture proves
+// `-Werror=thread-safety` is actually armed and catching violations, not
+// silently accepted (see "Thread-safety analysis" in the top-level
+// CMakeLists.txt and DESIGN.md §12).
+//
+// Every function below is a distinct violation class the analysis must
+// reject; if Clang ever stops diagnosing any of them the whole TU still
+// fails on the others, and if it diagnoses none the configure aborts.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace freshsel {
+namespace {
+
+struct Guarded {
+  Mutex mu;
+  int value FRESHSEL_GUARDED_BY(mu) = 0;
+
+  // Violation 1: writes a guarded field with no lock held.
+  void UnlockedWrite() { value = 1; }
+
+  // Violation 2: claims to require the lock, then calls a function that
+  // acquires it again (double acquire).
+  void DoubleAcquire() FRESHSEL_REQUIRES(mu) { MutexLock lock(mu); }
+
+  // Violation 3: returns with the mutex still held (missing release).
+  void LeakLock() FRESHSEL_NO_THREAD_SAFETY_ANALYSIS { mu.Lock(); }
+  void CallerOfLeak() {
+    mu.Lock();
+    // Missing Unlock: "mutex is still held at the end of function".
+  }
+};
+
+}  // namespace
+}  // namespace freshsel
+
+int main() {
+  freshsel::Guarded g;
+  g.UnlockedWrite();
+  return 0;
+}

@@ -2,6 +2,7 @@
 // (simulate -> learn -> estimate -> select) must behave sanely for any
 // seed, not just the benches' defaults. Parameterized gtest sweeps seeds.
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cmath>

@@ -4,6 +4,7 @@
 // evaluations to ulp precision, across every Options flag combination,
 // and Pop must restore the pre-Push state bit-exactly.
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cmath>

@@ -1,5 +1,6 @@
 #include "estimation/quality_estimator.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <algorithm>

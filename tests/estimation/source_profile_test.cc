@@ -1,5 +1,6 @@
 #include "estimation/source_profile.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cmath>

@@ -1,5 +1,6 @@
 #include "estimation/world_change_model.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cmath>

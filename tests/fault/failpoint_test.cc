@@ -1,5 +1,6 @@
 #include "fault/failpoint.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cstdlib>

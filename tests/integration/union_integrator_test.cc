@@ -1,5 +1,6 @@
 #include "integration/union_integrator.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "testing/test_world.h"

@@ -1,5 +1,6 @@
 #include "metrics/quality.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "source/source_simulator.h"

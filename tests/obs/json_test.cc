@@ -1,6 +1,7 @@
 #include "obs/json.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <limits>
 #include <string>

@@ -1,5 +1,6 @@
 #include "selection/frequency_selection.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cmath>

@@ -3,6 +3,7 @@
 // augmented universe built over micro-source profiles under the per-source
 // partition matroid.
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cmath>

@@ -1,5 +1,6 @@
 #include "source/source_simulator.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "world/world_simulator.h"

@@ -1,8 +1,10 @@
 #include "stats/poisson.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/random.h"
 

@@ -1,6 +1,7 @@
 #ifndef FRESHSEL_TESTS_TESTING_TEST_WORLD_H_
 #define FRESHSEL_TESTS_TESTING_TEST_WORLD_H_
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 

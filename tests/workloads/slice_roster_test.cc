@@ -1,5 +1,6 @@
 #include "workloads/slice_roster.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <set>

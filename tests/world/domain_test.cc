@@ -1,5 +1,6 @@
 #include "world/domain.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 namespace freshsel::world {

@@ -1,5 +1,6 @@
 #include "world/world_simulator.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cmath>

@@ -1,5 +1,6 @@
 #include "world/world.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "testing/test_world.h"
