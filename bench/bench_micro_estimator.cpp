@@ -10,6 +10,7 @@
 
 #include "common/bit_vector.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "estimation/quality_estimator.h"
 #include "harness/learned_scenario.h"
 #include "workloads/bl_generator.h"
@@ -225,6 +226,89 @@ void BM_EstimateFourTimesBatched(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EstimateFourTimesBatched)->Arg(8)->Arg(32);
+
+// SIMD kernel panels (DESIGN.md section 13): the miss-product fold and the
+// weighted-expectation reduction at the estimator's own array shapes, on
+// the configured backend vs the always-compiled scalar reference. The
+// active/scalar time ratio at steps=430 is the kernel speedup the
+// bench_kernel_check gate holds to >= 2x on vector builds.
+std::vector<double> KernelFactors(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.UniformDouble(0.05, 1.0);
+  return out;
+}
+
+void BM_KernelMissProductActive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> src = KernelFactors(n, 31);
+  std::vector<double> dst(n, 1.0);
+  for (auto _ : state) {
+    simd::MulInPlaceFloored(dst.data(), src.data(), n,
+                            estimation::kMissProductFloor);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetLabel(simd::kBackendName);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 16);
+}
+BENCHMARK(BM_KernelMissProductActive)->Arg(64)->Arg(430)->Arg(4096);
+
+void BM_KernelMissProductScalar(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> src = KernelFactors(n, 31);
+  std::vector<double> dst(n, 1.0);
+  for (auto _ : state) {
+    simd::scalar::MulInPlaceFloored(dst.data(), src.data(), n,
+                                    estimation::kMissProductFloor);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 16);
+}
+BENCHMARK(BM_KernelMissProductScalar)->Arg(64)->Arg(430)->Arg(4096);
+
+void BM_KernelWeightedExpectationActive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> w = KernelFactors(n, 37);
+  const std::vector<double> m = KernelFactors(n, 41);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::DotOneMinus(w.data(), m.data(), n));
+  }
+  state.SetLabel(simd::kBackendName);
+}
+BENCHMARK(BM_KernelWeightedExpectationActive)->Arg(64)->Arg(430)->Arg(4096);
+
+void BM_KernelWeightedExpectationScalar(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> w = KernelFactors(n, 37);
+  const std::vector<double> m = KernelFactors(n, 41);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simd::scalar::DotOneMinus(w.data(), m.data(), n));
+  }
+}
+BENCHMARK(BM_KernelWeightedExpectationScalar)->Arg(64)->Arg(430)->Arg(4096);
+
+// Fast-math ablation at the Estimate level: the opt-in reassociated
+// reductions vs the exact scalar-order fold (bounded deviation, see the
+// kernel-equivalence tests; selections are unchanged per the
+// bench_kernel_check gate).
+void BM_EstimateFastMathKernels(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  estimation::QualityEstimator::Options options;
+  options.fast_math_kernels = state.range(0) != 0;
+  auto estimator = MakeEstimator(fixture, 90, options);
+  const auto set = FirstK(8);
+  const TimePoint t = fixture.scenario.t0 + 90;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(set, t));
+  }
+}
+BENCHMARK(BM_EstimateFastMathKernels)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("fast_math");
 
 void BM_SignatureUnionCount(benchmark::State& state) {
   const std::size_t width = static_cast<std::size_t>(state.range(0));

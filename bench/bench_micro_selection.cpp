@@ -132,6 +132,44 @@ void BM_GreedyLazy(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyLazy)->Arg(100)->Arg(256)->Arg(1024);
 
+// Stochastic greedy (GreedyOptions::stochastic) on synthetic instances:
+// quality vs speed at epsilon in {0.1, 0.2}. `gain_ratio` is the
+// stochastic profit over the exact eager greedy's, `call_reduction` the
+// exact evaluation count over the stochastic one - the committed
+// acceptance panel (>= 95% gain at >= 3x fewer calls for eps=0.1) runs on
+// the scenario-backed pipeline in bench_kernel_check; this is the
+// universe-size sweep.
+void BM_GreedyStochastic(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const double eps = static_cast<double>(state.range(1)) / 100.0;
+  auto f = CoverageFunction::Random(n, 64, 11);
+  const SelectionResult exact = Greedy(f, nullptr, GreedyOptions{false});
+  GreedyOptions options;
+  options.stochastic = true;
+  options.stochastic_epsilon = eps;
+  options.stochastic_k = exact.selected.size();  // Matched sample budget.
+  SelectionResult result;
+  for (auto _ : state) {
+    result = Greedy(f, nullptr, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["calls"] = static_cast<double>(result.oracle_calls);
+  state.counters["gain_ratio"] =
+      exact.profit > 0 ? result.profit / exact.profit : 1.0;
+  state.counters["call_reduction"] =
+      result.oracle_calls > 0
+          ? static_cast<double>(exact.oracle_calls) /
+                static_cast<double>(result.oracle_calls)
+          : 0.0;
+  ReportCalls(state, f);
+}
+BENCHMARK(BM_GreedyStochastic)
+    ->Args({100, 10})
+    ->Args({100, 20})
+    ->Args({1024, 10})
+    ->Args({1024, 20})
+    ->ArgNames({"n", "eps_x100"});
+
 // Memoizing decorator in front of the oracle: GRASP restarts revisit the
 // same sets over and over, so a large share of evaluations become map
 // lookups. `cache_hit_rate` is the fraction of evaluations served from the
@@ -248,6 +286,39 @@ BENCHMARK(BM_ScenarioGreedyIncrementalOff)
     ->Arg(0)
     ->Arg(1)
     ->ArgName("lazy")
+    ->Unit(benchmark::kMillisecond);
+
+// Stochastic greedy on the same scenario-backed pipeline (matroid-derived
+// k = 20): the quality-vs-speed row the acceptance gate records - eps=0.1
+// must keep >= 95% of the exact gain at >= 3x fewer oracle evaluations
+// (enforced by bench_kernel_check --check; reported here as counters).
+void BM_ScenarioGreedyStochastic(benchmark::State& state) {
+  const ScenarioOracleFixture& fixture = ScenarioOracleFixture::Get();
+  static const SelectionResult exact = Greedy(
+      *fixture.oracle, fixture.matroid.get(), GreedyOptions{false});
+  GreedyOptions options;
+  options.stochastic = true;
+  options.stochastic_epsilon = static_cast<double>(state.range(0)) / 100.0;
+  SelectionResult result;
+  for (auto _ : state) {
+    result = Greedy(*fixture.oracle, fixture.matroid.get(), options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["selected"] = static_cast<double>(result.selected.size());
+  state.counters["calls"] = static_cast<double>(result.oracle_calls);
+  state.counters["gain_ratio"] =
+      exact.profit > 0 ? result.profit / exact.profit : 1.0;
+  state.counters["call_reduction"] =
+      result.oracle_calls > 0
+          ? static_cast<double>(exact.oracle_calls) /
+                static_cast<double>(result.oracle_calls)
+          : 0.0;
+  ReportCalls(state, *fixture.oracle);
+}
+BENCHMARK(BM_ScenarioGreedyStochastic)
+    ->Arg(10)
+    ->Arg(20)
+    ->ArgName("eps_x100")
     ->Unit(benchmark::kMillisecond);
 
 // Hill climb (GRASP(1,1)) on the same pipeline: the local-search swap

@@ -388,6 +388,16 @@ Status RunSelect(const ArgMap& args, std::ostream& out) {
                             args.GetInt("restarts", 20));
   FRESHSEL_ASSIGN_OR_RETURN(std::int64_t seed, args.GetInt("seed", 42));
   FRESHSEL_ASSIGN_OR_RETURN(std::int64_t threads, args.GetInt("threads", 1));
+  FRESHSEL_ASSIGN_OR_RETURN(bool stochastic,
+                            args.GetBool("stochastic", false));
+  FRESHSEL_ASSIGN_OR_RETURN(double stochastic_epsilon,
+                            args.GetDouble("stochastic-epsilon", 0.1));
+  if (stochastic_epsilon <= 0.0 || stochastic_epsilon >= 1.0) {
+    return Status::InvalidArgument(
+        "--stochastic-epsilon must be in (0, 1)");
+  }
+  FRESHSEL_ASSIGN_OR_RETURN(bool fast_math,
+                            args.GetBool("fast-math-kernels", false));
   ObsSession obs_session("select", args);
   FRESHSEL_ASSIGN_OR_RETURN(RobustnessOptions robust,
                             ReadRobustnessFlags(args));
@@ -446,11 +456,13 @@ Status RunSelect(const ArgMap& args, std::ostream& out) {
   ReportDegradation(learned.degradation, &report, out);
   stage_timer.Restart();
 
+  estimation::QualityEstimator::Options estimator_options;
+  estimator_options.fast_math_kernels = fast_math;
   FRESHSEL_ASSIGN_OR_RETURN(
       estimation::QualityEstimator estimator,
       estimation::QualityEstimator::Create(
           scenario.world, learned.world_model, {},
-          MakeTimePoints(t0 + stride, points, stride)));
+          MakeTimePoints(t0 + stride, points, stride), estimator_options));
   std::vector<const estimation::SourceProfile*> profiles;
   for (const auto& profile : learned.profiles) {
     profiles.push_back(&profile);
@@ -496,7 +508,11 @@ Status RunSelect(const ArgMap& args, std::ostream& out) {
 
   selection::SelectionResult result;
   if (algorithm_name == "budgeted") {
-    result = selection::BudgetedGreedy(cached);
+    selection::BudgetedGreedyOptions budgeted_options;
+    budgeted_options.stochastic = stochastic;
+    budgeted_options.stochastic_epsilon = stochastic_epsilon;
+    budgeted_options.stochastic_seed = static_cast<std::uint64_t>(seed);
+    result = selection::BudgetedGreedy(cached, budgeted_options);
     report.labels["algorithm"] = "BudgetedGreedy";
     report.counters["oracle_calls"] += result.oracle_calls;
     report.counters["oracle_calls_saved"] += result.oracle_calls_saved;
@@ -518,6 +534,8 @@ Status RunSelect(const ArgMap& args, std::ostream& out) {
     config.grasp_kappa = static_cast<int>(kappa);
     config.grasp_restarts = static_cast<int>(restarts);
     config.seed = static_cast<std::uint64_t>(seed);
+    config.stochastic_greedy = stochastic;
+    config.stochastic_epsilon = stochastic_epsilon;
     config.report = &report;
     // GRASP fans candidate scoring out over the pool when --threads > 1
     // (the trace then shows score chunks attributed across worker tids).
@@ -580,7 +598,11 @@ int RunMain(int argc, const char* const* argv, std::ostream& out,
         << "                --algorithm greedy|maxsub|grasp|budgeted "
            "--points N --stride N --budget X\n"
         << "                --max-divisor M --kappa K --restarts R "
-           "--seed S --threads T]\n"
+           "--seed S --threads T\n"
+        << "                --stochastic (sampled greedy rounds, "
+           "--stochastic-epsilon E, seeded by --seed)\n"
+        << "                --fast-math-kernels (SIMD reductions in the "
+           "estimator; small bounded deviation)]\n"
         << "  every command also accepts --metrics-out FILE (JSON run "
            "report)\n"
         << "                          and --trace-out FILE (chrome://tracing "

@@ -371,6 +371,19 @@ void CheckNondeterminism(const FileCtx& ctx, std::vector<Finding>* findings) {
            "std::random_device draws OS entropy, breaking reproducible "
            "runs; construct a seeded freshsel::Rng instead"});
     }
+    // Raw <random> engines bypass the seeded, forkable common/random.h
+    // streams (the stochastic-greedy sampler contract): their draw
+    // sequences are not covered by the Rng stability tests. srand()/rand()
+    // are the no-rand rule's job.
+    if (MentionsIdentifier(line, "mt19937") ||
+        MentionsIdentifier(line, "mt19937_64") ||
+        MentionsIdentifier(line, "minstd_rand")) {
+      findings->push_back(
+          {ctx.file, i + 1, "nondeterminism",
+           "raw std::random engines bypass the seeded freshsel::Rng "
+           "streams; draw from a forked Rng so sequences stay covered by "
+           "the reproducibility tests"});
+    }
     if (output_path && (line.find("unordered_map") != std::string::npos ||
                         line.find("unordered_set") != std::string::npos)) {
       findings->push_back(

@@ -4,9 +4,11 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "obs/macros.h"
 
 namespace freshsel::estimation {
@@ -42,6 +44,21 @@ Result<QualityEstimator> QualityEstimator::Create(
   for (TimePoint t : eval_times) {
     if (t < est.t0_) {
       return Status::InvalidArgument("eval times must be at or after t0");
+    }
+    if (t - est.t0_ > kMaxEvalHorizonSteps) {
+      return Status::InvalidArgument(
+          "eval time beyond the supported horizon (t - t0 > " +
+          std::to_string(kMaxEvalHorizonSteps) + ")");
+    }
+  }
+  // Repeated eval times would alias one lookup slot (TimeIndexOf returns a
+  // single index per time) while EstimateAllTimes/EstimateAverage weight
+  // the duplicate twice - reject instead of silently skewing aggregates.
+  {
+    TimePoints sorted = eval_times;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return Status::InvalidArgument("eval times must be distinct");
     }
   }
   est.domain_ = std::move(domain);
@@ -280,37 +297,42 @@ void QualityEstimator::MultiplyMissFactors(const RegisteredSource& src,
   double* md = scratch.miss_del.data();
   double* mu = scratch.miss_upd.data();
   if (options_.cache_effectiveness && t_index != kNoTimeIndex) {
+    // Elementwise kernels: lane-independent IEEE ops, so every backend is
+    // bit-identical to the scalar loop they replace (see common/simd.h).
+    // The floor is the underflow fix - see kMissProductFloor.
     const SourceTimeTable& st = SourceTableFor(handle, t_index);
-    const double* fi = st.fac_ins.data();
-    const double* fd = st.fac_del.data();
-    const double* fu = st.fac_upd.data();
-    for (std::size_t i = 0; i < steps; ++i) mi[i] *= fi[i];
-    for (std::size_t i = 0; i < steps; ++i) md[i] *= fd[i];
-    for (std::size_t i = 0; i < steps; ++i) mu[i] *= fu[i];
+    simd::MulInPlaceFloored(mi, st.fac_ins.data(), steps, kMissProductFloor);
+    simd::MulInPlaceFloored(md, st.fac_del.data(), steps, kMissProductFloor);
+    simd::MulInPlaceFloored(mu, st.fac_upd.data(), steps, kMissProductFloor);
     if (backlog) {
-      const double* b0 = src.backlog_fac_t0.data();
-      const double* bt = st.backlog_fac_t.data();
-      double* s0 = scratch.back_t0.data();
-      double* st_out = scratch.back_t.data();
       const std::size_t t0_steps = scratch.back_t0.size();
-      for (std::size_t j = 0; j < t0_steps; ++j) s0[j] *= b0[j];
-      for (std::size_t j = 0; j < t0_steps; ++j) st_out[j] *= bt[j];
+      simd::MulInPlaceFloored(scratch.back_t0.data(),
+                              src.backlog_fac_t0.data(), t0_steps,
+                              kMissProductFloor);
+      simd::MulInPlaceFloored(scratch.back_t.data(), st.backlog_fac_t.data(),
+                              t0_steps, kMissProductFloor);
     }
     return;
   }
   // Uncached time point (or caching ablated): fold the factors in without
-  // materializing a table. The per-factor arithmetic is identical to
-  // BuildSourceTable, so cached and uncached evaluations agree bit for
-  // bit.
+  // materializing a table. The per-factor arithmetic (including the
+  // max-with-floor) is identical to the cached path, so cached and
+  // uncached evaluations agree bit for bit.
   const SourceProfile& p = *src.profile;
   const double td = static_cast<double>(table.t);
   for (std::size_t i = 0; i < steps; ++i) {
     const double tau = static_cast<double>(t0_ + 1 + static_cast<TimePoint>(i));
-    mi[i] *= 1.0 - p.Effectiveness(p.g_insert, td, tau, src.divisor);
-    md[i] *= 1.0 - src.coverage_t0 * p.Effectiveness(p.g_delete, td, tau,
-                                                     src.divisor);
-    mu[i] *= 1.0 - src.coverage_t0 * p.Effectiveness(p.g_update, td, tau,
-                                                     src.divisor);
+    mi[i] = std::max(
+        mi[i] * (1.0 - p.Effectiveness(p.g_insert, td, tau, src.divisor)),
+        kMissProductFloor);
+    md[i] = std::max(
+        md[i] * (1.0 - src.coverage_t0 *
+                           p.Effectiveness(p.g_delete, td, tau, src.divisor)),
+        kMissProductFloor);
+    mu[i] = std::max(
+        mu[i] * (1.0 - src.coverage_t0 *
+                           p.Effectiveness(p.g_update, td, tau, src.divisor)),
+        kMissProductFloor);
   }
   if (backlog) {
     double* s0 = scratch.back_t0.data();
@@ -319,8 +341,11 @@ void QualityEstimator::MultiplyMissFactors(const RegisteredSource& src,
     const std::size_t t0_steps = scratch.back_t0.size();
     for (std::size_t j = 0; j < t0_steps; ++j) {
       const double tau = static_cast<double>(j + 1);
-      s0[j] *= b0[j];
-      st_out[j] *= 1.0 - p.Effectiveness(p.g_insert, td, tau, src.divisor);
+      s0[j] = std::max(s0[j] * b0[j], kMissProductFloor);
+      st_out[j] = std::max(
+          st_out[j] *
+              (1.0 - p.Effectiveness(p.g_insert, td, tau, src.divisor)),
+          kMissProductFloor);
     }
   }
 }
@@ -348,23 +373,56 @@ EstimatedQuality QualityEstimator::EvaluateFromProducts(
   const double* w_cov = table.w_cov.data();
   const double* w_up_ins = table.w_up_ins.data();
   const double* w_up_upd = table.w_up_upd.data();
-  for (std::size_t i = 0; i < steps; ++i) {
-    double mi = miss_ins[i];
-    double md = miss_del[i];
-    double mu = miss_upd[i];
+  if (options_.fast_math_kernels) {
+    // Opt-in blocked reductions (vector partial sums + horizontal fold).
+    // Re-associates the accumulation, so results deviate from the exact
+    // path by a bounded amount (tested in kernel_equivalence_test); the
+    // candidate multiply here is unfloored, which is also within the
+    // fast-math deviation bound.
     if constexpr (kWithCandidate) {
-      mi *= cand->fac_ins[i];
-      md *= cand->fac_del[i];
-      mu *= cand->fac_upd[i];
+      const double* ci = cand->fac_ins.data();
+      const double* cd = cand->fac_del.data();
+      const double* cu = cand->fac_upd.data();
+      e_ins = simd::DotOneMinusMul(w_cov, miss_ins, ci, steps);
+      e_ins_nosurv =
+          simd::ScaledSumOneMinusMul(agg.lambda_insert, miss_ins, ci, steps);
+      e_del =
+          simd::ScaledSumOneMinusMul(agg.lambda_disappear, miss_del, cd,
+                                     steps);
+      e_ins_up = simd::DotOneMinusMul(w_up_ins, miss_ins, ci, steps);
+      e_ex_up = simd::DotOneMinusMul(w_up_upd, miss_upd, cu, steps);
+    } else {
+      e_ins = simd::DotOneMinus(w_cov, miss_ins, steps);
+      e_ins_nosurv =
+          simd::ScaledSumOneMinus(agg.lambda_insert, miss_ins, steps);
+      e_del = simd::ScaledSumOneMinus(agg.lambda_disappear, miss_del, steps);
+      e_ins_up = simd::DotOneMinus(w_up_ins, miss_ins, steps);
+      e_ex_up = simd::DotOneMinus(w_up_upd, miss_upd, steps);
     }
-    const double pr_ins = 1.0 - mi;
-    const double pr_del = 1.0 - md;
-    const double pr_upd = 1.0 - mu;
-    e_ins += w_cov[i] * pr_ins;                 // Eq. 15.
-    e_ins_nosurv += agg.lambda_insert * pr_ins;
-    e_del += agg.lambda_disappear * pr_del;     // Eq. 19.
-    e_ins_up += w_up_ins[i] * pr_ins;
-    e_ex_up += w_up_upd[i] * pr_upd;
+  } else {
+    // Exact path: single fused loop in scalar order. Kept verbatim so the
+    // reduction association (and therefore every published bit) matches
+    // the pre-kernel implementation. The candidate multiply applies the
+    // same floor as MultiplyMissFactors/Push, so the delta path computes
+    // literally the same op sequence as a full recompute over set+cand.
+    for (std::size_t i = 0; i < steps; ++i) {
+      double mi = miss_ins[i];
+      double md = miss_del[i];
+      double mu = miss_upd[i];
+      if constexpr (kWithCandidate) {
+        mi = std::max(mi * cand->fac_ins[i], kMissProductFloor);
+        md = std::max(md * cand->fac_del[i], kMissProductFloor);
+        mu = std::max(mu * cand->fac_upd[i], kMissProductFloor);
+      }
+      const double pr_ins = 1.0 - mi;
+      const double pr_del = 1.0 - md;
+      const double pr_upd = 1.0 - mu;
+      e_ins += w_cov[i] * pr_ins;                 // Eq. 15.
+      e_ins_nosurv += agg.lambda_insert * pr_ins;
+      e_del += agg.lambda_disappear * pr_del;     // Eq. 19.
+      e_ins_up += w_up_ins[i] * pr_ins;
+      e_ex_up += w_up_upd[i] * pr_upd;
+    }
   }
 
   // Capture backlog (extension, see Options::model_capture_backlog):
@@ -380,8 +438,11 @@ EstimatedQuality QualityEstimator::EvaluateFromProducts(
       double miss_by_t0 = back_t0[j];
       double miss_by_t = back_t[j];
       if constexpr (kWithCandidate) {
-        miss_by_t0 *= cand_src->backlog_fac_t0[j];
-        miss_by_t *= cand->backlog_fac_t[j];
+        miss_by_t0 =
+            std::max(miss_by_t0 * cand_src->backlog_fac_t0[j],
+                     kMissProductFloor);
+        miss_by_t =
+            std::max(miss_by_t * cand->backlog_fac_t[j], kMissProductFloor);
       }
       const double pr_late = std::max(miss_by_t0 - miss_by_t, 0.0);
       if (pr_late <= 0.0) continue;
@@ -440,8 +501,14 @@ template EstimatedQuality QualityEstimator::EvaluateFromProducts<true>(
 
 EstimatedQuality QualityEstimator::Estimate(
     const std::vector<SourceHandle>& set, TimePoint t) const {
+  // The old behavior for t < t0 was a silent all-zero result, which hid
+  // caller bugs (a selection over garbage quality estimates looks like a
+  // selection, just a bad one). Out-of-range times are contract violations.
+  FRESHSEL_CHECK(t >= t0_) << "Estimate at t=" << t << " before t0=" << t0_;
+  FRESHSEL_CHECK(t - t0_ <= kMaxEvalHorizonSteps)
+      << "Estimate at t=" << t << " beyond the supported horizon (t0=" << t0_
+      << ", max steps=" << kMaxEvalHorizonSteps << ")";
   EstimatedQuality q;
-  if (t < t0_) return q;
   for (SourceHandle handle : set) {
     FRESHSEL_CHECK(handle < sources_.size())
         << "unknown source handle " << handle << " (registered: "
@@ -662,27 +729,22 @@ void QualityEstimator::EvalContext::Push(SourceHandle handle) {
     const std::size_t steps = ts.miss_ins.size();
     if (steps == 0 && ts.back_t.empty()) continue;
     const SourceTimeTable& st = est_->SourceTableFor(handle, ti);
-    double* mi = ts.miss_ins.data();
-    double* md = ts.miss_del.data();
-    double* mu = ts.miss_upd.data();
-    const double* fi = st.fac_ins.data();
-    const double* fd = st.fac_del.data();
-    const double* fu = st.fac_upd.data();
-    for (std::size_t i = 0; i < steps; ++i) mi[i] *= fi[i];
-    for (std::size_t i = 0; i < steps; ++i) md[i] *= fd[i];
-    for (std::size_t i = 0; i < steps; ++i) mu[i] *= fu[i];
+    // Same floored elementwise kernels as MultiplyMissFactors, so the
+    // incremental running products are bit-identical to a full recompute.
+    simd::MulInPlaceFloored(ts.miss_ins.data(), st.fac_ins.data(), steps,
+                            kMissProductFloor);
+    simd::MulInPlaceFloored(ts.miss_del.data(), st.fac_del.data(), steps,
+                            kMissProductFloor);
+    simd::MulInPlaceFloored(ts.miss_upd.data(), st.fac_upd.data(), steps,
+                            kMissProductFloor);
     if (!ts.back_t.empty()) {
-      double* bt = ts.back_t.data();
-      const double* ft = st.backlog_fac_t.data();
-      const std::size_t t0_steps = ts.back_t.size();
-      for (std::size_t j = 0; j < t0_steps; ++j) bt[j] *= ft[j];
+      simd::MulInPlaceFloored(ts.back_t.data(), st.backlog_fac_t.data(),
+                              ts.back_t.size(), kMissProductFloor);
     }
   }
   if (!back_t0_.empty()) {
-    double* b0 = back_t0_.data();
-    const double* f0 = src.backlog_fac_t0.data();
-    const std::size_t t0_steps = back_t0_.size();
-    for (std::size_t j = 0; j < t0_steps; ++j) b0[j] *= f0[j];
+    simd::MulInPlaceFloored(back_t0_.data(), src.backlog_fac_t0.data(),
+                            back_t0_.size(), kMissProductFloor);
   }
   pushed_.push_back(handle);
 }

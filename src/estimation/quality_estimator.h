@@ -17,6 +17,27 @@
 
 namespace freshsel::estimation {
 
+/// Floor applied to every running per-tau miss product as sources are
+/// multiplied in (both the full-evaluation scratch products and the
+/// incremental `EvalContext` state). Products of hundreds of
+/// high-effectiveness factors otherwise drift into the subnormal range and
+/// eventually flush to exactly zero, which (a) makes every later marginal
+/// gain compare bit-equal instead of strictly ordered and (b) turns the
+/// multiply loops into slow denormal arithmetic. The floor is far below
+/// any quality-relevant magnitude - `1 - x` rounds to exactly 1.0 for any
+/// x < 2^-53, so all published ratios are bit-identical to the unclamped
+/// computation - yet far above DBL_MIN (~2.2e-308), so one further
+/// candidate-factor multiply can never denormalize. See the underflow
+/// regression test in tests/estimation/eval_context_test.cc.
+inline constexpr double kMissProductFloor = 1e-250;
+
+/// Hard cap on `t - t0` for evaluation times (about 2.9k years of daily
+/// steps). Each eval time materializes O(t - t0) weight and factor arrays
+/// per source; beyond this bound a bogus or overflowed `TimePoint` would
+/// silently turn into a multi-gigabyte allocation, so `Create` returns
+/// InvalidArgument and the ad-hoc `Estimate` path CHECK-fails instead.
+inline constexpr TimePoint kMaxEvalHorizonSteps = 1 << 20;
+
 /// Estimated quality of an integration result at one future time point
 /// (Section 4.2.2). Ratios are clamped to [0, 1]; the expectation fields
 /// expose the raw building blocks for diagnostics.
@@ -98,6 +119,16 @@ class QualityEstimator {
     /// Off by default (paper-faithful); the prediction-error experiments
     /// enable it.
     bool model_ghost_result = false;
+    /// Evaluate the expectation sums with the blocked SIMD reduction
+    /// kernels (common/simd.h): vector-lane partial sums + a horizontal
+    /// fold instead of strict scalar-order accumulation. Deviation is
+    /// bounded by the standard reordered-summation bound (a few ulps per
+    /// element; asserted by the kernel-equivalence suite and the
+    /// bench_kernel_check gate). Off by default: the exact path keeps
+    /// scalar-order reduction so selections stay bit-identical across
+    /// backends. The elementwise miss-product kernels are used either way
+    /// (lane-independent, hence bit-identical). CLI: --fast-math-kernels.
+    bool fast_math_kernels = false;
   };
 
   /// Incremental delta-evaluation state over a *current* set S: the union
@@ -197,7 +228,10 @@ class QualityEstimator {
   /// `domain` restricts all metrics to those subdomains (empty => whole
   /// domain). `eval_times` are the future time points T_f; estimates at
   /// other times still work but are never cached. Returns InvalidArgument
-  /// on out-of-range subdomains or eval times at or before 0.
+  /// on out-of-range subdomains, eval times before t0 or beyond
+  /// t0 + kMaxEvalHorizonSteps, or repeated eval times (duplicates would
+  /// silently alias one table slot and skew `EstimateAverage` /
+  /// `EstimateAllTimes` toward the repeated point).
   static Result<QualityEstimator> Create(const world::World& world,
                                          const WorldChangeModel& model,
                                          std::vector<world::SubdomainId> domain,
@@ -231,8 +265,12 @@ class QualityEstimator {
   const TimePoints& eval_times() const { return eval_times_; }
   std::int64_t domain_count_t0() const { return count_t0_; }
 
-  /// Estimated quality of integrating `set` at future day t (t >= t0; at
-  /// t == t0 this degenerates to the exact signature metrics).
+  /// Estimated quality of integrating `set` at future day t. Contract
+  /// (CHECK-enforced): t0 <= t <= t0 + kMaxEvalHorizonSteps - evaluating
+  /// before the training cutoff is a caller bug the old code silently
+  /// answered with all-zero quality, and an over-horizon t would allocate
+  /// O(t - t0) scratch. At t == t0 this degenerates to the exact
+  /// signature metrics.
   EstimatedQuality Estimate(const std::vector<SourceHandle>& set,
                             TimePoint t) const;
 

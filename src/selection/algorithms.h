@@ -41,6 +41,28 @@ struct GreedyOptions {
   /// with identical selections. Ignored (plain `Profit` calls) for
   /// oracles without incremental support.
   bool incremental = true;
+  /// Stochastic greedy (Mirzasoleiman et al., AAAI 2015 - "lazier than
+  /// lazy greedy"): each round scores a uniform random sample of
+  /// ceil((n/k) * ln(1/stochastic_epsilon)) feasible candidates instead of
+  /// all of them, giving a (1 - 1/e - epsilon) * OPT expected guarantee
+  /// for monotone submodular profits at O(n * ln(1/epsilon)) total
+  /// evaluations. Sampling draws from a `common/random.h` stream seeded
+  /// with `stochastic_seed`, so runs are deterministic per seed (and
+  /// identical across the `lazy` / `incremental` settings, which only
+  /// change how the sampled pool is scored). Composes with `lazy` (CELF
+  /// stale-bound skipping within the sampled pool) and `incremental`.
+  bool stochastic = false;
+  /// Guarantee slack: smaller epsilon = larger per-round samples = closer
+  /// to the exact greedy. Clamped to (0, 1).
+  double stochastic_epsilon = 0.1;
+  /// Seed for the candidate-sampling stream (never `std::random_device`;
+  /// see the `nondeterminism` lint rule).
+  std::uint64_t stochastic_seed = 42;
+  /// Cardinality k in the sample-size formula. 0 derives it: the
+  /// matroid's effective rank (sum over groups of min(capacity, group
+  /// size)) when a matroid is given, else n. Pass an explicit k for
+  /// unconstrained runs where the expected solution size is known.
+  std::size_t stochastic_k = 0;
 };
 
 /// The greedy baseline of Dong et al. [3]: starting from the empty set,
@@ -112,6 +134,17 @@ SelectionResult BruteForce(const ProfitFunction& oracle,
                            const PartitionMatroid* matroid = nullptr);
 
 namespace internal {
+
+/// Per-round sample size of stochastic greedy: ceil((n/k) * ln(1/eps)),
+/// floored at 1; eps is clamped to (0, 1). Exposed for the oracle-call
+/// accounting tests and the bench panels.
+std::size_t StochasticSampleSize(std::size_t n, std::size_t k, double eps);
+
+/// Effective rank of a partition matroid over a universe of `n` elements
+/// (sum over groups of min(capacity, group size), floored at 1), the
+/// derived k of `GreedyOptions::stochastic_k == 0`. Returns max(n, 1) for
+/// `matroid == nullptr`.
+std::size_t DeriveSampleK(std::size_t n, const PartitionMatroid* matroid);
 
 /// One randomized GRASP construction round (exposed for the oracle-call
 /// accounting tests): repeatedly score every feasible candidate, form the

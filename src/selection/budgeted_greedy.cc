@@ -1,11 +1,13 @@
 #include "selection/budgeted_greedy.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <memory>
 #include <queue>
 #include <vector>
 
+#include "common/random.h"
 #include "obs/macros.h"
 #include "selection/set_util.h"
 
@@ -158,6 +160,104 @@ Phase1Result LazyPhase1(const GainCostFunction& oracle,
   return out;
 }
 
+/// Stochastic cost-benefit greedy (see GreedyOptions::stochastic): each
+/// round samples the affordable unselected candidates uniformly and adds
+/// the sample's best marginal/cost ratio. The sampling stream is consumed
+/// identically regardless of `lazy` / `incremental`, and the accepted
+/// element is always freshly scored, so selections depend on the seed
+/// alone. With `lazy`, stale ratios persist across rounds (submodular
+/// marginals shrink, costs are fixed, so a stale ratio is an upper bound)
+/// and candidates whose bound cannot beat the round's best fresh ratio
+/// are skipped, with the same tie-break guard as StochasticGreedy.
+Phase1Result StochasticPhase1(const GainCostFunction& oracle,
+                              const std::vector<double>& singleton_costs,
+                              double budget, MarginalEvalContext* ctx,
+                              const BudgetedGreedyOptions& options) {
+  const std::size_t n = oracle.universe_size();
+  Phase1Result out;
+  if (ctx != nullptr) ctx->Reset(out.selected);
+  out.gain = ctx != nullptr ? ctx->CurrentGain() : oracle.Gain(out.selected);
+  double current_cost = 0.0;
+
+  const std::size_t k =
+      options.stochastic_k > 0 ? options.stochastic_k
+                               : std::max<std::size_t>(n, 1);
+  const std::size_t sample_size =
+      internal::StochasticSampleSize(n, k, options.stochastic_epsilon);
+  Rng rng(options.stochastic_seed);
+
+  std::vector<double> stale_ratio;
+  if (options.lazy) {
+    stale_ratio.assign(n, std::numeric_limits<double>::infinity());
+  }
+
+  std::vector<SourceHandle> affordable;
+  std::vector<SourceHandle> sampled;
+  while (true) {
+    affordable.clear();
+    for (std::size_t e = 0; e < n; ++e) {
+      const SourceHandle handle = static_cast<SourceHandle>(e);
+      if (internal::Contains(out.selected, handle)) continue;
+      if (current_cost + singleton_costs[e] > budget + kBudgetSlack) continue;
+      affordable.push_back(handle);
+    }
+    if (affordable.empty()) break;
+
+    sampled.clear();
+    if (sample_size >= affordable.size()) {
+      sampled = affordable;
+    } else {
+      std::vector<std::size_t> idx =
+          rng.SampleWithoutReplacement(affordable.size(), sample_size);
+      std::sort(idx.begin(), idx.end());
+      for (std::size_t i : idx) sampled.push_back(affordable[i]);
+    }
+    if (options.lazy) {
+      std::sort(sampled.begin(), sampled.end(),
+                [&stale_ratio](SourceHandle a, SourceHandle b) {
+                  if (stale_ratio[a] != stale_ratio[b]) {
+                    return stale_ratio[a] > stale_ratio[b];
+                  }
+                  return a < b;
+                });
+    }
+
+    double best_ratio = 0.0;
+    double best_gain = out.gain;
+    SourceHandle best_element = 0;
+    bool found = false;
+    for (SourceHandle handle : sampled) {
+      if (options.lazy && found &&
+          (stale_ratio[handle] < best_ratio ||
+           (stale_ratio[handle] == best_ratio && handle > best_element))) {
+        ++out.saved;
+        continue;
+      }
+      const double gain =
+          ctx != nullptr
+              ? ctx->GainWith(handle)
+              : oracle.Gain(internal::WithAdded(out.selected, handle));
+      const double marginal = gain - out.gain;
+      const double ratio = Ratio(marginal, singleton_costs[handle]);
+      if (options.lazy) stale_ratio[handle] = ratio;
+      if (marginal <= internal::kImprovementEps) continue;
+      if (!found || ratio > best_ratio ||
+          (ratio == best_ratio && handle < best_element)) {
+        best_ratio = ratio;
+        best_gain = gain;
+        best_element = handle;
+        found = true;
+      }
+    }
+    if (!found) break;
+    current_cost += singleton_costs[best_element];
+    out.selected = internal::WithAdded(out.selected, best_element);
+    if (ctx != nullptr) ctx->Reset(out.selected);
+    out.gain = best_gain;
+  }
+  return out;
+}
+
 }  // namespace
 
 SelectionResult BudgetedGreedy(const GainCostFunction& oracle,
@@ -181,9 +281,12 @@ SelectionResult BudgetedGreedy(const GainCostFunction& oracle,
 
   // Phase 1: cost-benefit greedy.
   Phase1Result phase1 =
-      options.lazy
-          ? LazyPhase1(oracle, singleton_costs, budget, ctx.get())
-          : EagerPhase1(oracle, singleton_costs, budget, ctx.get());
+      options.stochastic
+          ? StochasticPhase1(oracle, singleton_costs, budget, ctx.get(),
+                             options)
+          : (options.lazy
+                 ? LazyPhase1(oracle, singleton_costs, budget, ctx.get())
+                 : EagerPhase1(oracle, singleton_costs, budget, ctx.get()));
   FRESHSEL_OBS_COUNT("selection.budgeted.phase1_selected",
                      phase1.selected.size());
 

@@ -1,6 +1,9 @@
 #ifndef FRESHSEL_SELECTION_BUDGETED_GREEDY_H_
 #define FRESHSEL_SELECTION_BUDGETED_GREEDY_H_
 
+#include <cstddef>
+#include <cstdint>
+
 #include "selection/algorithms.h"
 
 namespace freshsel::selection {
@@ -18,6 +21,23 @@ struct BudgetedGreedyOptions {
   /// the selected-set size, identical selections). Ignored for oracles
   /// without incremental support.
   bool incremental = true;
+  /// Stochastic phase 1 (see `GreedyOptions::stochastic`): each
+  /// cost-benefit round scores a uniform random sample of
+  /// ceil((n/k) * ln(1/stochastic_epsilon)) affordable candidates instead
+  /// of all of them. Deterministic per `stochastic_seed` (identical
+  /// selections across `lazy` / `incremental`); composes with the lazy
+  /// stale-ratio skip within the sampled pool. The Khuller-Moss-Naor
+  /// singleton safeguard (phase 2) always scans every affordable
+  /// singleton, stochastic or not.
+  bool stochastic = false;
+  /// Guarantee slack; smaller = larger samples. Clamped to (0, 1).
+  double stochastic_epsilon = 0.1;
+  /// Seed for the candidate-sampling stream (a `common/random.h` stream,
+  /// never `std::random_device`).
+  std::uint64_t stochastic_seed = 42;
+  /// Cardinality k in the sample-size formula; 0 falls back to n. Pass
+  /// budget / typical-cost when the expected solution size is known.
+  std::size_t stochastic_k = 0;
 };
 
 /// Budgeted source selection (the budget-bound regime of Definition 3):

@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -166,14 +168,160 @@ SelectionResult LazyGreedy(const ProfitFunction& oracle,
   return result;
 }
 
+/// Stochastic greedy: each round draws a uniform sample of the feasible
+/// unselected candidates and adds the sample's argmax while it improves
+/// by more than kImprovementEps. The sampling stream is consumed
+/// identically regardless of `lazy` / `incremental` (one draw per round,
+/// before any scoring), and the accepted element is always freshly
+/// scored, so selections are a function of the seed alone.
+///
+/// With `lazy`, stale upper bounds persist across rounds (submodularity:
+/// a candidate's marginal gain only shrinks as the set grows) and a
+/// sampled candidate is skipped when its stale bound cannot beat the best
+/// fresh gain found so far - the within-sample CELF composition. The
+/// tie-break guard (re-score on equal bound with a lower handle) keeps
+/// the lazy selections identical to scoring the whole sample eagerly.
+SelectionResult StochasticGreedy(const ProfitFunction& oracle,
+                                 const PartitionMatroid* matroid,
+                                 const GreedyOptions& options) {
+  FRESHSEL_TRACE_SPAN("selection/greedy/stochastic");
+  const std::size_t n = oracle.universe_size();
+  const std::uint64_t calls_before = oracle.call_count();
+
+  std::unique_ptr<MarginalEvalContext> ctx;
+  if (options.incremental && oracle.supports_incremental()) {
+    ctx = oracle.MakeContext();
+  }
+
+  const std::size_t k = options.stochastic_k > 0
+                            ? options.stochastic_k
+                            : internal::DeriveSampleK(n, matroid);
+  const std::size_t sample_size =
+      internal::StochasticSampleSize(n, k, options.stochastic_epsilon);
+  Rng rng(options.stochastic_seed);
+
+  std::vector<double> stale_gain;
+  if (options.lazy) {
+    stale_gain.assign(n, std::numeric_limits<double>::infinity());
+  }
+
+  std::vector<SourceHandle> selected;
+  double current = ctx ? ctx->CurrentProfit() : oracle.Profit(selected);
+  std::uint64_t saved = 0;
+  std::vector<SourceHandle> feasible;
+  std::vector<SourceHandle> sampled;
+  while (true) {
+    feasible.clear();
+    for (std::size_t e = 0; e < n; ++e) {
+      const SourceHandle handle = static_cast<SourceHandle>(e);
+      if (internal::Contains(selected, handle)) continue;
+      if (!Feasible(matroid, selected, handle)) continue;
+      feasible.push_back(handle);
+    }
+    if (feasible.empty()) break;
+
+    sampled.clear();
+    if (sample_size >= feasible.size()) {
+      sampled = feasible;
+    } else {
+      // Index sample re-sorted ascending so the scored order (and with it
+      // every tie-break) does not depend on the sampler's internal order.
+      std::vector<std::size_t> idx =
+          rng.SampleWithoutReplacement(feasible.size(), sample_size);
+      std::sort(idx.begin(), idx.end());
+      for (std::size_t i : idx) sampled.push_back(feasible[i]);
+    }
+    if (options.lazy) {
+      // Visit highest stale bound first so the skip test fires as early
+      // as possible; equal bounds fall back to ascending handle.
+      std::sort(sampled.begin(), sampled.end(),
+                [&stale_gain](SourceHandle a, SourceHandle b) {
+                  if (stale_gain[a] != stale_gain[b]) {
+                    return stale_gain[a] > stale_gain[b];
+                  }
+                  return a < b;
+                });
+    }
+
+    double best_gain = -std::numeric_limits<double>::infinity();
+    double best_profit = 0.0;
+    SourceHandle best_element = 0;
+    bool found = false;
+    for (SourceHandle handle : sampled) {
+      if (options.lazy && found &&
+          (stale_gain[handle] < best_gain ||
+           (stale_gain[handle] == best_gain && handle > best_element))) {
+        // The stale bound already rules this candidate out (or it could
+        // only tie with a higher handle): an eager scan of the sample
+        // would have scored it for nothing.
+        ++saved;
+        FRESHSEL_OBS_COUNT("selection.stochastic.skips", 1);
+        continue;
+      }
+      const double profit =
+          ctx ? ctx->ProfitWith(handle)
+              : oracle.Profit(internal::WithAdded(selected, handle));
+      const double gain = profit - current;
+      if (options.lazy) stale_gain[handle] = gain;
+      if (!found || gain > best_gain ||
+          (gain == best_gain && handle < best_element)) {
+        best_gain = gain;
+        best_profit = profit;
+        best_element = handle;
+        found = true;
+      }
+    }
+    if (!found || best_gain <= internal::kImprovementEps) break;
+    selected = internal::WithAdded(selected, best_element);
+    if (ctx) ctx->Reset(selected);
+    current = best_profit;
+    FRESHSEL_OBS_COUNT("selection.greedy.rounds", 1);
+  }
+
+  SelectionResult result;
+  result.selected = std::move(selected);
+  result.profit = current;
+  result.oracle_calls = oracle.call_count() - calls_before;
+  result.oracle_calls_saved = saved;
+  return result;
+}
+
 }  // namespace
 
 SelectionResult Greedy(const ProfitFunction& oracle,
                        const PartitionMatroid* matroid,
                        const GreedyOptions& options) {
+  if (options.stochastic) return StochasticGreedy(oracle, matroid, options);
   return options.lazy ? LazyGreedy(oracle, matroid, options.incremental)
                       : EagerGreedy(oracle, matroid, options.incremental);
 }
+
+namespace internal {
+
+std::size_t StochasticSampleSize(std::size_t n, std::size_t k, double eps) {
+  eps = std::clamp(eps, 1e-9, 1.0 - 1e-9);
+  k = std::max<std::size_t>(k, 1);
+  const double ratio = static_cast<double>(n) / static_cast<double>(k);
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(ratio * std::log(1.0 / eps))));
+}
+
+std::size_t DeriveSampleK(std::size_t n, const PartitionMatroid* matroid) {
+  if (matroid == nullptr) return std::max<std::size_t>(n, 1);
+  std::vector<std::size_t> group_sizes(matroid->group_count(), 0);
+  const std::size_t elems = std::min(n, matroid->element_count());
+  for (std::size_t e = 0; e < elems; ++e) {
+    ++group_sizes[matroid->GroupOf(static_cast<SourceHandle>(e))];
+  }
+  std::size_t rank = 0;
+  for (std::size_t g = 0; g < group_sizes.size(); ++g) {
+    rank += std::min<std::size_t>(
+        group_sizes[g], matroid->CapacityOf(static_cast<std::uint32_t>(g)));
+  }
+  return std::max<std::size_t>(rank, 1);
+}
+
+}  // namespace internal
 
 SelectionResult BruteForce(const ProfitFunction& oracle,
                            const PartitionMatroid* matroid) {

@@ -33,6 +33,10 @@ Result<SelectionResult> Dispatch(const ProfitFunction& oracle,
       GreedyOptions options;
       options.lazy = config.lazy_greedy;
       options.incremental = config.incremental_oracle;
+      options.stochastic = config.stochastic_greedy;
+      options.stochastic_epsilon = config.stochastic_epsilon;
+      options.stochastic_seed = config.seed;
+      options.stochastic_k = config.stochastic_k;
       return Greedy(oracle, matroid, options);
     }
     case Algorithm::kMaxSub:
@@ -80,8 +84,12 @@ Result<SelectionResult> SelectSources(const ProfitFunction& oracle,
     FRESHSEL_OBS_COUNT("selection.oracle_calls_saved",
                        result->oracle_calls_saved);
     if (config.report != nullptr) {
-      const std::string algo = AlgorithmName(
+      std::string algo = AlgorithmName(
           config.algorithm, config.grasp_kappa, config.grasp_restarts);
+      if (config.algorithm == Algorithm::kGreedy && config.stochastic_greedy) {
+        algo = StringPrintf("StochasticGreedy-(eps=%g)",
+                            config.stochastic_epsilon);
+      }
       obs::RunReport& report = *config.report;
       report.labels["algorithm"] = algo;
       report.counters["oracle_calls"] += result->oracle_calls;

@@ -40,6 +40,15 @@ struct SelectorConfig {
   /// GreedyOptions::incremental); false forces plain full-set oracle
   /// calls everywhere.
   bool incremental_oracle = true;
+  /// Stochastic greedy for the kGreedy path (see
+  /// GreedyOptions::stochastic): per-round uniform candidate sampling at
+  /// slack `stochastic_epsilon`, seeded from `seed`. Ignored by the other
+  /// algorithms.
+  bool stochastic_greedy = false;
+  double stochastic_epsilon = 0.1;
+  /// Explicit cardinality k for the sample-size formula; 0 derives it
+  /// from the matroid (or n when unconstrained).
+  std::size_t stochastic_k = 0;
   /// Optional thread pool (not owned) for GRASP's parallel candidate
   /// evaluation; used only when the oracle reports thread_safe().
   ThreadPool* pool = nullptr;

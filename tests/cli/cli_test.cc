@@ -259,6 +259,16 @@ TEST_F(CliEndToEndTest, RobustnessFlagsAreValidated) {
                  "--retry-backoff", "-1"},
                 &output),
             0);
+  // Stochastic-greedy epsilon must stay inside the guarantee's (0, 1).
+  EXPECT_NE(Run({"select", "--dir", dir_.c_str(), "--t0", "100",
+                 "--stochastic", "--stochastic-epsilon", "1.5"},
+                &output),
+            0);
+  EXPECT_NE(output.find("stochastic-epsilon"), std::string::npos);
+  EXPECT_NE(Run({"select", "--dir", dir_.c_str(), "--t0", "100",
+                 "--stochastic", "--stochastic-epsilon", "0"},
+                &output),
+            0);
   // Malformed failpoint specs fail before any work happens (or, in an
   // OFF build, any --failpoints value is refused up front).
   EXPECT_NE(Run({"select", "--dir", dir_.c_str(), "--t0", "100",

@@ -436,6 +436,43 @@ TEST_F(FreshselLintTest, FlagsWallClockTimeAndRandomDevice) {
   for (const Finding& f : findings) EXPECT_EQ(f.rule, "nondeterminism");
 }
 
+TEST_F(FreshselLintTest, FlagsRawRandomEngines) {
+  // The stochastic-greedy sampler contract: candidate sampling draws from
+  // seeded common/random.h streams, never from raw std engines (draw
+  // sequences outside the Rng stability tests). srand()/rand() stay the
+  // no-rand rule's territory, so no double-flagging here.
+  WriteFixture("selection/sampler.cc",
+               "#include <random>\n"
+               "std::mt19937 gen(42);\n"
+               "std::mt19937_64 gen64(42);\n"
+               "minstd_rand quick;\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "nondeterminism");
+}
+
+TEST_F(FreshselLintTest, SeededRngStreamsPassClean) {
+  // The sanctioned pattern - a seeded Rng, forked per consumer - must not
+  // trip the engine rule (nor "minstd_rand" lookalikes inside words).
+  WriteFixture("selection/ok_sampler.cc",
+               "#include <cstddef>\n"
+               "#include <cstdint>\n"
+               "#include <vector>\n"
+               "\n"
+               "#include \"common/random.h\"\n"
+               "std::vector<std::size_t> Sample(std::uint64_t seed) {\n"
+               "  freshsel::Rng rng(seed);\n"
+               "  freshsel::Rng child = rng.Fork();\n"
+               "  return rng.SampleWithoutReplacement(10, 3);\n"
+               "}\n"
+               "int mt19937ish_name_in_comment = 0;  // mentions mt19937\n");
+  const std::vector<Finding> findings = Lint();
+  // The identifier matcher is word-boundary based: the declaration line
+  // uses mt19937 only as a substring of a longer identifier, and comment
+  // text is stripped before matching.
+  EXPECT_TRUE(findings.empty());
+}
+
 TEST_F(FreshselLintTest, FlagsUnorderedContainersOnlyInOutputPaths) {
   WriteFixture("io/writer.cc",
                "#include <unordered_map>\n"

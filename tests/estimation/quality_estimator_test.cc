@@ -81,6 +81,47 @@ TEST_F(EstimatorFixture, CreateValidates) {
                   .ok());
 }
 
+TEST_F(EstimatorFixture, CreateRejectsDuplicateEvalTimes) {
+  // A repeated time would alias one lookup slot while EstimateAllTimes /
+  // EstimateAverage weight it twice - InvalidArgument, not silent skew.
+  auto dup =
+      QualityEstimator::Create(*world_, *model_, {}, {kT0 + 10, kT0 + 10});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  // Non-adjacent duplicates are caught too (the check sorts first).
+  auto spread = QualityEstimator::Create(*world_, *model_, {},
+                                         {kT0 + 10, kT0 + 20, kT0 + 10});
+  ASSERT_FALSE(spread.ok());
+  EXPECT_EQ(spread.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EstimatorFixture, CreateRejectsEvalTimesBeyondHorizon) {
+  // Each registered time materializes O(t - t0) tables; a bogus far-future
+  // time means multi-GB allocations, so it is rejected up front.
+  auto bogus = QualityEstimator::Create(*world_, *model_, {},
+                                        {kT0 + kMaxEvalHorizonSteps + 1});
+  ASSERT_FALSE(bogus.ok());
+  EXPECT_EQ(bogus.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(QualityEstimator::Create(*world_, *model_, {},
+                                       {kT0 + kMaxEvalHorizonSteps})
+                  .ok());
+}
+
+using EstimatorDeathTest = EstimatorFixture;
+
+TEST_F(EstimatorDeathTest, EstimateBeforeT0Dies) {
+  // The old behavior returned a silent all-zero quality for t < t0, which
+  // made selections over garbage estimates look like valid selections.
+  QualityEstimator est = MakeEstimator({}, {kT0 + 10});
+  EXPECT_DEATH(est.Estimate({0}, kT0 - 1), "before t0");
+}
+
+TEST_F(EstimatorDeathTest, EstimateBeyondHorizonDies) {
+  QualityEstimator est = MakeEstimator({}, {kT0 + 10});
+  EXPECT_DEATH(est.Estimate({0}, kT0 + kMaxEvalHorizonSteps + 1),
+               "beyond the supported horizon");
+}
+
 TEST_F(EstimatorFixture, AddSourceValidates) {
   QualityEstimator est = MakeEstimator({}, {kT0 + 10});
   EXPECT_FALSE(est.AddSource(nullptr, 1).ok());
