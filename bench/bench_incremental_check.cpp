@@ -20,6 +20,7 @@
 
 #include "bench_util.h"
 #include "harness/learned_scenario.h"
+#include "obs/decision_log.h"
 #include "obs/timer.h"
 #include "selection/algorithms.h"
 #include "selection/cost.h"
@@ -115,6 +116,87 @@ TimedRun RunHillClimb(const Pipeline& p, bool incremental) {
     run.best_seconds = std::min(run.best_seconds, timer.ElapsedSeconds());
   }
   return run;
+}
+
+/// Decision-log reconstruction gate: a CELF run with a DecisionLog
+/// attached must replay the SelectionResult exactly - one kAdd record per
+/// accepted source, the same handle set, bit-identical telescoping of
+/// gain/profit (each recorded gain was computed as `profit_after -
+/// profit_before` on the very same doubles, so re-evaluating the identity
+/// tolerates no drift), and the final recorded profit equal to
+/// SelectionResult::profit. Compiled-out observability (FRESHSEL_OBS=OFF)
+/// leaves the log empty; the gate then degrades to a skip note.
+int CheckDecisionLog(const Pipeline& p, obs::RunReport* report) {
+  obs::DecisionLog log;
+  selection::GreedyOptions options;
+  options.decision_log = &log;
+  const selection::SelectionResult result =
+      selection::Greedy(*p.oracle, p.matroid.get(), options);
+  if (log.empty()) {
+    std::printf("  decision log: empty (observability compiled out)\n");
+    return 0;
+  }
+  int failures = 0;
+  if (log.algorithm() != "greedy/lazy") {
+    std::fprintf(stderr, "FAIL: decision log algorithm '%s' != greedy/lazy\n",
+                 log.algorithm().c_str());
+    ++failures;
+  }
+  std::vector<selection::SourceHandle> chosen;
+  double prev_profit = 0.0;
+  std::uint64_t log_calls = 0;
+  for (std::size_t i = 0; i < log.records().size(); ++i) {
+    const obs::DecisionRecord& record = log.records()[i];
+    log_calls += record.oracle_calls;
+    if (record.kind != obs::DecisionKind::kAdd ||
+        record.round != static_cast<std::uint32_t>(i)) {
+      std::fprintf(
+          stderr, "FAIL: decision %zu: kind %s round %u (want add/%zu)\n",
+          i, std::string(obs::DecisionKindName(record.kind)).c_str(),
+          record.round, i);
+      ++failures;
+    }
+    chosen.push_back(static_cast<selection::SourceHandle>(record.chosen));
+    // Bit-exact: the algorithm computed gain from these same doubles.
+    if (i > 0 && record.gain != record.profit - prev_profit) {
+      std::fprintf(stderr,
+                   "FAIL: decision %zu: gain %.17g != profit delta %.17g\n",
+                   i, record.gain, record.profit - prev_profit);
+      ++failures;
+    }
+    prev_profit = record.profit;
+  }
+  if (log.records().back().profit != result.profit) {
+    std::fprintf(stderr,
+                 "FAIL: final logged profit %.17g != result profit %.17g\n",
+                 log.records().back().profit, result.profit);
+    ++failures;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  if (chosen != result.selected) {
+    std::fprintf(stderr,
+                 "FAIL: logged chosen set (%zu) != selected set (%zu)\n",
+                 chosen.size(), result.selected.size());
+    ++failures;
+  }
+  // Committed rounds cannot claim more evaluations than the run made;
+  // strict equality does not hold (the empty-set seed eval precedes round
+  // 0 and the final sub-epsilon re-scores never commit a record).
+  if (log_calls > result.oracle_calls) {
+    std::fprintf(stderr,
+                 "FAIL: logged oracle calls %llu > result calls %llu\n",
+                 static_cast<unsigned long long>(log_calls),
+                 static_cast<unsigned long long>(result.oracle_calls));
+    ++failures;
+  }
+  std::printf(
+      "  decision log: %zu add decisions reconstruct the selection "
+      "(%zu sources, %llu calls)%s\n",
+      log.records().size(), result.selected.size(),
+      static_cast<unsigned long long>(result.oracle_calls),
+      failures == 0 ? "" : " FAILED");
+  report->counters["decision_log_rounds"] = log.records().size();
+  return failures;
 }
 
 }  // namespace
@@ -216,6 +298,8 @@ int main(int argc, char** argv) {
     report.counters["hillclimb_selected"] = plain.result.selected.size();
     report.counters["hillclimb_oracle_calls"] = inc.result.oracle_calls;
   }
+
+  failures += freshsel::CheckDecisionLog(pipeline, &report);
 
   report.labels["sources"] =
       std::to_string(pipeline.oracle->universe_size());

@@ -24,7 +24,7 @@ Result<ArgMap> ArgMap::Parse(int argc, const char* const* argv) {
     } else if (args.command_.empty()) {
       args.command_ = token;
     } else {
-      return Status::InvalidArgument("unexpected argument: " + token);
+      args.positionals_.push_back(token);
     }
   }
   return args;

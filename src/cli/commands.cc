@@ -91,26 +91,23 @@ Result<LoadedScenario> LoadScenarioDir(const std::string& dir,
   return LoadedScenario{std::move(world), std::move(sources), manifest_t0};
 }
 
-Status CheckUnreadFlags(const ArgMap& args) {
-  const std::vector<std::string> unread = args.UnreadFlags();
-  if (!unread.empty()) {
-    return Status::InvalidArgument("unknown flag(s): --" +
-                                   Join(unread, ", --"));
-  }
-  return Status::OK();
-}
-
 /// Shared --metrics-out / --trace-out plumbing for every command. A
 /// metrics path resets the global registry so the emitted report captures
 /// only this run; a trace path clears and enables span collection. The
 /// command fills `report()` as it goes (labels, counters, stages) and
 /// calls Finish() once, which folds the registry snapshot into the report
-/// and writes both files.
+/// and writes both files. `--report-out` is an alias for `--metrics-out`
+/// (the file is a full run report, not just metrics); `--metrics-format
+/// openmetrics` swaps the JSON document for Prometheus/OpenMetrics text
+/// exposition of the registry snapshot.
 class ObsSession {
  public:
   ObsSession(std::string command, const ArgMap& args)
-      : metrics_path_(args.GetString("metrics-out", "")),
-        trace_path_(args.GetString("trace-out", "")) {
+      : trace_path_(args.GetString("trace-out", "")),
+        format_(args.GetString("metrics-format", "json")) {
+    const std::string metrics = args.GetString("metrics-out", "");
+    const std::string report_out = args.GetString("report-out", "");
+    metrics_path_ = metrics.empty() ? report_out : metrics;
     report_.name = std::move(command);
     if (!metrics_path_.empty()) {
       obs::MetricsRegistry::Global().ResetAll();
@@ -124,13 +121,29 @@ class ObsSession {
   obs::RunReport* report() { return &report_; }
 
   Status Finish() {
+    if (format_ != "json" && format_ != "openmetrics") {
+      return Status::InvalidArgument(
+          "unknown --metrics-format: " + format_ +
+          " (expected json or openmetrics)");
+    }
     if (!trace_path_.empty()) {
       obs::SetTraceEnabled(false);
       FRESHSEL_RETURN_IF_ERROR(obs::WriteTraceFile(trace_path_));
     }
     if (!metrics_path_.empty()) {
       report_.CaptureGlobalMetrics();
-      FRESHSEL_RETURN_IF_ERROR(report_.WriteJsonFile(metrics_path_));
+      if (format_ == "openmetrics") {
+        std::ofstream file(metrics_path_);
+        if (!file) {
+          return Status::IoError("cannot write " + metrics_path_);
+        }
+        file << report_.metrics.ToOpenMetrics();
+        if (!file.good()) {
+          return Status::IoError("failed writing " + metrics_path_);
+        }
+      } else {
+        FRESHSEL_RETURN_IF_ERROR(report_.WriteJsonFile(metrics_path_));
+      }
     }
     return Status::OK();
   }
@@ -138,6 +151,7 @@ class ObsSession {
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  std::string format_;
   obs::RunReport report_;
 };
 
@@ -221,11 +235,29 @@ void ReportDegradation(const estimation::DegradationReport& degradation,
                        obs::RunReport* report, std::ostream& out) {
   report->counters["degraded_sources"] = degradation.degraded.size();
   for (const estimation::DegradedSource& source : degradation.degraded) {
+    report->decision_log.AddDegradation(source.name, source.reason);
     out << "degraded: " << source.name << " - " << source.reason << "\n";
   }
 }
 
 }  // namespace
+
+Status CheckUnreadFlags(const ArgMap& args) {
+  const std::vector<std::string> unread = args.UnreadFlags();
+  if (!unread.empty()) {
+    return Status::InvalidArgument("unknown flag(s): --" +
+                                   Join(unread, ", --"));
+  }
+  return Status::OK();
+}
+
+Status CheckNoPositionals(const ArgMap& args) {
+  if (!args.positionals().empty()) {
+    return Status::InvalidArgument("unexpected argument: " +
+                                   args.positionals().front());
+  }
+  return Status::OK();
+}
 
 Status RunSimulate(const ArgMap& args, std::ostream& out) {
   const std::string workload = args.GetString("workload", "bl");
@@ -241,6 +273,7 @@ Status RunSimulate(const ArgMap& args, std::ostream& out) {
                             ReadRobustnessFlags(args));
   obs_session.report()->deterministic = robust.deterministic_metrics;
   FRESHSEL_RETURN_IF_ERROR(CheckUnreadFlags(args));
+  FRESHSEL_RETURN_IF_ERROR(CheckNoPositionals(args));
   if (out_dir.empty()) {
     return Status::InvalidArgument("simulate requires --out DIR");
   }
@@ -319,6 +352,7 @@ Status RunCharacterize(const ArgMap& args, std::ostream& out) {
   FRESHSEL_ASSIGN_OR_RETURN(estimation::DegradationMode degradation_mode,
                             ReadDegradationMode(args));
   FRESHSEL_RETURN_IF_ERROR(CheckUnreadFlags(args));
+  FRESHSEL_RETURN_IF_ERROR(CheckNoPositionals(args));
   if (dir.empty()) {
     return Status::InvalidArgument("characterize requires --dir DIR");
   }
@@ -405,6 +439,7 @@ Status RunSelect(const ArgMap& args, std::ostream& out) {
   FRESHSEL_ASSIGN_OR_RETURN(estimation::DegradationMode degradation_mode,
                             ReadDegradationMode(args));
   FRESHSEL_RETURN_IF_ERROR(CheckUnreadFlags(args));
+  FRESHSEL_RETURN_IF_ERROR(CheckNoPositionals(args));
   if (dir.empty()) {
     return Status::InvalidArgument("select requires --dir DIR");
   }
@@ -512,6 +547,7 @@ Status RunSelect(const ArgMap& args, std::ostream& out) {
     budgeted_options.stochastic = stochastic;
     budgeted_options.stochastic_epsilon = stochastic_epsilon;
     budgeted_options.stochastic_seed = static_cast<std::uint64_t>(seed);
+    budgeted_options.decision_log = &report.decision_log;
     result = selection::BudgetedGreedy(cached, budgeted_options);
     report.labels["algorithm"] = "BudgetedGreedy";
     report.counters["oracle_calls"] += result.oracle_calls;
@@ -537,6 +573,10 @@ Status RunSelect(const ArgMap& args, std::ostream& out) {
     config.stochastic_greedy = stochastic;
     config.stochastic_epsilon = stochastic_epsilon;
     config.report = &report;
+    // Explicit wiring (never automatic inside SelectSources): bench loops
+    // reuse one report across many SelectSources calls and must not
+    // accumulate per-round records.
+    config.decision_log = &report.decision_log;
     // GRASP fans candidate scoring out over the pool when --threads > 1
     // (the trace then shows score chunks attributed across worker tids).
     std::unique_ptr<ThreadPool> pool;
@@ -588,8 +628,11 @@ int RunMain(int argc, const char* const* argv, std::ostream& out,
     status = RunCharacterize(*args, out);
   } else if (args->command() == "select") {
     status = RunSelect(*args, out);
+  } else if (args->command() == "report") {
+    status = RunReportCommand(*args, out);
   } else {
-    err << "usage: freshsel <simulate|characterize|select> [--flags]\n"
+    err << "usage: freshsel <simulate|characterize|select|report> "
+           "[--flags]\n"
         << "  simulate     --workload bl|gdelt --out DIR [--seed N "
            "--scale X --locations N --categories N]\n"
         << "  characterize --dir DIR --t0 N\n"
@@ -603,8 +646,14 @@ int RunMain(int argc, const char* const* argv, std::ostream& out,
            "--stochastic-epsilon E, seeded by --seed)\n"
         << "                --fast-math-kernels (SIMD reductions in the "
            "estimator; small bounded deviation)]\n"
+        << "  report       show RUN.json [--rounds N --top N] | diff A.json "
+           "B.json |\n"
+        << "               check-regression FRESH.json --baseline BASE.json "
+           "[--tolerance X --keys-only]\n"
         << "  every command also accepts --metrics-out FILE (JSON run "
-           "report)\n"
+           "report; --report-out is an alias,\n"
+        << "                          --metrics-format json|openmetrics "
+           "picks the encoding)\n"
         << "                          and --trace-out FILE (chrome://tracing "
            "JSON)\n"
         << "  robustness flags: --failpoints 'name=once|always|nth:N|"

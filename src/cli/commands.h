@@ -29,11 +29,26 @@ namespace freshsel::cli {
 ///     chosen sources (with frequency divisors when --max-divisor > 1) and
 ///     the expected integration quality.
 ///
+///   freshsel report show RUN.json | diff A.json B.json |
+///       check-regression FRESH.json --baseline BASE.json
+///     Inspects --metrics-out / --report-out run reports: `show` renders
+///     the stages, hot counters, histogram percentiles and the per-round
+///     selection decision table; `diff` prints counter/value deltas and
+///     the first decision where two runs diverge; `check-regression`
+///     compares a fresh bench report against a committed baseline with
+///     per-metric tolerance bands and fails (non-zero exit) on regression.
+///
 /// All commands write human-readable tables to `out` and return a Status;
 /// `RunMain` wraps them with error reporting for main().
 Status RunSimulate(const ArgMap& args, std::ostream& out);
 Status RunCharacterize(const ArgMap& args, std::ostream& out);
 Status RunSelect(const ArgMap& args, std::ostream& out);
+Status RunReportCommand(const ArgMap& args, std::ostream& out);
+
+/// Shared argument hygiene: flags that were provided but never read are
+/// typos; commands that take no positionals reject stray tokens.
+Status CheckUnreadFlags(const ArgMap& args);
+Status CheckNoPositionals(const ArgMap& args);
 
 /// Dispatches on args.command(); prints usage on unknown commands.
 int RunMain(int argc, const char* const* argv, std::ostream& out,

@@ -18,6 +18,7 @@ namespace fs = std::filesystem;
 // mistakes the parser for a marker site.
 const std::string kAllowMarker = std::string("FRESHSEL_LINT") + "_ALLOW(";
 const std::string kFailpointMacro = std::string("FRESHSEL_") + "FAILPOINT";
+const std::string kObsMacroPrefix = std::string("FRESHSEL_") + "OBS_";
 
 bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -510,6 +511,74 @@ void CheckFailpointName(const FileCtx& ctx, std::vector<Finding>* findings) {
 }
 
 // ---------------------------------------------------------------------------
+// obs-counter-name: FRESHSEL_OBS metric ids follow `subsystem.noun.verb`
+// (three or more lowercase dot-separated segments) so dashboards, the
+// report diff tool, and the OpenMetrics exposition can group series by
+// layer and entity without a hand-maintained mapping.
+
+bool IsValidMetricName(std::string_view name) {
+  std::size_t segments = 0;
+  bool segment_empty = true;
+  for (char c : name) {
+    if (c == '.') {
+      if (segment_empty) return false;
+      ++segments;
+      segment_empty = true;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+               c == '_') {
+      segment_empty = false;
+    } else {
+      return false;
+    }
+  }
+  if (segment_empty) return false;
+  ++segments;
+  return segments >= 3;
+}
+
+void CheckObsCounterName(const FileCtx& ctx,
+                         std::vector<Finding>* findings) {
+  // Macros whose first argument is a metric id. The definitions themselves
+  // (first argument a parameter name, not a string literal) are skipped by
+  // the literal scan, as are call-through wrappers.
+  static const std::vector<std::string_view>& kMetricMacros =
+      *new std::vector<std::string_view>{
+          "COUNT", "GAUGE_SET", "HISTOGRAM_RECORD", "SCOPED_LATENCY"};
+  for (std::size_t i = 0; i < ctx.with_strings.size(); ++i) {
+    const std::string& line = ctx.with_strings[i];
+    std::size_t pos = 0;
+    while ((pos = line.find(kObsMacroPrefix, pos)) != std::string::npos) {
+      const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+      std::size_t after = pos + kObsMacroPrefix.size();
+      pos = after;
+      if (!left_ok) continue;
+      bool known = false;
+      for (std::string_view suffix : kMetricMacros) {
+        if (line.compare(after, suffix.size(), suffix) == 0 &&
+            after + suffix.size() < line.size() &&
+            line[after + suffix.size()] == '(') {
+          after += suffix.size();
+          known = true;
+          break;
+        }
+      }
+      if (!known) continue;
+      std::string literal;
+      if (FindFailpointLiteral(ctx.with_strings, i, after + 1, &literal) &&
+          !IsValidMetricName(literal)) {
+        findings->push_back(
+            {ctx.file, i + 1, "obs-counter-name",
+             "metric id '" + literal +
+                 "' must follow subsystem.noun.verb naming "
+                 "([a-z0-9_]+(.[a-z0-9_]+){2,}, e.g. "
+                 "\"selection.oracle.calls\")"});
+      }
+      pos = after;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // status-must-use: a bare statement calling a Status/Result-returning
 // function silently drops the error. Paired with [[nodiscard]] on the
 // types themselves (compiler-enforced); the lint rule is the portable
@@ -797,6 +866,8 @@ const std::vector<RuleInfo>& RuleCatalog() {
        false},
       {"obs-clock",
        "steady_clock outside obs/; time through the obs layer", false},
+      {"obs-counter-name",
+       "FRESHSEL_OBS metric ids follow subsystem.noun.verb naming", false},
       {"raw-mutex",
        "std::mutex family outside src/common/; use annotated "
        "freshsel::Mutex",
@@ -971,6 +1042,9 @@ void LintFile(const fs::path& file, const fs::path& relative,
   if (RuleEnabled(ctx, "raw-mutex")) CheckRawMutex(ctx, &file_findings);
   if (RuleEnabled(ctx, "failpoint-name")) {
     CheckFailpointName(ctx, &file_findings);
+  }
+  if (RuleEnabled(ctx, "obs-counter-name")) {
+    CheckObsCounterName(ctx, &file_findings);
   }
   if (status_functions != nullptr &&
       RuleEnabled(ctx, "status-must-use")) {

@@ -156,7 +156,7 @@ Result<RobustProfiles> LearnSourceProfilesRobust(
     }
     out.report.degraded.push_back(
         DegradedSource{i, histories[i].name(), reason.str()});
-    FRESHSEL_OBS_COUNT("estimation.degraded_sources", 1);
+    FRESHSEL_OBS_COUNT("estimation.degraded.sources", 1);
   }
   std::size_t next = 0;
   for (std::size_t i : unfittable) {

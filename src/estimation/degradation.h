@@ -77,7 +77,7 @@ struct RobustProfiles {
 /// every offender; in kDegrade mode each is replaced by MakePriorProfile
 /// built from the fitted peers sharing a declared subdomain (all fitted
 /// peers when none overlap), bumping the obs counter
-/// `estimation.degraded_sources` once per substitution.
+/// `estimation.degraded.sources` once per substitution.
 Result<RobustProfiles> LearnSourceProfilesRobust(
     const world::World& world,
     const std::vector<source::SourceHistory>& histories, TimePoint t0,

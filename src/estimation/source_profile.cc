@@ -151,7 +151,7 @@ Result<SourceProfile> LearnSourceProfile(const world::World& world,
   auto fit_or_zero =
       [](const stats::KaplanMeierEstimator& km) -> stats::StepFunction {
     if (km.sample_size() == 0) return stats::StepFunction::Constant(0.0);
-    FRESHSEL_OBS_COUNT("estimation.km_fits", 1);
+    FRESHSEL_OBS_COUNT("estimation.km.fits", 1);
     Result<stats::StepFunction> fitted = km.Fit();
     return fitted.ok() ? *fitted : stats::StepFunction::Constant(0.0);
   };

@@ -80,7 +80,7 @@ bool Failpoint::Evaluate() {
   }
   if (fire) {
     ++fires_;
-    FRESHSEL_OBS_COUNT("fault.injected", 1);
+    FRESHSEL_OBS_COUNT("fault.failpoints.injected", 1);
   }
   return fire;
 }

@@ -58,14 +58,14 @@ Status RetryPolicy::Run(std::string_view op_name,
   Status status = Status::OK();
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) {
-      FRESHSEL_OBS_COUNT("io.retries", 1);
+      FRESHSEL_OBS_COUNT("io.retry.attempts", 1);
       if (on_retry_) on_retry_(op_name, attempt - 1, status);
       sleep_fn_(BackoffSeconds(attempt - 1));
     }
     status = op();
     if (status.ok() || !IsRetryable(status)) return status;
   }
-  FRESHSEL_OBS_COUNT("io.retries_exhausted", 1);
+  FRESHSEL_OBS_COUNT("io.retry.exhausted", 1);
   return status;
 }
 

@@ -50,8 +50,8 @@ class RetryPolicy {
   /// Runs `op` up to max_attempts times, sleeping BackoffSeconds between
   /// attempts while the returned Status is retryable. Returns the first
   /// success or the last failure. Each retry invokes the `on_retry` hook
-  /// (if any) and bumps the obs counter `io.retries`; exhaustion bumps
-  /// `io.retries_exhausted`.
+  /// (if any) and bumps the obs counter `io.retry.attempts`; exhaustion bumps
+  /// `io.retry.exhausted`.
   Status Run(std::string_view op_name,
              const std::function<Status()>& op) const;
 

@@ -18,6 +18,7 @@
 ///   workloads/    BL-like / GDELT-like / BL+ scenario generators
 ///   harness/      experiment drivers used by the benches
 ///   io/           CSV persistence for worlds and source histories
+///   obs/          metrics, tracing, decision logs, and run reports
 
 #include "common/bit_vector.h"
 #include "common/random.h"
@@ -38,6 +39,7 @@
 #include "integration/union_integrator.h"
 #include "io/scenario_io.h"
 #include "metrics/quality.h"
+#include "obs/obs.h"
 #include "selection/algorithms.h"
 #include "selection/budgeted_greedy.h"
 #include "selection/cost.h"

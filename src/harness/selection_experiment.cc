@@ -124,7 +124,7 @@ Result<std::vector<AlgoAggregate>> RunComparison(
 
   for (const DomainPoint& point : points) {
     FRESHSEL_TRACE_SPAN("harness/domain_point");
-    FRESHSEL_OBS_COUNT("harness.domain_points", 1);
+    FRESHSEL_OBS_COUNT("harness.domain_points.evaluated", 1);
     FRESHSEL_ASSIGN_OR_RETURN(PointSetup setup,
                               BuildPoint(learned, point, config));
     const selection::PartitionMatroid* matroid =

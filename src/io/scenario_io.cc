@@ -67,7 +67,7 @@ Status WriteWorldCsv(const world::World& world, const std::string& path) {
         << ',';
     if (entity.death != world::kNever) out << entity.death;
     out << ',' << JoinTimes(entity.update_times) << '\n';
-    FRESHSEL_OBS_COUNT("io.world_rows_written", 1);
+    FRESHSEL_OBS_COUNT("io.world_rows.written", 1);
   }
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
@@ -126,7 +126,7 @@ Result<world::World> ReadWorldCsv(const std::string& path) {
     }
     FRESHSEL_ASSIGN_OR_RETURN(record.update_times, ParseTimes(fields[4]));
     FRESHSEL_RETURN_IF_ERROR(world.AddEntity(std::move(record)));
-    FRESHSEL_OBS_COUNT("io.world_rows_read", 1);
+    FRESHSEL_OBS_COUNT("io.world_rows.read", 1);
   }
   FRESHSEL_RETURN_IF_ERROR(world.Finalize());
   return world;
@@ -241,7 +241,7 @@ Result<source::SourceHistory> ReadSourceHistoryCsv(const std::string& path) {
       }
     }
     FRESHSEL_RETURN_IF_ERROR(history.AddRecord(std::move(record)));
-    FRESHSEL_OBS_COUNT("io.source_rows_read", 1);
+    FRESHSEL_OBS_COUNT("io.source_rows.read", 1);
   }
   return history;
 }

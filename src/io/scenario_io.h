@@ -49,7 +49,7 @@ Result<source::SourceHistory> ReadSourceHistoryCsv(const std::string& path);
 /// loaders above carry `io.read` / `io.write` failpoints at their entry,
 /// and these wrappers drive them through `retry` — transient failures
 /// (IoError, Unavailable) are reattempted under the policy's capped
-/// exponential backoff, each retry bumping the obs counter `io.retries`.
+/// exponential backoff, each retry bumping the obs counter `io.retry.attempts`.
 Result<world::World> ReadWorldCsv(const std::string& path,
                                   const fault::RetryPolicy& retry);
 Result<source::SourceHistory> ReadSourceHistoryCsv(

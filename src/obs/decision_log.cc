@@ -1,0 +1,135 @@
+#include "obs/decision_log.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/json_reader.h"
+
+namespace freshsel::obs {
+
+std::string_view DecisionKindName(DecisionKind kind) {
+  switch (kind) {
+    case DecisionKind::kAdd:
+      return "add";
+    case DecisionKind::kRemove:
+      return "remove";
+    case DecisionKind::kSwap:
+      return "swap";
+    case DecisionKind::kSingleton:
+      return "singleton";
+  }
+  return "add";
+}
+
+namespace {
+
+DecisionKind KindFromName(std::string_view name) {
+  if (name == "remove") return DecisionKind::kRemove;
+  if (name == "swap") return DecisionKind::kSwap;
+  if (name == "singleton") return DecisionKind::kSingleton;
+  return DecisionKind::kAdd;
+}
+
+}  // namespace
+
+void DecisionLog::AppendJson(JsonWriter& writer) const {
+  writer.BeginObject();
+  writer.Field("algorithm", std::string_view(algorithm_));
+  writer.Key("decisions");
+  writer.BeginArray();
+  for (const DecisionRecord& record : records_) {
+    writer.BeginObject();
+    writer.Field("round", static_cast<std::uint64_t>(record.round));
+    if (record.restart != 0) {
+      writer.Field("restart", static_cast<std::uint64_t>(record.restart));
+    }
+    writer.Field("kind", DecisionKindName(record.kind));
+    writer.Field("chosen", static_cast<std::uint64_t>(record.chosen));
+    if (record.kind == DecisionKind::kSwap) {
+      writer.Field("partner", static_cast<std::uint64_t>(record.partner));
+    }
+    writer.Field("gain", record.gain);
+    writer.Field("profit", record.profit);
+    writer.Field("score", record.score);
+    if (record.has_runner_up) {
+      writer.Field("runner_up", static_cast<std::uint64_t>(record.runner_up));
+      writer.Field("runner_up_score", record.runner_up_score);
+      writer.Field("margin", record.margin);
+    }
+    writer.Field("oracle_calls", record.oracle_calls);
+    writer.Field("calls_saved", record.calls_saved);
+    if (record.cache_hits != 0) {
+      writer.Field("cache_hits", record.cache_hits);
+    }
+    if (record.sample_size != 0) {
+      writer.Field("sample_size", record.sample_size);
+    }
+    writer.Field("pool_size", record.pool_size);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("degraded");
+  writer.BeginArray();
+  for (const DecisionDegradation& entry : degraded_) {
+    writer.BeginObject();
+    writer.Field("source", std::string_view(entry.source));
+    writer.Field("reason", std::string_view(entry.reason));
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+}
+
+Result<DecisionLog> DecisionLog::FromJsonValue(const JsonValue& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("decision_log is not a JSON object");
+  }
+  DecisionLog log;
+  log.set_algorithm(value.StringOr("algorithm", ""));
+  if (const JsonValue* decisions = value.Find("decisions");
+      decisions != nullptr && decisions->is_array()) {
+    for (const JsonValue& entry : decisions->items()) {
+      if (!entry.is_object()) {
+        return Status::InvalidArgument("decision entry is not an object");
+      }
+      DecisionRecord record;
+      record.round = static_cast<std::uint32_t>(entry.UintOr("round", 0));
+      record.restart =
+          static_cast<std::uint32_t>(entry.UintOr("restart", 0));
+      record.kind = KindFromName(entry.StringOr("kind", "add"));
+      record.chosen = static_cast<std::uint32_t>(entry.UintOr("chosen", 0));
+      record.partner =
+          static_cast<std::uint32_t>(entry.UintOr("partner", 0));
+      record.gain = entry.NumberOr("gain", 0.0);
+      record.profit = entry.NumberOr("profit", 0.0);
+      record.score = entry.NumberOr("score", 0.0);
+      record.has_runner_up = entry.Find("runner_up") != nullptr;
+      record.runner_up =
+          static_cast<std::uint32_t>(entry.UintOr("runner_up", 0));
+      record.runner_up_score = entry.NumberOr("runner_up_score", 0.0);
+      record.margin = entry.NumberOr("margin", 0.0);
+      record.oracle_calls = entry.UintOr("oracle_calls", 0);
+      record.calls_saved = entry.UintOr("calls_saved", 0);
+      record.cache_hits = entry.UintOr("cache_hits", 0);
+      record.sample_size = entry.UintOr("sample_size", 0);
+      record.pool_size = entry.UintOr("pool_size", 0);
+      log.Record(record);
+    }
+  }
+  if (const JsonValue* degraded = value.Find("degraded");
+      degraded != nullptr && degraded->is_array()) {
+    for (const JsonValue& entry : degraded->items()) {
+      if (!entry.is_object()) {
+        return Status::InvalidArgument("degraded entry is not an object");
+      }
+      log.AddDegradation(entry.StringOr("source", ""),
+                         entry.StringOr("reason", ""));
+    }
+  }
+  return log;
+}
+
+}  // namespace freshsel::obs

@@ -1,0 +1,385 @@
+#include "obs/json_reader.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace freshsel::obs {
+
+std::uint64_t JsonValue::AsUint64() const {
+  if (!is_number()) return 0;
+  if (exact_uint_) return uint_;
+  if (number_ <= 0.0) return 0;
+  return static_cast<std::uint64_t>(number_);
+}
+
+const std::string& JsonValue::AsString() const {
+  static const std::string* empty = new std::string();
+  return is_string() ? string_ : *empty;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  const JsonValue* found = nullptr;
+  for (const Member& member : members_) {
+    if (member.first == key) found = &member.second;
+  }
+  return found;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* member = Find(key);
+  return member != nullptr && member->is_number() ? member->AsDouble()
+                                                  : fallback;
+}
+
+std::uint64_t JsonValue::UintOr(std::string_view key,
+                                std::uint64_t fallback) const {
+  const JsonValue* member = Find(key);
+  return member != nullptr && member->is_number() ? member->AsUint64()
+                                                  : fallback;
+}
+
+std::string JsonValue::StringOr(std::string_view key,
+                                std::string_view fallback) const {
+  const JsonValue* member = Find(key);
+  return member != nullptr && member->is_string()
+             ? member->AsString()
+             : std::string(fallback);
+}
+
+JsonValue JsonValue::MakeBool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::MakeUint(std::uint64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = static_cast<double>(value);
+  v.uint_ = value;
+  v.exact_uint_ = true;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(std::vector<Member> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Single pass, no lookahead
+/// beyond one character; depth-limited so pathological nesting cannot blow
+/// the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    FRESHSEL_RETURN_IF_ERROR(ParseValue(&root));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 96;
+
+  Status Error(std::string_view what) const {
+    return Status::InvalidArgument(StringPrintf(
+        "json parse error at offset %zu: %.*s", pos_,
+        static_cast<int>(what.size()), what.data()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    if (depth_ >= kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        return ParseString(out);
+      case 't':
+        if (!ConsumeLiteral("true")) return Error("invalid literal");
+        *out = JsonValue::MakeBool(true);
+        return Status::OK();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Error("invalid literal");
+        *out = JsonValue::MakeBool(false);
+        return Status::OK();
+      case 'n':
+        if (!ConsumeLiteral("null")) return Error("invalid literal");
+        *out = JsonValue::MakeNull();
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out) {
+    ++pos_;  // '{'
+    ++depth_;
+    std::vector<JsonValue::Member> members;
+    SkipWhitespace();
+    if (!Consume('}')) {
+      while (true) {
+        SkipWhitespace();
+        JsonValue key;
+        FRESHSEL_RETURN_IF_ERROR(ParseString(&key));
+        SkipWhitespace();
+        if (!Consume(':')) return Error("expected ':' after object key");
+        JsonValue value;
+        FRESHSEL_RETURN_IF_ERROR(ParseValue(&value));
+        members.emplace_back(key.AsString(), std::move(value));
+        SkipWhitespace();
+        if (Consume(',')) continue;
+        if (Consume('}')) break;
+        return Error("expected ',' or '}' in object");
+      }
+    }
+    --depth_;
+    *out = JsonValue::MakeObject(std::move(members));
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out) {
+    ++pos_;  // '['
+    ++depth_;
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (!Consume(']')) {
+      while (true) {
+        JsonValue item;
+        FRESHSEL_RETURN_IF_ERROR(ParseValue(&item));
+        items.push_back(std::move(item));
+        SkipWhitespace();
+        if (Consume(',')) continue;
+        if (Consume(']')) break;
+        return Error("expected ',' or ']' in array");
+      }
+    }
+    --depth_;
+    *out = JsonValue::MakeArray(std::move(items));
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::uint32_t code_point, std::string* out) {
+    if (code_point < 0x80) {
+      out->push_back(static_cast<char>(code_point));
+    } else if (code_point < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else if (code_point < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    }
+  }
+
+  Status ParseHex4(std::uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape digit");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  Status ParseString(JsonValue* out) {
+    if (!Consume('"')) return Error("expected string");
+    std::string value;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        value.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': value.push_back('"'); break;
+        case '\\': value.push_back('\\'); break;
+        case '/': value.push_back('/'); break;
+        case 'b': value.push_back('\b'); break;
+        case 'f': value.push_back('\f'); break;
+        case 'n': value.push_back('\n'); break;
+        case 'r': value.push_back('\r'); break;
+        case 't': value.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t code_point = 0;
+          FRESHSEL_RETURN_IF_ERROR(ParseHex4(&code_point));
+          if (code_point >= 0xD800 && code_point <= 0xDBFF &&
+              text_.substr(pos_, 2) == "\\u") {
+            // Surrogate pair: combine with the low half when present.
+            pos_ += 2;
+            std::uint32_t low = 0;
+            FRESHSEL_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            code_point =
+                0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          }
+          AppendUtf8(code_point, &value);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    *out = JsonValue::MakeString(std::move(value));
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    static_cast<void>(Consume('-'));
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool integral = pos_ > start && text_[start] != '-';
+    if (Consume('.')) {
+      integral = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) {
+      return Error("invalid number");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral && token.size() <= 19) {
+      // Plain unsigned integers keep their exact value (counters can
+      // exceed the 2^53 double-exact range); 19 digits always fits uint64
+      // modulo the top of the range, which strtoull saturates - fall back
+      // to the double path on overflow.
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long exact = std::strtoull(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        *out = JsonValue::MakeUint(static_cast<std::uint64_t>(exact));
+        return Status::OK();
+      }
+    }
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("invalid number");
+    *out = JsonValue::MakeNumber(value);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+Result<JsonValue> ParseJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read json file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("error reading json file: " + path);
+  return ParseJson(buffer.str());
+}
+
+}  // namespace freshsel::obs

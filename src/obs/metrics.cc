@@ -48,6 +48,29 @@ std::vector<double> Histogram::DefaultLatencyBounds() {
   return bounds;
 }
 
+double Histogram::Snapshot::Percentile(double q) const {
+  if (count == 0 || bounds.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th record, 1-based; q=0 targets the first record.
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    const double bucket_start = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds.size()) return bounds.back();  // Overflow bucket.
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double fraction =
+        (rank - bucket_start) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * (fraction < 0.0 ? 0.0 : fraction);
+  }
+  return bounds.back();
+}
+
 Histogram::Snapshot Histogram::TakeSnapshot() const {
   Snapshot snapshot;
   snapshot.bounds = bounds_;
@@ -90,6 +113,9 @@ void MetricsSnapshot::AppendJson(JsonWriter& writer) const {
     writer.Field("count", histogram.count);
     writer.Field("sum", histogram.sum);
     writer.Field("mean", histogram.Mean());
+    writer.Field("p50", histogram.Percentile(0.50));
+    writer.Field("p95", histogram.Percentile(0.95));
+    writer.Field("p99", histogram.Percentile(0.99));
     writer.Key("bounds");
     writer.BeginArray();
     for (double bound : histogram.bounds) writer.Double(bound);
@@ -120,9 +146,11 @@ std::string MetricsSnapshot::ToText() const {
     out += StringPrintf("gauge     %-40s %g\n", name.c_str(), value);
   }
   for (const auto& [name, histogram] : histograms) {
-    out += StringPrintf("histogram %-40s count=%llu mean=%g\n", name.c_str(),
-                        static_cast<unsigned long long>(histogram.count),
-                        histogram.Mean());
+    out += StringPrintf(
+        "histogram %-40s count=%llu mean=%g p50=%g p95=%g p99=%g\n",
+        name.c_str(), static_cast<unsigned long long>(histogram.count),
+        histogram.Mean(), histogram.Percentile(0.50),
+        histogram.Percentile(0.95), histogram.Percentile(0.99));
   }
   return out;
 }

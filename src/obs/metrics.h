@@ -89,6 +89,14 @@ class Histogram {
     double Mean() const {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
+    /// Quantile estimate (q in [0, 1]) by linear interpolation inside the
+    /// bucket holding the q-th record: walk the cumulative counts to the
+    /// target rank, then interpolate between the bucket's lower and upper
+    /// edges by the rank's position within the bucket. The first bucket's
+    /// lower edge is 0 (latency histograms never see negatives); records
+    /// in the overflow bucket report the last finite edge (the estimate
+    /// is a floor, not an extrapolation). Empty histograms report 0.
+    double Percentile(double q) const;
   };
   Snapshot TakeSnapshot() const;
 
@@ -116,6 +124,13 @@ struct MetricsSnapshot {
   /// by RunReport to embed the snapshot).
   void AppendJson(class JsonWriter& writer) const;
   std::string ToText() const;
+  /// OpenMetrics text exposition (the Prometheus scrape format): one
+  /// `# TYPE`/`# HELP` pair per metric, counters as `<name>_total`,
+  /// histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+  /// `_count`, terminated by `# EOF`. Metric names are sanitized
+  /// (`.` -> `_`, prefix `freshsel_`); the original dotted id is kept in
+  /// the HELP line. Defined in openmetrics.cc.
+  std::string ToOpenMetrics() const;
 };
 
 /// Process-wide registry of named metrics. Lookup takes a mutex once per

@@ -1,0 +1,109 @@
+// OpenMetrics text exposition for MetricsSnapshot (the scrape surface for
+// the future selection-as-a-service daemon, ROADMAP item 1). Kept out of
+// metrics.cc so the hot-path metric code and the wire format evolve
+// independently.
+//
+// Format per the OpenMetrics spec (the Prometheus text format, v1.0.0):
+//   - `# TYPE <name> counter|gauge|histogram` and `# HELP <name> <text>`
+//     precede each metric family, HELP text with `\\` and `\n` escaped;
+//   - counter samples get the `_total` suffix;
+//   - histograms expose cumulative `_bucket{le="<edge>"}` samples ending
+//     in `le="+Inf"`, plus `_sum` and `_count`;
+//   - the exposition ends with `# EOF`.
+// Dotted freshsel metric ids (`selection.cache.hits`) are sanitized to
+// `freshsel_selection_cache_hits`; the original id is preserved verbatim
+// in the HELP line so dashboards can map back.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace freshsel::obs {
+
+namespace {
+
+/// Sanitizes a dotted metric id into an OpenMetrics metric name:
+/// `[a-zA-Z_][a-zA-Z0-9_]*`, `freshsel_` prefixed.
+std::string MetricName(std::string_view id) {
+  std::string name = "freshsel_";
+  for (char c : id) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+    name.push_back(keep ? c : '_');
+  }
+  return name;
+}
+
+/// Escapes a HELP text: only `\` and newline need escaping there.
+std::string EscapeHelp(std::string_view text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void AppendFamilyHeader(const std::string& name, std::string_view type,
+                        std::string_view id, std::string* out) {
+  *out += "# TYPE " + name + " " + std::string(type) + "\n";
+  *out += "# HELP " + name + " freshsel " + std::string(type) + " " +
+          EscapeHelp(id) + "\n";
+}
+
+std::string FormatDouble(double value) {
+  // %.17g round-trips doubles exactly, matching the JSON serializer so
+  // the two export formats never disagree on a value.
+  return StringPrintf("%.17g", value);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToOpenMetrics() const {
+  std::string out;
+  for (const auto& [id, value] : counters) {
+    const std::string name = MetricName(id);
+    AppendFamilyHeader(name, "counter", id, &out);
+    out += name + "_total " +
+           StringPrintf("%llu", static_cast<unsigned long long>(value)) +
+           "\n";
+  }
+  for (const auto& [id, value] : gauges) {
+    const std::string name = MetricName(id);
+    AppendFamilyHeader(name, "gauge", id, &out);
+    out += name + " " + FormatDouble(value) + "\n";
+  }
+  for (const auto& [id, histogram] : histograms) {
+    const std::string name = MetricName(id);
+    AppendFamilyHeader(name, "histogram", id, &out);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.counts.size(); ++i) {
+      cumulative += histogram.counts[i];
+      const std::string le = i < histogram.bounds.size()
+                                 ? FormatDouble(histogram.bounds[i])
+                                 : std::string("+Inf");
+      out += name + "_bucket{le=\"" + le + "\"} " +
+             StringPrintf("%llu",
+                          static_cast<unsigned long long>(cumulative)) +
+             "\n";
+    }
+    out += name + "_sum " + FormatDouble(histogram.sum) + "\n";
+    out += name + "_count " +
+           StringPrintf("%llu",
+                        static_cast<unsigned long long>(histogram.count)) +
+           "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace freshsel::obs

@@ -120,7 +120,28 @@ std::uint64_t TraceDroppedCount() {
   return dropped;
 }
 
-std::string TraceToChromeJson(const std::vector<TraceEvent>& events) {
+std::vector<TraceDrop> TraceDroppedByThread() {
+  TraceState& state = State();
+  std::vector<TraceDrop> drops;
+  MutexLock registry_lock(state.registry_mutex);
+  for (const auto& buffer : state.buffers) {
+    MutexLock lock(buffer->mutex);
+    if (buffer->dropped != 0) {
+      drops.push_back(TraceDrop{buffer->tid, buffer->dropped});
+    }
+  }
+  // Tids are assigned in registration order, so this is already sorted;
+  // the sort pins the ordering contract rather than an implementation
+  // detail of the registry.
+  std::sort(drops.begin(), drops.end(),
+            [](const TraceDrop& a, const TraceDrop& b) {
+              return a.tid < b.tid;
+            });
+  return drops;
+}
+
+std::string TraceToChromeJson(const std::vector<TraceEvent>& events,
+                              const std::vector<TraceDrop>& drops) {
   std::uint64_t base_ns = 0;
   for (const TraceEvent& event : events) {
     if (base_ns == 0 || event.begin_ns < base_ns) base_ns = event.begin_ns;
@@ -149,12 +170,35 @@ std::string TraceToChromeJson(const std::vector<TraceEvent>& events) {
   }
   writer.EndArray();
   writer.Field("displayTimeUnit", std::string_view("ms"));
+  if (!drops.empty()) {
+    std::uint64_t total = 0;
+    for (const TraceDrop& drop : drops) total += drop.dropped;
+    writer.Key("otherData");
+    writer.BeginObject();
+    writer.Field("dropped_events", total);
+    writer.Key("dropped_by_thread");
+    writer.BeginArray();
+    for (const TraceDrop& drop : drops) {
+      writer.BeginObject();
+      writer.Key("tid");
+      writer.Uint(drop.tid);
+      writer.Field("dropped", drop.dropped);
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.EndObject();
+  }
   writer.EndObject();
   return writer.TakeString();
 }
 
+std::string TraceToChromeJson(const std::vector<TraceEvent>& events) {
+  return TraceToChromeJson(events, {});
+}
+
 Status WriteTraceFile(const std::string& path) {
-  const std::string json = TraceToChromeJson(CollectTrace());
+  const std::string json =
+      TraceToChromeJson(CollectTrace(), TraceDroppedByThread());
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot write trace file: " + path);
   out << json << "\n";

@@ -42,11 +42,26 @@ std::vector<TraceEvent> CollectTrace();
 /// Events dropped to ring-buffer overwrite since the last ClearTrace.
 std::uint64_t TraceDroppedCount();
 
+/// Per-thread share of TraceDroppedCount, ordered by tid; threads that
+/// dropped nothing are omitted. A truncated trace names the exact threads
+/// whose history is incomplete instead of one opaque aggregate.
+struct TraceDrop {
+  std::uint32_t tid = 0;
+  std::uint64_t dropped = 0;
+};
+std::vector<TraceDrop> TraceDroppedByThread();
+
 /// Serializes events as Chrome trace-event JSON (the format
 /// chrome://tracing and Perfetto load): one complete ("ph":"X") event per
 /// span with microsecond timestamps, the obs thread id as "tid", and the
 /// parent span id under "args". Timestamps are rebased to the earliest
-/// event so traces start near zero.
+/// event so traces start near zero. `drops` (typically
+/// TraceDroppedByThread()) is embedded under "otherData" so a truncated
+/// trace is self-describing: total dropped events plus the per-thread
+/// breakdown.
+std::string TraceToChromeJson(const std::vector<TraceEvent>& events,
+                              const std::vector<TraceDrop>& drops);
+/// Same, with no drop metadata (drop-free callers and tests).
 std::string TraceToChromeJson(const std::vector<TraceEvent>& events);
 
 /// CollectTrace + TraceToChromeJson + write to `path`.

@@ -9,6 +9,10 @@
 #include "selection/matroid.h"
 #include "selection/profit.h"
 
+namespace freshsel::obs {
+class DecisionLog;
+}  // namespace freshsel::obs
+
 namespace freshsel::selection {
 
 /// Outcome of one selection run.
@@ -20,8 +24,9 @@ struct SelectionResult {
   /// a plain greedy that re-scores every feasible candidate each round.
   /// Zero for algorithms without a lazy path.
   std::uint64_t oracle_calls_saved = 0;
-  /// Hit rate of the `CachedProfitOracle` the run was given, when the
-  /// caller surfaces it (see `bench_micro_selection`); 0 otherwise.
+  /// Hit rate of the `CachedProfitOracle` the run was given over the whole
+  /// process so far, filled by the algorithms themselves when the oracle is
+  /// the memoizing decorator; 0 for uncached oracles.
   double cache_hit_rate = 0.0;
 };
 
@@ -63,6 +68,13 @@ struct GreedyOptions {
   /// size)) when a matroid is given, else n. Pass an explicit k for
   /// unconstrained runs where the expected solution size is known.
   std::size_t stochastic_k = 0;
+  /// Optional per-run audit trail (not owned; may be null). When set, each
+  /// accepted round appends one obs::DecisionRecord (chosen element, gain,
+  /// runner-up margin, oracle-call accounting). Recording compiles out
+  /// under -DFRESHSEL_OBS=OFF - the pointer field itself stays in every
+  /// configuration so struct layout never depends on the flag (see
+  /// selection/audit.h).
+  obs::DecisionLog* decision_log = nullptr;
 };
 
 /// The greedy baseline of Dong et al. [3]: starting from the empty set,
@@ -125,6 +137,10 @@ struct GraspParams {
   /// the parallel path stays bit-identical to the serial one). Ignored
   /// for oracles without incremental support.
   bool incremental = true;
+  /// Optional per-run audit trail across every restart (construction
+  /// rounds and local-search moves, tagged with the restart index); see
+  /// GreedyOptions::decision_log.
+  obs::DecisionLog* decision_log = nullptr;
 };
 SelectionResult Grasp(const ProfitFunction& oracle, const GraspParams& params,
                       const PartitionMatroid* matroid = nullptr);
@@ -151,20 +167,27 @@ std::size_t DeriveSampleK(std::size_t n, const PartitionMatroid* matroid);
 /// restricted candidate list of the `kappa` best positive-marginal
 /// candidates, and add one of them uniformly at random. Makes exactly
 /// 1 + sum over rounds of (#feasible unselected candidates) oracle calls.
+/// `log`/`restart` wire the decision log (audit records tagged with the
+/// restart index); null `log` records nothing.
 std::vector<SourceHandle> GraspConstruct(const ProfitFunction& oracle,
                                          int kappa,
                                          const PartitionMatroid* matroid,
                                          Rng& rng,
                                          ThreadPool* pool = nullptr,
-                                         bool incremental = false);
+                                         bool incremental = false,
+                                         obs::DecisionLog* log = nullptr,
+                                         std::uint32_t restart = 0);
 
 /// Best-improvement local search over add / remove / swap moves (exposed
 /// for the equivalence tests). Returns the profit of the final `selected`.
+/// `log`/`restart` as in GraspConstruct.
 double GraspLocalSearch(const ProfitFunction& oracle,
                         const PartitionMatroid* matroid,
                         std::vector<SourceHandle>& selected,
                         ThreadPool* pool = nullptr,
-                        bool incremental = false);
+                        bool incremental = false,
+                        obs::DecisionLog* log = nullptr,
+                        std::uint32_t restart = 0);
 
 }  // namespace internal
 

@@ -5,10 +5,13 @@
 #include <limits>
 #include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
+#include "obs/decision_log.h"
 #include "obs/macros.h"
+#include "selection/audit.h"
 #include "selection/set_util.h"
 
 namespace freshsel::selection {
@@ -49,23 +52,30 @@ struct Phase1Result {
 /// lowest handle).
 Phase1Result EagerPhase1(const GainCostFunction& oracle,
                          const std::vector<double>& singleton_costs,
-                         double budget, MarginalEvalContext* ctx) {
+                         double budget, MarginalEvalContext* ctx,
+                         obs::DecisionLog* log) {
   const std::size_t n = oracle.universe_size();
+  RoundAudit audit(log, oracle);
   Phase1Result out;
   if (ctx != nullptr) ctx->Reset(out.selected);
   out.gain = ctx != nullptr ? ctx->CurrentGain() : oracle.Gain(out.selected);
   double current_cost = 0.0;
+  std::uint32_t round = 0;
   while (true) {
+    audit.BeginRound();
     double best_ratio = 0.0;
     SourceHandle best_element = 0;
     double best_gain = out.gain;
     bool found = false;
+    std::uint64_t pool = 0;
+    RunnerUpTracker tracker;
     for (std::size_t e = 0; e < n; ++e) {
       const SourceHandle handle = static_cast<SourceHandle>(e);
       if (internal::Contains(out.selected, handle)) continue;
       if (current_cost + singleton_costs[e] > budget + kBudgetSlack) {
         continue;
       }
+      ++pool;
       const double gain =
           ctx != nullptr
               ? ctx->GainWith(handle)
@@ -73,6 +83,7 @@ Phase1Result EagerPhase1(const GainCostFunction& oracle,
       const double marginal = gain - out.gain;
       if (marginal <= internal::kImprovementEps) continue;
       const double ratio = Ratio(marginal, singleton_costs[e]);
+      if (audit.active()) tracker.Observe(handle, ratio);
       if (ratio > best_ratio) {
         best_ratio = ratio;
         best_element = handle;
@@ -81,10 +92,23 @@ Phase1Result EagerPhase1(const GainCostFunction& oracle,
       }
     }
     if (!found) break;
+    if (audit.active()) {
+      obs::DecisionRecord record;
+      record.round = round;
+      record.kind = obs::DecisionKind::kAdd;
+      record.chosen = best_element;
+      record.gain = best_gain - out.gain;
+      record.profit = best_gain;
+      record.score = best_ratio;
+      record.pool_size = pool;
+      tracker.FillRunnerUp(best_ratio, &record);
+      audit.Commit(record);
+    }
     current_cost += singleton_costs[best_element];
     out.selected = internal::WithAdded(out.selected, best_element);
     if (ctx != nullptr) ctx->Reset(out.selected);
     out.gain = best_gain;
+    ++round;
   }
   return out;
 }
@@ -95,12 +119,16 @@ Phase1Result EagerPhase1(const GainCostFunction& oracle,
 /// submodular gains (same ratio values, same lowest-handle tie-break).
 Phase1Result LazyPhase1(const GainCostFunction& oracle,
                         const std::vector<double>& singleton_costs,
-                        double budget, MarginalEvalContext* ctx) {
+                        double budget, MarginalEvalContext* ctx,
+                        obs::DecisionLog* log) {
   const std::size_t n = oracle.universe_size();
+  RoundAudit audit(log, oracle);
   Phase1Result out;
   if (ctx != nullptr) ctx->Reset(out.selected);
   out.gain = ctx != nullptr ? ctx->CurrentGain() : oracle.Gain(out.selected);
   double current_cost = 0.0;
+  // Round 0 owns the seeding evaluations, mirroring LazyGreedy.
+  audit.BeginRound();
 
   struct Entry {
     double ratio;
@@ -138,6 +166,30 @@ Phase1Result LazyPhase1(const GainCostFunction& oracle,
       continue;
     }
     if (top.round == round) {
+      if (audit.active()) {
+        obs::DecisionRecord record;
+        record.round = round;
+        record.kind = obs::DecisionKind::kAdd;
+        record.chosen = top.handle;
+        record.gain = top.marginal;
+        record.profit = top.gain;
+        record.score = top.ratio;
+        // The pool still contains the winner (not yet selected).
+        record.pool_size = CountAffordable(singleton_costs, out.selected,
+                                           current_cost, budget);
+        if (!queue.empty()) {
+          // The next entry's stale ratio is an upper bound - the tightest
+          // runner-up information the lazy path has without spending the
+          // eval it just saved.
+          const Entry& next = queue.top();
+          record.has_runner_up = true;
+          record.runner_up = next.handle;
+          record.runner_up_score = next.ratio;
+          record.margin = top.ratio - next.ratio;
+        }
+        audit.Commit(record);
+        audit.BeginRound();
+      }
       current_cost += singleton_costs[top.handle];
       out.selected = internal::WithAdded(out.selected, top.handle);
       if (ctx != nullptr) ctx->Reset(out.selected);
@@ -172,12 +224,15 @@ Phase1Result LazyPhase1(const GainCostFunction& oracle,
 Phase1Result StochasticPhase1(const GainCostFunction& oracle,
                               const std::vector<double>& singleton_costs,
                               double budget, MarginalEvalContext* ctx,
-                              const BudgetedGreedyOptions& options) {
+                              const BudgetedGreedyOptions& options,
+                              obs::DecisionLog* log) {
   const std::size_t n = oracle.universe_size();
+  RoundAudit audit(log, oracle);
   Phase1Result out;
   if (ctx != nullptr) ctx->Reset(out.selected);
   out.gain = ctx != nullptr ? ctx->CurrentGain() : oracle.Gain(out.selected);
   double current_cost = 0.0;
+  std::uint32_t round = 0;
 
   const std::size_t k =
       options.stochastic_k > 0 ? options.stochastic_k
@@ -193,7 +248,12 @@ Phase1Result StochasticPhase1(const GainCostFunction& oracle,
 
   std::vector<SourceHandle> affordable;
   std::vector<SourceHandle> sampled;
+  // (handle, ratio) pairs actually scored this round, audit only: the
+  // runner-up is re-derived with the acceptance loop's own tie preference
+  // (highest ratio, then lowest handle) rather than first-seen order.
+  std::vector<std::pair<SourceHandle, double>> scored;
   while (true) {
+    audit.BeginRound();
     affordable.clear();
     for (std::size_t e = 0; e < n; ++e) {
       const SourceHandle handle = static_cast<SourceHandle>(e);
@@ -226,6 +286,7 @@ Phase1Result StochasticPhase1(const GainCostFunction& oracle,
     double best_gain = out.gain;
     SourceHandle best_element = 0;
     bool found = false;
+    scored.clear();
     for (SourceHandle handle : sampled) {
       if (options.lazy && found &&
           (stale_ratio[handle] < best_ratio ||
@@ -241,6 +302,7 @@ Phase1Result StochasticPhase1(const GainCostFunction& oracle,
       const double ratio = Ratio(marginal, singleton_costs[handle]);
       if (options.lazy) stale_ratio[handle] = ratio;
       if (marginal <= internal::kImprovementEps) continue;
+      if (audit.active()) scored.emplace_back(handle, ratio);
       if (!found || ratio > best_ratio ||
           (ratio == best_ratio && handle < best_element)) {
         best_ratio = ratio;
@@ -250,10 +312,41 @@ Phase1Result StochasticPhase1(const GainCostFunction& oracle,
       }
     }
     if (!found) break;
+    if (audit.active()) {
+      obs::DecisionRecord record;
+      record.round = round;
+      record.kind = obs::DecisionKind::kAdd;
+      record.chosen = best_element;
+      record.gain = best_gain - out.gain;
+      record.profit = best_gain;
+      record.score = best_ratio;
+      record.pool_size = affordable.size();
+      record.sample_size = sampled.size();
+      bool has_runner = false;
+      SourceHandle runner = 0;
+      double runner_ratio = 0.0;
+      for (const auto& [handle, ratio] : scored) {
+        if (handle == best_element) continue;
+        if (!has_runner || ratio > runner_ratio ||
+            (ratio == runner_ratio && handle < runner)) {
+          has_runner = true;
+          runner = handle;
+          runner_ratio = ratio;
+        }
+      }
+      if (has_runner) {
+        record.has_runner_up = true;
+        record.runner_up = runner;
+        record.runner_up_score = runner_ratio;
+        record.margin = best_ratio - runner_ratio;
+      }
+      audit.Commit(record);
+    }
     current_cost += singleton_costs[best_element];
     out.selected = internal::WithAdded(out.selected, best_element);
     if (ctx != nullptr) ctx->Reset(out.selected);
     out.gain = best_gain;
+    ++round;
   }
   return out;
 }
@@ -279,28 +372,43 @@ SelectionResult BudgetedGreedy(const GainCostFunction& oracle,
     ctx = oracle.MakeContext();
   }
 
+  RoundAudit audit(options.decision_log, oracle);
+  if (audit.active() && options.decision_log->algorithm().empty()) {
+    options.decision_log->set_algorithm(
+        options.stochastic ? "budgeted/stochastic"
+                           : (options.lazy ? "budgeted/lazy"
+                                           : "budgeted/eager"));
+  }
+
   // Phase 1: cost-benefit greedy.
   Phase1Result phase1 =
       options.stochastic
           ? StochasticPhase1(oracle, singleton_costs, budget, ctx.get(),
-                             options)
+                             options, options.decision_log)
           : (options.lazy
-                 ? LazyPhase1(oracle, singleton_costs, budget, ctx.get())
-                 : EagerPhase1(oracle, singleton_costs, budget, ctx.get()));
+                 ? LazyPhase1(oracle, singleton_costs, budget, ctx.get(),
+                              options.decision_log)
+                 : EagerPhase1(oracle, singleton_costs, budget, ctx.get(),
+                               options.decision_log));
   FRESHSEL_OBS_COUNT("selection.budgeted.phase1_selected",
                      phase1.selected.size());
 
   // Phase 2: the best affordable singleton can beat the ratio greedy when
   // one expensive element dominates. Singleton gains are delta
   // evaluations from the empty set when the context is available.
+  audit.BeginRound();
   if (ctx != nullptr) ctx->Reset({});
   double best_single_gain = -1.0;
   SourceHandle best_single = 0;
+  std::uint64_t affordable_singletons = 0;
+  RunnerUpTracker tracker;
   for (std::size_t e = 0; e < n; ++e) {
     const SourceHandle handle = static_cast<SourceHandle>(e);
     if (singleton_costs[e] > budget + kBudgetSlack) continue;
+    ++affordable_singletons;
     const double gain =
         ctx != nullptr ? ctx->GainWith(handle) : oracle.Gain({handle});
+    if (audit.active()) tracker.Observe(handle, gain);
     if (gain > best_single_gain) {
       best_single_gain = gain;
       best_single = handle;
@@ -310,6 +418,21 @@ SelectionResult BudgetedGreedy(const GainCostFunction& oracle,
   SelectionResult result;
   if (best_single_gain > phase1.gain) {
     FRESHSEL_OBS_COUNT("selection.budgeted.singleton_wins", 1);
+    if (audit.active()) {
+      // The Khuller-Moss-Naor override replaces the whole phase-1 run, so
+      // its record follows the phase-1 rounds and scores the singleton's
+      // gain from the empty set.
+      obs::DecisionRecord record;
+      record.round = static_cast<std::uint32_t>(phase1.selected.size());
+      record.kind = obs::DecisionKind::kSingleton;
+      record.chosen = best_single;
+      record.gain = best_single_gain;
+      record.profit = best_single_gain;
+      record.score = best_single_gain;
+      record.pool_size = affordable_singletons;
+      tracker.FillRunnerUp(best_single_gain, &record);
+      audit.Commit(record);
+    }
     result.selected = {best_single};
   } else {
     result.selected = std::move(phase1.selected);
@@ -317,6 +440,7 @@ SelectionResult BudgetedGreedy(const GainCostFunction& oracle,
   result.profit = oracle.Profit(result.selected);
   result.oracle_calls = oracle.call_count() - calls_before;
   result.oracle_calls_saved = phase1.saved;
+  result.cache_hit_rate = CacheHitRateOf(oracle);
   return result;
 }
 

@@ -38,6 +38,12 @@ struct BudgetedGreedyOptions {
   /// Cardinality k in the sample-size formula; 0 falls back to n. Pass
   /// budget / typical-cost when the expected solution size is known.
   std::size_t stochastic_k = 0;
+  /// Optional per-run audit trail (not owned; may be null). Each accepted
+  /// cost-benefit round appends one obs::DecisionRecord whose `score` is
+  /// the marginal-gain / cost ratio; a winning Khuller-Moss-Naor singleton
+  /// appends a `kind == kSingleton` record. See GreedyOptions::decision_log
+  /// for the compile-out contract.
+  obs::DecisionLog* decision_log = nullptr;
 };
 
 /// Budgeted source selection (the budget-bound regime of Definition 3):

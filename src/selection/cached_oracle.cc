@@ -51,6 +51,7 @@ double CachedProfitOracle::Memoize(CacheKind kind,
     auto it = cache.find(set);
     if (it != cache.end()) {
       ++stats_.hits;
+      hit_events_.fetch_add(1, std::memory_order_relaxed);
       FRESHSEL_OBS_COUNT("selection.cache.hits", 1);
       return it->second;
     }
@@ -165,6 +166,7 @@ void CachedProfitOracle::ClearCaches() {
   gain_cache_.clear();
   cost_cache_.clear();
   stats_ = Stats{};
+  hit_events_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace freshsel::selection

@@ -1,6 +1,7 @@
 #ifndef FRESHSEL_SELECTION_CACHED_ORACLE_H_
 #define FRESHSEL_SELECTION_CACHED_ORACLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -78,6 +79,15 @@ class CachedProfitOracle : public GainCostFunction {
   /// cached evaluations (see Stats).
   Stats stats() const;
 
+  /// Lock-free running hit tally (equals stats().hits, read without the
+  /// cache mutex). The selection decision log samples this once per
+  /// accepted round to attribute cache hits to rounds (see
+  /// selection/audit.h); a mutexed read there would put lock traffic on
+  /// the audit path the lock-free DecisionLog exists to avoid.
+  std::uint64_t hit_count() const {
+    return hit_events_.load(std::memory_order_relaxed);
+  }
+
   /// Drops every memoized value and zeroes the tallies (the wrapped
   /// oracle's call counter is left alone).
   void ClearCaches();
@@ -109,6 +119,8 @@ class CachedProfitOracle : public GainCostFunction {
   mutable Cache gain_cache_ FRESHSEL_GUARDED_BY(mutex_);
   mutable Cache cost_cache_ FRESHSEL_GUARDED_BY(mutex_);
   mutable Stats stats_ FRESHSEL_GUARDED_BY(mutex_);
+  /// Mirrors stats_.hits for the lock-free hit_count() reader.
+  mutable std::atomic<std::uint64_t> hit_events_{0};
 };
 
 }  // namespace freshsel::selection

@@ -6,8 +6,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/decision_log.h"
 #include "obs/macros.h"
 #include "selection/algorithms.h"
+#include "selection/audit.h"
 #include "selection/set_util.h"
 
 namespace freshsel::selection {
@@ -123,6 +125,43 @@ Move BestMoveAt(const ProfitFunction& oracle, const PartitionMatroid* matroid,
   return best;
 }
 
+/// Classifies an accepted local-search move into a decision record: the
+/// move family is rooted at `root`, so a grown set is an addition of
+/// `root`, a shrunk set its removal, and an equal-sized set the swap that
+/// replaced `root` with the one element of `move.set` outside `selected`.
+obs::DecisionRecord DescribeMove(const std::vector<SourceHandle>& selected,
+                                 const Move& move, SourceHandle root,
+                                 double gain, std::uint32_t round,
+                                 std::uint32_t restart,
+                                 const RunnerUpTracker& tracker,
+                                 std::size_t pool) {
+  obs::DecisionRecord record;
+  record.round = round;
+  record.restart = restart;
+  record.gain = gain;
+  record.profit = move.profit;
+  record.score = gain;
+  record.pool_size = pool;
+  if (move.set.size() > selected.size()) {
+    record.kind = obs::DecisionKind::kAdd;
+    record.chosen = root;
+  } else if (move.set.size() < selected.size()) {
+    record.kind = obs::DecisionKind::kRemove;
+    record.chosen = root;
+  } else {
+    record.kind = obs::DecisionKind::kSwap;
+    record.partner = root;
+    for (SourceHandle e : move.set) {
+      if (!internal::Contains(selected, e)) {
+        record.chosen = e;
+        break;
+      }
+    }
+  }
+  tracker.FillRunnerUp(gain, &record);
+  return record;
+}
+
 }  // namespace
 
 namespace internal {
@@ -131,13 +170,18 @@ std::vector<SourceHandle> GraspConstruct(const ProfitFunction& oracle,
                                          int kappa,
                                          const PartitionMatroid* matroid,
                                          Rng& rng, ThreadPool* pool,
-                                         bool incremental) {
+                                         bool incremental,
+                                         obs::DecisionLog* log,
+                                         std::uint32_t restart) {
   FRESHSEL_TRACE_SPAN("selection/grasp/construct");
   const std::size_t n = oracle.universe_size();
   const bool use_incremental = incremental && oracle.supports_incremental();
+  RoundAudit audit(log, oracle);
   std::vector<SourceHandle> selected;
   double current = oracle.Profit(selected);
+  std::uint32_t round = 0;
   while (true) {
+    audit.BeginRound();
     std::vector<SourceHandle> feasible;
     for (std::size_t e = 0; e < n; ++e) {
       const SourceHandle handle = static_cast<SourceHandle>(e);
@@ -157,7 +201,13 @@ std::vector<SourceHandle> GraspConstruct(const ProfitFunction& oracle,
     if (candidates.empty()) break;
     const std::size_t rcl_size = std::min<std::size_t>(
         candidates.size(), static_cast<std::size_t>(std::max(kappa, 1)));
-    std::partial_sort(candidates.begin(), candidates.begin() + rcl_size,
+    // When auditing, sort one extra slot so the runner-up (the best
+    // candidate other than the pick) is visible even when the pick is the
+    // RCL head. The comparator is a strict total order, so the first
+    // rcl_size entries - and hence the random pick - are unchanged.
+    const std::size_t sorted_size =
+        audit.active() ? std::min(rcl_size + 1, candidates.size()) : rcl_size;
+    std::partial_sort(candidates.begin(), candidates.begin() + sorted_size,
                       candidates.end(),
                       [](const auto& a, const auto& b) {
                         if (a.first != b.first) return a.first > b.first;
@@ -165,10 +215,32 @@ std::vector<SourceHandle> GraspConstruct(const ProfitFunction& oracle,
                       });
     const auto& pick =
         candidates[static_cast<std::size_t>(rng.NextBounded(rcl_size))];
+    if (audit.active()) {
+      obs::DecisionRecord record;
+      record.round = round;
+      record.restart = restart;
+      record.kind = obs::DecisionKind::kAdd;
+      record.chosen = pick.second;
+      record.gain = pick.first - current;
+      record.profit = pick.first;
+      record.score = record.gain;
+      record.pool_size = feasible.size();
+      const auto& head = candidates[0];
+      const auto& runner =
+          pick.second == head.second && sorted_size > 1 ? candidates[1] : head;
+      if (!(pick.second == head.second && sorted_size <= 1)) {
+        record.has_runner_up = true;
+        record.runner_up = runner.second;
+        record.runner_up_score = runner.first - current;
+        record.margin = record.score - record.runner_up_score;
+      }
+      audit.Commit(record);
+    }
     selected = internal::WithAdded(selected, pick.second);
     // The picked candidate's profit was just evaluated; reuse it instead
     // of a redundant oracle call per round.
     current = pick.first;
+    ++round;
   }
   return selected;
 }
@@ -176,14 +248,18 @@ std::vector<SourceHandle> GraspConstruct(const ProfitFunction& oracle,
 double GraspLocalSearch(const ProfitFunction& oracle,
                         const PartitionMatroid* matroid,
                         std::vector<SourceHandle>& selected,
-                        ThreadPool* pool, bool incremental) {
+                        ThreadPool* pool, bool incremental,
+                        obs::DecisionLog* log, std::uint32_t restart) {
   FRESHSEL_TRACE_SPAN("selection/grasp/local_search");
   const std::size_t n = oracle.universe_size();
   const bool use_incremental = incremental && oracle.supports_incremental();
+  RoundAudit audit(log, oracle);
   double current = oracle.Profit(selected);
   const bool parallel = UseParallel(oracle, pool);
   std::vector<Move> moves(n);
+  std::uint32_t round = 0;
   while (true) {
+    audit.BeginRound();
     // Best move rooted at each element, then a serial reduction in handle
     // order (strict >, first-wins), so parallel and serial runs pick the
     // same move. Each chunk gets its own incremental context (contexts
@@ -205,15 +281,25 @@ double GraspLocalSearch(const ProfitFunction& oracle,
     }
     std::size_t best = n;
     double best_gain = -std::numeric_limits<double>::infinity();
+    RunnerUpTracker tracker;
     for (std::size_t e = 0; e < n; ++e) {
       if (moves[e].gain > best_gain) {
         best_gain = moves[e].gain;
         best = e;
       }
+      if (audit.active() && std::isfinite(moves[e].gain)) {
+        tracker.Observe(static_cast<SourceHandle>(e), moves[e].gain);
+      }
     }
     if (best == n || best_gain <= kImprovementEps) break;
+    if (audit.active()) {
+      audit.Commit(DescribeMove(selected, moves[best],
+                                static_cast<SourceHandle>(best), best_gain,
+                                round, restart, tracker, n));
+    }
     selected = std::move(moves[best].set);
     current = moves[best].profit;
+    ++round;
   }
   return current;
 }
@@ -228,15 +314,21 @@ SelectionResult Grasp(const ProfitFunction& oracle, const GraspParams& params,
       params.pool != nullptr ? params.pool->size() : std::size_t{1});
   const std::uint64_t calls_before = oracle.call_count();
   Rng rng(params.seed);
+  RoundAudit audit(params.decision_log, oracle);
+  if (audit.active() && params.decision_log->algorithm().empty()) {
+    params.decision_log->set_algorithm("grasp");
+  }
   SelectionResult best;
   best.profit = -std::numeric_limits<double>::infinity();
   const int restarts = std::max(params.restarts, 1);
   for (int r = 0; r < restarts; ++r) {
     FRESHSEL_OBS_COUNT("selection.grasp.restarts", 1);
     std::vector<SourceHandle> selected = internal::GraspConstruct(
-        oracle, params.kappa, matroid, rng, params.pool, params.incremental);
+        oracle, params.kappa, matroid, rng, params.pool, params.incremental,
+        params.decision_log, static_cast<std::uint32_t>(r));
     const double profit = internal::GraspLocalSearch(
-        oracle, matroid, selected, params.pool, params.incremental);
+        oracle, matroid, selected, params.pool, params.incremental,
+        params.decision_log, static_cast<std::uint32_t>(r));
     if (profit > best.profit) {
       best.profit = profit;
       best.selected = selected;
@@ -247,6 +339,7 @@ SelectionResult Grasp(const ProfitFunction& oracle, const GraspParams& params,
     best.profit = oracle.Profit({});
   }
   best.oracle_calls = oracle.call_count() - calls_before;
+  best.cache_hit_rate = CacheHitRateOf(oracle);
   return best;
 }
 

@@ -4,10 +4,13 @@
 #include <limits>
 #include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "obs/decision_log.h"
 #include "obs/macros.h"
 #include "selection/algorithms.h"
+#include "selection/audit.h"
 #include "selection/set_util.h"
 
 namespace freshsel::selection {
@@ -44,7 +47,7 @@ std::uint64_t CountFeasible(std::size_t n,
 /// track the plain oracle's to ulp precision and selections match.
 SelectionResult EagerGreedy(const ProfitFunction& oracle,
                             const PartitionMatroid* matroid,
-                            bool incremental) {
+                            bool incremental, obs::DecisionLog* log) {
   FRESHSEL_TRACE_SPAN("selection/greedy/eager");
   const std::size_t n = oracle.universe_size();
   const std::uint64_t calls_before = oracle.call_count();
@@ -54,19 +57,29 @@ SelectionResult EagerGreedy(const ProfitFunction& oracle,
 
   std::vector<SourceHandle> selected;
   double current = ctx ? ctx->CurrentProfit() : oracle.Profit(selected);
+  RoundAudit audit(log, oracle);
+  if (audit.active() && log->algorithm().empty()) {
+    log->set_algorithm("greedy/eager");
+  }
+  std::uint32_t round = 0;
   while (true) {
+    audit.BeginRound();
     double best_gain = -std::numeric_limits<double>::infinity();
     double best_profit = 0.0;
     SourceHandle best_element = 0;
     bool found = false;
+    std::uint64_t pool = 0;
+    RunnerUpTracker tracker;
     for (std::size_t e = 0; e < n; ++e) {
       const SourceHandle handle = static_cast<SourceHandle>(e);
       if (internal::Contains(selected, handle)) continue;
       if (!Feasible(matroid, selected, handle)) continue;
+      ++pool;
       const double profit =
           ctx ? ctx->ProfitWith(handle)
               : oracle.Profit(internal::WithAdded(selected, handle));
       const double gain = profit - current;
+      if (audit.active()) tracker.Observe(handle, gain);
       if (gain > best_gain) {
         best_gain = gain;
         best_profit = profit;
@@ -75,15 +88,31 @@ SelectionResult EagerGreedy(const ProfitFunction& oracle,
       }
     }
     if (!found || best_gain <= internal::kImprovementEps) break;
+    if (audit.active()) {
+      // The eager scan visits handles ascending with a strict > best test,
+      // so the tracker's best/second reproduce the argmax and the exact
+      // second-best (ties keep the lowest handle).
+      obs::DecisionRecord record;
+      record.round = round;
+      record.chosen = best_element;
+      record.gain = best_gain;
+      record.score = best_gain;
+      record.profit = best_profit;
+      record.pool_size = pool;
+      tracker.FillRunnerUp(best_gain, &record);
+      audit.Commit(record);
+    }
     selected = internal::WithAdded(selected, best_element);
     if (ctx) ctx->Reset(selected);
     current = best_profit;
+    ++round;
     FRESHSEL_OBS_COUNT("selection.greedy.rounds", 1);
   }
   SelectionResult result;
   result.selected = std::move(selected);
   result.profit = current;
   result.oracle_calls = oracle.call_count() - calls_before;
+  result.cache_hit_rate = CacheHitRateOf(oracle);
   return result;
 }
 
@@ -95,7 +124,7 @@ SelectionResult EagerGreedy(const ProfitFunction& oracle,
 /// lowest-handle tie-break).
 SelectionResult LazyGreedy(const ProfitFunction& oracle,
                            const PartitionMatroid* matroid,
-                           bool incremental) {
+                           bool incremental, obs::DecisionLog* log) {
   FRESHSEL_TRACE_SPAN("selection/greedy/lazy");
   const std::size_t n = oracle.universe_size();
   const std::uint64_t calls_before = oracle.call_count();
@@ -120,6 +149,12 @@ SelectionResult LazyGreedy(const ProfitFunction& oracle,
   std::vector<SourceHandle> selected;
   double current = ctx ? ctx->CurrentProfit() : oracle.Profit(selected);
   std::uint64_t saved = 0;
+  RoundAudit audit(log, oracle);
+  if (audit.active() && log->algorithm().empty()) {
+    log->set_algorithm("greedy/lazy");
+  }
+  // Round 0's record owns the seeding evaluations below.
+  audit.BeginRound();
 
   // Round 0 seeds the queue with one exact evaluation per feasible
   // candidate - exactly what the eager scan's first round costs.
@@ -141,6 +176,27 @@ SelectionResult LazyGreedy(const ProfitFunction& oracle,
     if (top.round == round) {
       // Just scored and still on top: the exact best candidate.
       if (top.gain <= internal::kImprovementEps) break;
+      if (audit.active()) {
+        obs::DecisionRecord record;
+        record.round = round;
+        record.chosen = top.handle;
+        record.gain = top.gain;
+        record.score = top.gain;
+        record.profit = top.profit;
+        record.pool_size = CountFeasible(n, selected, matroid);
+        if (!queue.empty()) {
+          // The runner-up's key is its *stale upper bound* - the tightest
+          // information CELF has without spending the eval it just saved.
+          // The accepted entry dominated the queue, so margin >= 0.
+          const Entry& next = queue.top();
+          record.has_runner_up = true;
+          record.runner_up = next.handle;
+          record.runner_up_score = next.gain;
+          record.margin = top.gain - next.gain;
+        }
+        audit.Commit(record);
+        audit.BeginRound();
+      }
       selected = internal::WithAdded(selected, top.handle);
       if (ctx) ctx->Reset(selected);
       current = top.profit;
@@ -165,6 +221,7 @@ SelectionResult LazyGreedy(const ProfitFunction& oracle,
   result.profit = current;
   result.oracle_calls = oracle.call_count() - calls_before;
   result.oracle_calls_saved = saved;
+  result.cache_hit_rate = CacheHitRateOf(oracle);
   return result;
 }
 
@@ -198,6 +255,7 @@ SelectionResult StochasticGreedy(const ProfitFunction& oracle,
                             : internal::DeriveSampleK(n, matroid);
   const std::size_t sample_size =
       internal::StochasticSampleSize(n, k, options.stochastic_epsilon);
+  FRESHSEL_OBS_GAUGE_SET("selection.stochastic.sample_size", sample_size);
   Rng rng(options.stochastic_seed);
 
   std::vector<double> stale_gain;
@@ -208,9 +266,19 @@ SelectionResult StochasticGreedy(const ProfitFunction& oracle,
   std::vector<SourceHandle> selected;
   double current = ctx ? ctx->CurrentProfit() : oracle.Profit(selected);
   std::uint64_t saved = 0;
+  RoundAudit audit(options.decision_log, oracle);
+  if (audit.active() && options.decision_log->algorithm().empty()) {
+    options.decision_log->set_algorithm("greedy/stochastic");
+  }
+  std::uint32_t round = 0;
   std::vector<SourceHandle> feasible;
   std::vector<SourceHandle> sampled;
+  // Fresh (handle, gain) scores of the current round, audit only: the
+  // runner-up of a stochastic round is the second-best *freshly scored*
+  // sample member (skipped candidates were ruled out by stale bounds).
+  std::vector<std::pair<SourceHandle, double>> scored;
   while (true) {
+    audit.BeginRound();
     feasible.clear();
     for (std::size_t e = 0; e < n; ++e) {
       const SourceHandle handle = static_cast<SourceHandle>(e);
@@ -243,10 +311,12 @@ SelectionResult StochasticGreedy(const ProfitFunction& oracle,
                 });
     }
 
+    FRESHSEL_OBS_COUNT("selection.stochastic.sampled", sampled.size());
     double best_gain = -std::numeric_limits<double>::infinity();
     double best_profit = 0.0;
     SourceHandle best_element = 0;
     bool found = false;
+    scored.clear();
     for (SourceHandle handle : sampled) {
       if (options.lazy && found &&
           (stale_gain[handle] < best_gain ||
@@ -261,8 +331,10 @@ SelectionResult StochasticGreedy(const ProfitFunction& oracle,
       const double profit =
           ctx ? ctx->ProfitWith(handle)
               : oracle.Profit(internal::WithAdded(selected, handle));
+      FRESHSEL_OBS_COUNT("selection.stochastic.evals", 1);
       const double gain = profit - current;
       if (options.lazy) stale_gain[handle] = gain;
+      if (audit.active()) scored.emplace_back(handle, gain);
       if (!found || gain > best_gain ||
           (gain == best_gain && handle < best_element)) {
         best_gain = gain;
@@ -272,9 +344,35 @@ SelectionResult StochasticGreedy(const ProfitFunction& oracle,
       }
     }
     if (!found || best_gain <= internal::kImprovementEps) break;
+    if (audit.active()) {
+      obs::DecisionRecord record;
+      record.round = round;
+      record.chosen = best_element;
+      record.gain = best_gain;
+      record.score = best_gain;
+      record.profit = best_profit;
+      record.pool_size = feasible.size();
+      record.sample_size = sampled.size();
+      // Runner-up: best fresh score other than the winner, the same
+      // (gain, lowest-handle) preference the acceptance test uses.
+      for (const auto& [handle, gain] : scored) {
+        if (handle == best_element) continue;
+        if (!record.has_runner_up || gain > record.runner_up_score ||
+            (gain == record.runner_up_score && handle < record.runner_up)) {
+          record.has_runner_up = true;
+          record.runner_up = handle;
+          record.runner_up_score = gain;
+        }
+      }
+      if (record.has_runner_up) {
+        record.margin = best_gain - record.runner_up_score;
+      }
+      audit.Commit(record);
+    }
     selected = internal::WithAdded(selected, best_element);
     if (ctx) ctx->Reset(selected);
     current = best_profit;
+    ++round;
     FRESHSEL_OBS_COUNT("selection.greedy.rounds", 1);
   }
 
@@ -283,6 +381,7 @@ SelectionResult StochasticGreedy(const ProfitFunction& oracle,
   result.profit = current;
   result.oracle_calls = oracle.call_count() - calls_before;
   result.oracle_calls_saved = saved;
+  result.cache_hit_rate = CacheHitRateOf(oracle);
   return result;
 }
 
@@ -292,8 +391,10 @@ SelectionResult Greedy(const ProfitFunction& oracle,
                        const PartitionMatroid* matroid,
                        const GreedyOptions& options) {
   if (options.stochastic) return StochasticGreedy(oracle, matroid, options);
-  return options.lazy ? LazyGreedy(oracle, matroid, options.incremental)
-                      : EagerGreedy(oracle, matroid, options.incremental);
+  return options.lazy ? LazyGreedy(oracle, matroid, options.incremental,
+                                   options.decision_log)
+                      : EagerGreedy(oracle, matroid, options.incremental,
+                                    options.decision_log);
 }
 
 namespace internal {

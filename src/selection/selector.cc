@@ -37,6 +37,7 @@ Result<SelectionResult> Dispatch(const ProfitFunction& oracle,
       options.stochastic_epsilon = config.stochastic_epsilon;
       options.stochastic_seed = config.seed;
       options.stochastic_k = config.stochastic_k;
+      options.decision_log = config.decision_log;
       return Greedy(oracle, matroid, options);
     }
     case Algorithm::kMaxSub:
@@ -51,6 +52,7 @@ Result<SelectionResult> Dispatch(const ProfitFunction& oracle,
       params.seed = config.seed;
       params.pool = config.pool;
       params.incremental = config.incremental_oracle;
+      params.decision_log = config.decision_log;
       return Grasp(oracle, params, matroid);
     }
     case Algorithm::kHillClimb: {
@@ -60,6 +62,7 @@ Result<SelectionResult> Dispatch(const ProfitFunction& oracle,
       params.seed = config.seed;
       params.pool = config.pool;
       params.incremental = config.incremental_oracle;
+      params.decision_log = config.decision_log;
       return Grasp(oracle, params, matroid);
     }
   }
@@ -73,15 +76,15 @@ Result<SelectionResult> SelectSources(const ProfitFunction& oracle,
                                       const PartitionMatroid* matroid) {
   FRESHSEL_TRACE_SPAN("selection/select");
   FRESHSEL_OBS_SCOPED_LATENCY("selection.select.seconds");
-  FRESHSEL_OBS_GAUGE_SET("selection.universe_size", oracle.universe_size());
+  FRESHSEL_OBS_GAUGE_SET("selection.universe.size", oracle.universe_size());
 
   obs::WallTimer timer;
   Result<SelectionResult> result = Dispatch(oracle, config, matroid);
   const double seconds = timer.ElapsedSeconds();
 
   if (result.ok()) {
-    FRESHSEL_OBS_COUNT("selection.oracle_calls", result->oracle_calls);
-    FRESHSEL_OBS_COUNT("selection.oracle_calls_saved",
+    FRESHSEL_OBS_COUNT("selection.oracle.calls", result->oracle_calls);
+    FRESHSEL_OBS_COUNT("selection.oracle.calls_saved",
                        result->oracle_calls_saved);
     if (config.report != nullptr) {
       std::string algo = AlgorithmName(
@@ -96,6 +99,7 @@ Result<SelectionResult> SelectSources(const ProfitFunction& oracle,
       report.counters["oracle_calls_saved"] += result->oracle_calls_saved;
       report.counters["selected_sources"] += result->selected.size();
       report.values["profit"] = result->profit;
+      report.values["cache_hit_rate"] = result->cache_hit_rate;
       report.AddStage("select/" + algo, seconds);
     }
   }

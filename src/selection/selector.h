@@ -57,6 +57,13 @@ struct SelectorConfig {
   /// profit, and a timed "select/<algo>" stage (see obs/report.h). The
   /// caller owns serialization (--metrics-out).
   obs::RunReport* report = nullptr;
+  /// Optional per-run decision log (not owned) threaded into the greedy,
+  /// budgeted, and GRASP paths (MaxSub's local search is not audited).
+  /// Callers that want the trail inside a RunReport pass
+  /// `&report->decision_log` explicitly - the selector never wires the two
+  /// together on its own, so repeated SelectSources calls against one
+  /// report (bench loops) do not accumulate records.
+  obs::DecisionLog* decision_log = nullptr;
 };
 
 /// Runs the configured algorithm on `oracle`, constrained by `matroid` when

@@ -35,8 +35,12 @@ TEST(ArgMapTest, DefaultsApplyWhenAbsent) {
 }
 
 TEST(ArgMapTest, RejectsMalformed) {
-  const char* stray[] = {"freshsel", "select", "extra"};
-  EXPECT_FALSE(ArgMap::Parse(3, stray).ok());
+  // Positionals parse (the report subcommands consume them); commands
+  // that take none reject stray tokens via CheckNoPositionals.
+  ArgMap stray = ParseOk({"select", "extra"});
+  ASSERT_EQ(stray.positionals().size(), 1u);
+  EXPECT_EQ(stray.positionals()[0], "extra");
+  EXPECT_FALSE(CheckNoPositionals(stray).ok());
 
   ArgMap args = ParseOk({"x", "--n", "abc"});
   EXPECT_FALSE(args.GetInt("n", 0).ok());
@@ -215,7 +219,8 @@ TEST_F(CliEndToEndTest, MetricsAndTraceOutputs) {
   std::stringstream metrics_buf;
   metrics_buf << std::ifstream(metrics_path).rdbuf();
   const std::string metrics = metrics_buf.str();
-  EXPECT_NE(metrics.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(metrics.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(metrics.find("\"decision_log\""), std::string::npos);
   EXPECT_NE(metrics.find("\"name\":\"select\""), std::string::npos);
   EXPECT_NE(metrics.find("\"algorithm\""), std::string::npos);
   EXPECT_NE(metrics.find("\"oracle_calls\""), std::string::npos);
@@ -305,8 +310,10 @@ TEST_F(CliEndToEndTest, InjectedIoFaultsAreAbsorbedByRetries) {
   std::stringstream metrics_buf;
   metrics_buf << std::ifstream(metrics_path).rdbuf();
   const std::string metrics = metrics_buf.str();
-  EXPECT_NE(metrics.find("\"fault.injected\""), std::string::npos);
-  EXPECT_NE(metrics.find("\"io.retries\""), std::string::npos);
+#if FRESHSEL_OBS_ACTIVE
+  EXPECT_NE(metrics.find("\"fault.failpoints.injected\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"io.retry.attempts\""), std::string::npos);
+#endif  // FRESHSEL_OBS_ACTIVE
   fault::FailpointRegistry::Global().DisarmAll();
 
   // An always-failing read exhausts the retry budget and surfaces the

@@ -544,6 +544,39 @@ TEST_F(FreshselLintTest, FailpointRuleSkipsMacroDefinition) {
   EXPECT_TRUE(Lint().empty());
 }
 
+TEST_F(FreshselLintTest, FlagsMalformedObsMetricNames) {
+  // Macro names are spelled split so the lint gate scanning this test's
+  // own source never sees a contiguous metric-macro token in the fixture.
+  WriteFixture(
+      "obs/site.cc",
+      std::string("void F() {\n  FRESHSEL_") +
+          "OBS_COUNT(\"io.retries\", 1);\n  FRESHSEL_" +
+          "OBS_GAUGE_SET(\"Selection.pool.size\", 3.0);\n  FRESHSEL_" +
+          "OBS_COUNT(\"io.retry.attempts\", 1);\n  FRESHSEL_" +
+          "OBS_SCOPED_LATENCY(\"stage.select.seconds\");\n}\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "obs-counter-name");
+  EXPECT_EQ(findings[0].line, 2u);  // Two segments only.
+  EXPECT_NE(findings[0].message.find("io.retries"), std::string::npos);
+  EXPECT_EQ(findings[1].rule, "obs-counter-name");
+  EXPECT_EQ(findings[1].line, 3u);  // Uppercase letters.
+
+  LintOptions options;
+  options.disabled_rules = {"obs-counter-name"};
+  EXPECT_TRUE(Lint(options).empty());
+}
+
+TEST_F(FreshselLintTest, ObsCounterNameSkipsMacroDefinition) {
+  WriteFixture("obs/macros_fixture.h",
+               std::string("#ifndef FRESHSEL_OBS_MACROS_FIXTURE_H_\n"
+                           "#define FRESHSEL_OBS_MACROS_FIXTURE_H_\n"
+                           "#define FRESHSEL_") +
+                   "OBS_COUNT(id, n) DoCount(id, n)\n"
+                   "#endif  // FRESHSEL_OBS_MACROS_FIXTURE_H_\n");
+  EXPECT_TRUE(Lint().empty());
+}
+
 // ---------------------------------------------------------------------------
 // Output formats.
 

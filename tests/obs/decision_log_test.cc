@@ -1,0 +1,137 @@
+#include "obs/decision_log.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/json_reader.h"
+
+namespace freshsel::obs {
+namespace {
+
+DecisionLog MakeSampleLog() {
+  DecisionLog log;
+  log.set_algorithm("grasp");
+  DecisionRecord add;
+  add.round = 0;
+  add.kind = DecisionKind::kAdd;
+  add.chosen = 7;
+  add.gain = 1.5;
+  add.profit = 1.5;
+  add.score = 1.5;
+  add.has_runner_up = true;
+  add.runner_up = 3;
+  add.runner_up_score = 1.25;
+  add.margin = 0.25;
+  add.oracle_calls = 12;
+  add.calls_saved = 30;
+  add.pool_size = 42;
+  log.Record(add);
+  DecisionRecord swap;
+  swap.round = 1;
+  swap.restart = 2;
+  swap.kind = DecisionKind::kSwap;
+  swap.chosen = 9;
+  swap.partner = 7;
+  swap.gain = 0.125;
+  swap.profit = 1.625;
+  swap.score = 0.125;
+  swap.oracle_calls = 5;
+  swap.cache_hits = 4;
+  swap.sample_size = 11;
+  swap.pool_size = 40;
+  log.Record(swap);
+  log.AddDegradation("src_004", "history too short");
+  return log;
+}
+
+std::string ToJson(const DecisionLog& log) {
+  JsonWriter writer;
+  log.AppendJson(writer);
+  return writer.TakeString();
+}
+
+TEST(DecisionLogTest, KindNamesAreStable) {
+  EXPECT_EQ(DecisionKindName(DecisionKind::kAdd), "add");
+  EXPECT_EQ(DecisionKindName(DecisionKind::kRemove), "remove");
+  EXPECT_EQ(DecisionKindName(DecisionKind::kSwap), "swap");
+  EXPECT_EQ(DecisionKindName(DecisionKind::kSingleton), "singleton");
+}
+
+TEST(DecisionLogTest, EmptyAndClear) {
+  DecisionLog log;
+  EXPECT_TRUE(log.empty());
+  log.set_algorithm("greedy/lazy");
+  EXPECT_FALSE(log.empty());
+  log.Clear();
+  EXPECT_TRUE(log.empty());
+  log.AddDegradation("s", "r");
+  EXPECT_FALSE(log.empty());
+}
+
+TEST(DecisionLogTest, ConditionalFieldsMatchRecordState) {
+  const std::string json = ToJson(MakeSampleLog());
+  // The add record has a runner-up triple but no restart/partner/cache
+  // fields; the swap record is the mirror image.
+  const std::size_t add_at = json.find("\"round\":0");
+  const std::size_t swap_at = json.find("\"round\":1");
+  ASSERT_NE(add_at, std::string::npos);
+  ASSERT_NE(swap_at, std::string::npos);
+  const std::string add_obj = json.substr(add_at, swap_at - add_at);
+  EXPECT_NE(add_obj.find("\"runner_up\":3"), std::string::npos);
+  EXPECT_NE(add_obj.find("\"margin\""), std::string::npos);
+  EXPECT_EQ(add_obj.find("\"restart\""), std::string::npos);
+  EXPECT_EQ(add_obj.find("\"partner\""), std::string::npos);
+  EXPECT_EQ(add_obj.find("\"cache_hits\""), std::string::npos);
+  const std::string swap_obj = json.substr(swap_at);
+  EXPECT_NE(swap_obj.find("\"restart\":2"), std::string::npos);
+  EXPECT_NE(swap_obj.find("\"partner\":7"), std::string::npos);
+  EXPECT_NE(swap_obj.find("\"cache_hits\":4"), std::string::npos);
+  EXPECT_NE(swap_obj.find("\"sample_size\":11"), std::string::npos);
+  EXPECT_EQ(swap_obj.find("\"runner_up\""), std::string::npos);
+}
+
+TEST(DecisionLogTest, JsonRoundTripIsBitIdentical) {
+  const DecisionLog log = MakeSampleLog();
+  const std::string json = ToJson(log);
+  const JsonValue parsed = ParseJson(json).value();
+  const DecisionLog reread = DecisionLog::FromJsonValue(parsed).value();
+  EXPECT_EQ(ToJson(reread), json);
+  ASSERT_EQ(reread.records().size(), 2u);
+  EXPECT_EQ(reread.algorithm(), "grasp");
+  EXPECT_EQ(reread.records()[0].kind, DecisionKind::kAdd);
+  EXPECT_TRUE(reread.records()[0].has_runner_up);
+  EXPECT_EQ(reread.records()[0].runner_up, 3u);
+  EXPECT_EQ(reread.records()[1].kind, DecisionKind::kSwap);
+  EXPECT_EQ(reread.records()[1].partner, 7u);
+  EXPECT_FALSE(reread.records()[1].has_runner_up);
+  ASSERT_EQ(reread.degraded().size(), 1u);
+  EXPECT_EQ(reread.degraded()[0].source, "src_004");
+  EXPECT_EQ(reread.degraded()[0].reason, "history too short");
+}
+
+TEST(DecisionLogTest, FromJsonValueToleratesUnknownFields) {
+  const JsonValue parsed =
+      ParseJson("{\"algorithm\": \"greedy/eager\", \"future_field\": [1],"
+                " \"decisions\": [{\"round\": 0, \"kind\": \"add\","
+                " \"chosen\": 5, \"gain\": 1.0, \"profit\": 1.0,"
+                " \"score\": 1.0, \"oracle_calls\": 3, \"calls_saved\": 0,"
+                " \"pool_size\": 9, \"not_yet_invented\": true}],"
+                " \"degraded\": []}")
+          .value();
+  const DecisionLog log = DecisionLog::FromJsonValue(parsed).value();
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0].chosen, 5u);
+  EXPECT_EQ(log.records()[0].pool_size, 9u);
+  EXPECT_FALSE(log.records()[0].has_runner_up);
+}
+
+TEST(DecisionLogTest, FromJsonValueRejectsNonObject) {
+  EXPECT_FALSE(DecisionLog::FromJsonValue(ParseJson("[]").value()).ok());
+  EXPECT_FALSE(
+      DecisionLog::FromJsonValue(ParseJson("\"log\"").value()).ok());
+}
+
+}  // namespace
+}  // namespace freshsel::obs

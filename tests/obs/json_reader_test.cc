@@ -1,0 +1,88 @@
+#include "obs/json_reader.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace freshsel::obs {
+namespace {
+
+TEST(JsonReaderTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null").value().is_null());
+  EXPECT_TRUE(ParseJson("true").value().AsBool());
+  EXPECT_FALSE(ParseJson("false").value().AsBool());
+  EXPECT_DOUBLE_EQ(ParseJson("-2.5e3").value().AsDouble(), -2500.0);
+  EXPECT_EQ(ParseJson("\"hi\"").value().AsString(), "hi");
+}
+
+TEST(JsonReaderTest, ParsesNestedObjectInDocumentOrder) {
+  const JsonValue doc =
+      ParseJson("{\"b\": [1, 2, {\"x\": true}], \"a\": {\"y\": null}}")
+          .value();
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_EQ(doc.members().size(), 2u);
+  EXPECT_EQ(doc.members()[0].first, "b");  // Document order, not sorted.
+  EXPECT_EQ(doc.members()[1].first, "a");
+  const JsonValue* array = doc.Find("b");
+  ASSERT_NE(array, nullptr);
+  ASSERT_EQ(array->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(array->items()[1].AsDouble(), 2.0);
+  EXPECT_TRUE(array->items()[2].Find("x")->AsBool());
+}
+
+TEST(JsonReaderTest, ExactUint64SurvivesAboveDoublePrecision) {
+  // 2^53 + 1 is not representable as a double; the exact integer channel
+  // must preserve it for counter round trips.
+  const JsonValue value = ParseJson("9007199254740993").value();
+  EXPECT_EQ(value.AsUint64(), 9007199254740993ull);
+  // 19 digits is the exact-channel ceiling (always fits uint64).
+  const JsonValue big = ParseJson("9999999999999999999").value();
+  EXPECT_EQ(big.AsUint64(), 9999999999999999999ull);
+}
+
+TEST(JsonReaderTest, AsUint64TruncatesDoublesAndClampsNegatives) {
+  EXPECT_EQ(ParseJson("3.9").value().AsUint64(), 3u);
+  EXPECT_EQ(ParseJson("-7").value().AsUint64(), 0u);
+  EXPECT_EQ(ParseJson("\"nope\"").value().AsUint64(), 0u);
+}
+
+TEST(JsonReaderTest, StringEscapesAndSurrogatePairs) {
+  const JsonValue value =
+      ParseJson("\"a\\n\\t\\\"\\\\b\\u0041\\uD83D\\uDE00\"").value();
+  EXPECT_EQ(value.AsString(), "a\n\t\"\\bA\xF0\x9F\x98\x80");
+}
+
+TEST(JsonReaderTest, TypedMemberShorthands) {
+  const JsonValue doc =
+      ParseJson("{\"n\": 1.5, \"u\": 7, \"s\": \"x\"}").value();
+  EXPECT_DOUBLE_EQ(doc.NumberOr("n", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("missing", -1.0), -1.0);
+  EXPECT_EQ(doc.UintOr("u", 0), 7u);
+  EXPECT_EQ(doc.UintOr("s", 9), 9u);  // Wrong kind -> fallback.
+  EXPECT_EQ(doc.StringOr("s", ""), "x");
+  EXPECT_EQ(doc.StringOr("n", "d"), "d");
+}
+
+TEST(JsonReaderTest, ErrorsCarryByteOffset) {
+  for (const char* bad :
+       {"{", "[1,]", "{\"a\" 1}", "tru", "\"unterminated", "1e", "-",
+        "{\"a\":1}x"}) {
+    const Result<JsonValue> result = ParseJson(bad);
+    EXPECT_FALSE(result.ok()) << bad;
+  }
+}
+
+TEST(JsonReaderTest, RejectsPathologicalNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonReaderTest, ParseJsonFileMissingFileFails) {
+  EXPECT_FALSE(ParseJsonFile("/nonexistent-dir/none.json").ok());
+}
+
+}  // namespace
+}  // namespace freshsel::obs

@@ -205,6 +205,58 @@ TEST(SnapshotTest, JsonAndTextShapes) {
   EXPECT_NE(text.find("3"), std::string::npos);
 }
 
+TEST(HistogramPercentileTest, InterpolatesInsideBuckets) {
+  Histogram::Snapshot snapshot;
+  snapshot.bounds = {10.0, 20.0};
+  snapshot.counts = {4, 4, 2};  // Two finite buckets + overflow.
+  snapshot.count = 10;
+  // Rank 5 is the first record of the [10, 20] bucket: 1/4 into it.
+  EXPECT_DOUBLE_EQ(snapshot.Percentile(0.5), 12.5);
+  // Rank 2.5 sits 62.5% into the first bucket, whose lower edge is 0.
+  EXPECT_DOUBLE_EQ(snapshot.Percentile(0.25), 6.25);
+  // q clamps to [0, 1].
+  EXPECT_DOUBLE_EQ(snapshot.Percentile(-1.0), snapshot.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(snapshot.Percentile(2.0), snapshot.Percentile(1.0));
+}
+
+TEST(HistogramPercentileTest, OverflowBucketReportsLastFiniteEdge) {
+  Histogram::Snapshot snapshot;
+  snapshot.bounds = {10.0, 20.0};
+  snapshot.counts = {4, 4, 2};
+  snapshot.count = 10;
+  // Ranks 9.5 and 10 land in the overflow bucket: the estimate floors at
+  // the last finite edge rather than extrapolating.
+  EXPECT_DOUBLE_EQ(snapshot.Percentile(0.95), 20.0);
+  EXPECT_DOUBLE_EQ(snapshot.Percentile(1.0), 20.0);
+}
+
+TEST(HistogramPercentileTest, EmptyHistogramReportsZero) {
+  Histogram::Snapshot snapshot;
+  EXPECT_DOUBLE_EQ(snapshot.Percentile(0.5), 0.0);
+  snapshot.bounds = {1.0};
+  snapshot.counts = {0, 0};
+  EXPECT_DOUBLE_EQ(snapshot.Percentile(0.99), 0.0);
+}
+
+TEST(HistogramPercentileTest, LivePercentilesAreOrderedAndBounded) {
+  Histogram histogram({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 50; ++i) histogram.Record(0.5);
+  for (int i = 0; i < 45; ++i) histogram.Record(3.0);
+  for (int i = 0; i < 5; ++i) histogram.Record(7.0);
+  const Histogram::Snapshot snapshot = histogram.TakeSnapshot();
+  const double p50 = snapshot.Percentile(0.50);
+  const double p95 = snapshot.Percentile(0.95);
+  const double p99 = snapshot.Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p99, 8.0);
+  // 50 of 100 records are <= 1.0, so p50 lives in the first bucket.
+  EXPECT_LE(p50, 1.0);
+  // The top 5% are in the (4, 8] bucket.
+  EXPECT_GT(p99, 4.0);
+}
+
 TEST(ScopedLatencyTimerTest, RecordsOnDestruction) {
   Histogram histogram(Histogram::DefaultLatencyBounds());
   {
@@ -219,18 +271,18 @@ TEST(ScopedLatencyTimerTest, RecordsOnDestruction) {
 
 #if FRESHSEL_OBS_ACTIVE
 TEST(MacroTest, CountMacroReachesGlobalRegistry) {
-  FRESHSEL_OBS_COUNT("obs_test.macro_counter", 2);
-  FRESHSEL_OBS_COUNT("obs_test.macro_counter", 3);
+  FRESHSEL_OBS_COUNT("obs_test.macro.counter", 2);
+  FRESHSEL_OBS_COUNT("obs_test.macro.counter", 3);
   const MetricsSnapshot snapshot =
       MetricsRegistry::Global().TakeSnapshot();
-  EXPECT_GE(snapshot.counters.at("obs_test.macro_counter"), 5u);
+  EXPECT_GE(snapshot.counters.at("obs_test.macro.counter"), 5u);
 }
 
 TEST(MacroTest, ScopedLatencyMacroRecords) {
-  { FRESHSEL_OBS_SCOPED_LATENCY("obs_test.macro_latency"); }
+  { FRESHSEL_OBS_SCOPED_LATENCY("obs_test.macro.latency"); }
   const MetricsSnapshot snapshot =
       MetricsRegistry::Global().TakeSnapshot();
-  EXPECT_GE(snapshot.histograms.at("obs_test.macro_latency").count, 1u);
+  EXPECT_GE(snapshot.histograms.at("obs_test.macro.latency").count, 1u);
 }
 #endif  // FRESHSEL_OBS_ACTIVE
 

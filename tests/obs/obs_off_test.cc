@@ -20,16 +20,16 @@ namespace {
 
 TEST(ObsOffTest, MacrosRegisterNothing) {
   FRESHSEL_TRACE_SPAN("obs_off_test/never_span");
-  FRESHSEL_OBS_COUNT("obs_off_test.never_counter", 123);
-  FRESHSEL_OBS_GAUGE_SET("obs_off_test.never_gauge", 1.0);
-  FRESHSEL_OBS_HISTOGRAM_RECORD("obs_off_test.never_hist", 0.5);
-  { FRESHSEL_OBS_SCOPED_LATENCY("obs_off_test.never_latency"); }
+  FRESHSEL_OBS_COUNT("obs_off_test.never.counter", 123);
+  FRESHSEL_OBS_GAUGE_SET("obs_off_test.never.gauge", 1.0);
+  FRESHSEL_OBS_HISTOGRAM_RECORD("obs_off_test.never.hist", 0.5);
+  { FRESHSEL_OBS_SCOPED_LATENCY("obs_off_test.never.latency"); }
 
   const MetricsSnapshot snapshot = MetricsRegistry::Global().TakeSnapshot();
-  EXPECT_EQ(snapshot.counters.count("obs_off_test.never_counter"), 0u);
-  EXPECT_EQ(snapshot.gauges.count("obs_off_test.never_gauge"), 0u);
-  EXPECT_EQ(snapshot.histograms.count("obs_off_test.never_hist"), 0u);
-  EXPECT_EQ(snapshot.histograms.count("obs_off_test.never_latency"), 0u);
+  EXPECT_EQ(snapshot.counters.count("obs_off_test.never.counter"), 0u);
+  EXPECT_EQ(snapshot.gauges.count("obs_off_test.never.gauge"), 0u);
+  EXPECT_EQ(snapshot.histograms.count("obs_off_test.never.hist"), 0u);
+  EXPECT_EQ(snapshot.histograms.count("obs_off_test.never.latency"), 0u);
 }
 
 TEST(ObsOffTest, DisabledSpanEmitsNoTraceEventsEvenWhenEnabled) {
@@ -46,10 +46,11 @@ TEST(ObsOffTest, DisabledSpanEmitsNoTraceEventsEvenWhenEnabled) {
 
 TEST(ObsOffTest, MacrosAreStatementSafe) {
   // Must parse as a single statement in unbraced control flow.
-  if (true) FRESHSEL_OBS_COUNT("obs_off_test.branch", 1);
-  for (int i = 0; i < 1; ++i) FRESHSEL_OBS_GAUGE_SET("obs_off_test.g", 1.0);
+  if (true) FRESHSEL_OBS_COUNT("obs_off_test.branch.count", 1);
+  for (int i = 0; i < 1; ++i)
+    FRESHSEL_OBS_GAUGE_SET("obs_off_test.loop.gauge", 1.0);
   EXPECT_EQ(MetricsRegistry::Global().TakeSnapshot().counters.count(
-                "obs_off_test.branch"),
+                "obs_off_test.branch.count"),
             0u);
 }
 

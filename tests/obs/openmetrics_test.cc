@@ -1,0 +1,67 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace freshsel::obs {
+namespace {
+
+MetricsSnapshot MakeSnapshot() {
+  MetricsSnapshot snapshot;
+  snapshot.counters["selection.oracle.calls"] = 812;
+  snapshot.gauges["selection.universe.size"] = 100.0;
+  Histogram::Snapshot hist;
+  hist.bounds = {0.125, 1.0};
+  hist.counts = {2, 1, 1};  // Two buckets + overflow.
+  hist.count = 4;
+  hist.sum = 3.5;
+  snapshot.histograms["stage.select.seconds"] = hist;
+  return snapshot;
+}
+
+TEST(OpenMetricsTest, CounterFamilyWithTotalSuffix) {
+  const std::string text = MakeSnapshot().ToOpenMetrics();
+  EXPECT_NE(
+      text.find("# TYPE freshsel_selection_oracle_calls counter"),
+      std::string::npos);
+  // The HELP line preserves the dotted id for dashboard mapping.
+  EXPECT_NE(text.find("selection.oracle.calls"), std::string::npos);
+  EXPECT_NE(text.find("freshsel_selection_oracle_calls_total 812\n"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsTest, GaugeFamily) {
+  const std::string text = MakeSnapshot().ToOpenMetrics();
+  EXPECT_NE(text.find("# TYPE freshsel_selection_universe_size gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("freshsel_selection_universe_size 100\n"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsTest, HistogramBucketsAreCumulativeWithInf) {
+  const std::string text = MakeSnapshot().ToOpenMetrics();
+  const std::string name = "freshsel_stage_select_seconds";
+  EXPECT_NE(text.find("# TYPE " + name + " histogram"), std::string::npos);
+  const std::size_t b1 = text.find(name + "_bucket{le=\"0.125\"} 2\n");
+  const std::size_t b2 = text.find(name + "_bucket{le=\"1\"} 3\n");
+  const std::size_t binf = text.find(name + "_bucket{le=\"+Inf\"} 4\n");
+  ASSERT_NE(b1, std::string::npos);
+  ASSERT_NE(b2, std::string::npos);
+  ASSERT_NE(binf, std::string::npos);
+  EXPECT_LT(b1, b2);
+  EXPECT_LT(b2, binf);
+  EXPECT_NE(text.find(name + "_sum 3.5\n"), std::string::npos);
+  EXPECT_NE(text.find(name + "_count 4\n"), std::string::npos);
+}
+
+TEST(OpenMetricsTest, EndsWithEofMarker) {
+  const std::string text = MakeSnapshot().ToOpenMetrics();
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+  // Empty snapshots still terminate correctly.
+  EXPECT_EQ(MetricsSnapshot().ToOpenMetrics(), "# EOF\n");
+}
+
+}  // namespace
+}  // namespace freshsel::obs

@@ -191,6 +191,55 @@ TEST_F(TraceTest, ChromeJsonStructure) {
             std::count(json.begin(), json.end(), ']'));
 }
 
+TEST_F(TraceTest, RingOverflowCountsDropsPerThread) {
+  SetTraceEnabled(true);
+  // kRingCapacity in trace.cc is 16384 events per thread; push that many
+  // plus kOverflow so exactly kOverflow overwrites happen on this thread.
+  constexpr std::size_t kCapacity = 1 << 14;
+  constexpr std::uint64_t kOverflow = 100;
+  for (std::size_t i = 0; i < kCapacity + kOverflow; ++i) {
+    TraceSpan span("trace_test/overflow");
+  }
+  SetTraceEnabled(false);
+
+  EXPECT_EQ(TraceDroppedCount(), kOverflow);
+  const std::vector<TraceDrop> drops = TraceDroppedByThread();
+  ASSERT_FALSE(drops.empty());
+  std::uint64_t total = 0;
+  for (const TraceDrop& drop : drops) total += drop.dropped;
+  EXPECT_EQ(total, TraceDroppedCount());
+  for (std::size_t i = 1; i < drops.size(); ++i) {
+    EXPECT_LT(drops[i - 1].tid, drops[i].tid);  // Ordered by tid.
+  }
+
+  ClearTrace();
+  EXPECT_EQ(TraceDroppedCount(), 0u);
+  EXPECT_TRUE(TraceDroppedByThread().empty());
+}
+
+TEST_F(TraceTest, ChromeJsonEmbedsDropMetadata) {
+  std::vector<TraceEvent> events;
+  TraceEvent event;
+  event.name = "trace_test/drop_meta";
+  event.begin_ns = 1000;
+  event.end_ns = 2000;
+  event.tid = 1;
+  event.id = 1;
+  events.push_back(event);
+
+  const std::vector<TraceDrop> drops = {{1, 5}, {3, 2}};
+  const std::string json = TraceToChromeJson(events, drops);
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_by_thread\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":2"), std::string::npos);
+  // Drop-free serializations stay clean of the metadata block.
+  EXPECT_EQ(TraceToChromeJson(events).find("otherData"), std::string::npos);
+  EXPECT_EQ(TraceToChromeJson(events, {}).find("otherData"),
+            std::string::npos);
+}
+
 TEST_F(TraceTest, WriteTraceFileRoundTrip) {
   SetTraceEnabled(true);
   { TraceSpan span("trace_test/file_span"); }
