@@ -1,20 +1,16 @@
 #include "cli/commands.h"
 
 #include <algorithm>
-#include <charconv>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <memory>
+#include <utility>
 
 #include "common/string_util.h"
 #include "common/table_printer.h"
-#include "common/thread_pool.h"
 #include "estimation/degradation.h"
-#include "estimation/quality_estimator.h"
-#include "estimation/source_profile.h"
-#include "estimation/world_change_model.h"
 #include "fault/failpoint.h"
 #include "fault/retry.h"
 #include "harness/characterization.h"
@@ -25,11 +21,8 @@
 #include "obs/report.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
-#include "selection/budgeted_greedy.h"
-#include "selection/cached_oracle.h"
-#include "selection/cost.h"
-#include "selection/frequency_selection.h"
-#include "selection/selector.h"
+#include "serve/engine.h"
+#include "serve/ingest.h"
 #include "workloads/bl_generator.h"
 #include "workloads/gdelt_generator.h"
 
@@ -38,58 +31,6 @@ namespace freshsel::cli {
 namespace {
 
 namespace fs = std::filesystem;
-
-/// A scenario loaded from a directory written by `simulate`.
-struct LoadedScenario {
-  world::World world;
-  std::vector<source::SourceHistory> sources;
-  TimePoint manifest_t0 = 0;  ///< 0 when no manifest was found.
-};
-
-Result<LoadedScenario> LoadScenarioDir(const std::string& dir,
-                                       const fault::RetryPolicy& retry) {
-  const fs::path root(dir);
-  std::error_code ec;
-  if (!fs::is_directory(root, ec)) {
-    return Status::NotFound("not a directory: " + dir);
-  }
-  FRESHSEL_ASSIGN_OR_RETURN(
-      world::World world,
-      io::ReadWorldCsv((root / "world.csv").string(), retry));
-  std::vector<std::string> source_files;
-  for (const fs::directory_entry& entry : fs::directory_iterator(root)) {
-    const std::string name = entry.path().filename().string();
-    if (name.rfind("source_", 0) == 0) {
-      source_files.push_back(entry.path().string());
-    }
-  }
-  std::sort(source_files.begin(), source_files.end());
-  if (source_files.empty()) {
-    return Status::NotFound("no source_*.csv files in " + dir);
-  }
-  std::vector<source::SourceHistory> sources;
-  sources.reserve(source_files.size());
-  for (const std::string& file : source_files) {
-    FRESHSEL_ASSIGN_OR_RETURN(source::SourceHistory history,
-                              io::ReadSourceHistoryCsv(file, retry));
-    sources.push_back(std::move(history));
-  }
-  // Optional manifest: its first line is "t0,<value>".
-  TimePoint manifest_t0 = 0;
-  std::ifstream manifest(root / "manifest.csv");
-  std::string first_line;
-  if (manifest && std::getline(manifest, first_line)) {
-    const std::vector<std::string> fields = Split(first_line, ',');
-    if (fields.size() == 2 && fields[0] == "t0") {
-      const char* begin = fields[1].data();
-      const char* end = begin + fields[1].size();
-      std::int64_t value = 0;
-      auto [ptr, errc] = std::from_chars(begin, end, value);
-      if (errc == std::errc() && ptr == end) manifest_t0 = value;
-    }
-  }
-  return LoadedScenario{std::move(world), std::move(sources), manifest_t0};
-}
 
 /// Shared --metrics-out / --trace-out plumbing for every command. A
 /// metrics path resets the global registry so the emitted report captures
@@ -154,26 +95,6 @@ class ObsSession {
   std::string format_;
   obs::RunReport report_;
 };
-
-struct LearnedModels {
-  estimation::WorldChangeModel world_model;
-  std::vector<estimation::SourceProfile> profiles;
-  estimation::DegradationReport degradation;
-};
-
-Result<LearnedModels> LearnModels(const LoadedScenario& scenario,
-                                  TimePoint t0,
-                                  estimation::DegradationMode mode) {
-  FRESHSEL_ASSIGN_OR_RETURN(
-      estimation::WorldChangeModel world_model,
-      estimation::WorldChangeModel::Learn(scenario.world, t0));
-  FRESHSEL_ASSIGN_OR_RETURN(
-      estimation::RobustProfiles robust,
-      estimation::LearnSourceProfilesRobust(scenario.world, scenario.sources,
-                                            t0, mode));
-  return LearnedModels{std::move(world_model), std::move(robust.profiles),
-                       std::move(robust.report)};
-}
 
 /// Shared robustness plumbing (DESIGN.md §11): `--failpoints SPEC` arms
 /// the global registry for this run (previous arms are cleared so repeated
@@ -358,8 +279,8 @@ Status RunCharacterize(const ArgMap& args, std::ostream& out) {
   }
   obs::RunReport& report = *obs_session.report();
   obs::WallTimer stage_timer;
-  FRESHSEL_ASSIGN_OR_RETURN(LoadedScenario scenario,
-                            LoadScenarioDir(dir, robust.retry));
+  FRESHSEL_ASSIGN_OR_RETURN(serve::ScenarioDirData scenario,
+                            serve::ReadScenarioDir(dir, robust.retry));
   if (t0 <= 0) t0 = scenario.manifest_t0;  // Fall back to the manifest.
   if (t0 <= 0) {
     return Status::InvalidArgument(
@@ -403,35 +324,47 @@ Status RunCharacterize(const ArgMap& args, std::ostream& out) {
   return obs_session.Finish();
 }
 
-Status RunSelect(const ArgMap& args, std::ostream& out) {
-  const std::string dir = args.GetString("dir", "");
-  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t t0, args.GetInt("t0", 0));
-  const std::string metric_name = args.GetString("metric", "coverage");
-  const std::string gain_name = args.GetString("gain", "linear");
-  const std::string algorithm_name =
-      args.GetString("algorithm", "maxsub");
-  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t points, args.GetInt("points", 10));
-  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t stride, args.GetInt("stride", 7));
+Result<serve::QueryParams> ReadQueryParams(const ArgMap& args) {
+  serve::QueryParams params;
+  FRESHSEL_ASSIGN_OR_RETURN(params.t0, args.GetInt("t0", 0));
+  params.metric = args.GetString("metric", "coverage");
+  params.gain = args.GetString("gain", "linear");
+  params.algorithm = args.GetString("algorithm", "maxsub");
+  FRESHSEL_ASSIGN_OR_RETURN(params.points, args.GetInt("points", 10));
+  FRESHSEL_ASSIGN_OR_RETURN(params.stride, args.GetInt("stride", 7));
   FRESHSEL_ASSIGN_OR_RETURN(
-      double budget,
+      params.budget,
       args.GetDouble("budget", std::numeric_limits<double>::infinity()));
-  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t max_divisor,
+  FRESHSEL_ASSIGN_OR_RETURN(params.max_divisor,
                             args.GetInt("max-divisor", 1));
-  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t kappa, args.GetInt("kappa", 5));
-  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t restarts,
-                            args.GetInt("restarts", 20));
-  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t seed, args.GetInt("seed", 42));
-  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t threads, args.GetInt("threads", 1));
-  FRESHSEL_ASSIGN_OR_RETURN(bool stochastic,
+  FRESHSEL_ASSIGN_OR_RETURN(params.kappa, args.GetInt("kappa", 5));
+  FRESHSEL_ASSIGN_OR_RETURN(params.restarts, args.GetInt("restarts", 20));
+  FRESHSEL_ASSIGN_OR_RETURN(params.seed, args.GetInt("seed", 42));
+  FRESHSEL_ASSIGN_OR_RETURN(params.threads, args.GetInt("threads", 1));
+  FRESHSEL_ASSIGN_OR_RETURN(params.stochastic,
                             args.GetBool("stochastic", false));
-  FRESHSEL_ASSIGN_OR_RETURN(double stochastic_epsilon,
+  FRESHSEL_ASSIGN_OR_RETURN(params.stochastic_epsilon,
                             args.GetDouble("stochastic-epsilon", 0.1));
-  if (stochastic_epsilon <= 0.0 || stochastic_epsilon >= 1.0) {
+  if (params.stochastic_epsilon <= 0.0 || params.stochastic_epsilon >= 1.0) {
     return Status::InvalidArgument(
         "--stochastic-epsilon must be in (0, 1)");
   }
-  FRESHSEL_ASSIGN_OR_RETURN(bool fast_math,
+  FRESHSEL_ASSIGN_OR_RETURN(params.fast_math,
                             args.GetBool("fast-math-kernels", false));
+  FRESHSEL_ASSIGN_OR_RETURN(params.lazy, args.GetBool("lazy", true));
+  FRESHSEL_ASSIGN_OR_RETURN(params.incremental,
+                            args.GetBool("incremental", true));
+  const std::string roster_flag = args.GetString("roster", "");
+  if (!roster_flag.empty()) {
+    params.roster = Split(roster_flag, ',');
+  }
+  return params;
+}
+
+Status RunSelect(const ArgMap& args, std::ostream& out) {
+  const std::string dir = args.GetString("dir", "");
+  FRESHSEL_ASSIGN_OR_RETURN(serve::QueryParams params,
+                            ReadQueryParams(args));
   ObsSession obs_session("select", args);
   FRESHSEL_ASSIGN_OR_RETURN(RobustnessOptions robust,
                             ReadRobustnessFlags(args));
@@ -444,173 +377,30 @@ Status RunSelect(const ArgMap& args, std::ostream& out) {
     return Status::InvalidArgument("select requires --dir DIR");
   }
   obs::RunReport& report = *obs_session.report();
-  report.labels["metric"] = metric_name;
-  report.labels["gain"] = gain_name;
+  report.labels["metric"] = params.metric;
+  report.labels["gain"] = params.gain;
   obs::WallTimer stage_timer;
 
-  selection::QualityMetric metric;
-  if (metric_name == "coverage") {
-    metric = selection::QualityMetric::kCoverage;
-  } else if (metric_name == "accuracy") {
-    metric = selection::QualityMetric::kAccuracy;
-  } else if (metric_name == "freshness") {
-    metric = selection::QualityMetric::kGlobalFreshness;
-  } else if (metric_name == "mix") {
-    metric = selection::QualityMetric::kCoverageFreshnessMix;
-  } else {
-    return Status::InvalidArgument("unknown --metric: " + metric_name);
-  }
-  selection::GainFamily family;
-  if (gain_name == "linear") {
-    family = selection::GainFamily::kLinear;
-  } else if (gain_name == "quad") {
-    family = selection::GainFamily::kQuadratic;
-  } else if (gain_name == "step") {
-    family = selection::GainFamily::kStep;
-  } else if (gain_name == "data") {
-    family = selection::GainFamily::kData;
-  } else {
-    return Status::InvalidArgument("unknown --gain: " + gain_name);
-  }
-
-  FRESHSEL_ASSIGN_OR_RETURN(LoadedScenario scenario,
-                            LoadScenarioDir(dir, robust.retry));
-  if (t0 <= 0) t0 = scenario.manifest_t0;  // Fall back to the manifest.
-  if (t0 <= 0) {
-    return Status::InvalidArgument(
-        "no --t0 given and the directory has no manifest t0");
-  }
-  if (t0 > scenario.world.horizon()) {
-    return Status::InvalidArgument("--t0 beyond the scenario horizon");
-  }
+  FRESHSEL_ASSIGN_OR_RETURN(serve::ScenarioDirData data,
+                            serve::ReadScenarioDir(dir, robust.retry));
   report.AddStage("load", stage_timer.ElapsedSeconds());
   stage_timer.Restart();
-  FRESHSEL_ASSIGN_OR_RETURN(LearnedModels learned,
-                            LearnModels(scenario, t0, degradation_mode));
+  serve::IngestOptions ingest;
+  ingest.retry = robust.retry;
+  ingest.degradation_mode = degradation_mode;
+  ingest.t0 = params.t0;  // --t0 overrides the manifest cutoff.
+  FRESHSEL_ASSIGN_OR_RETURN(
+      serve::ResidentScenario resident,
+      serve::LearnScenario("batch", std::move(data), ingest));
   report.AddStage("learn", stage_timer.ElapsedSeconds());
-  ReportDegradation(learned.degradation, &report, out);
-  stage_timer.Restart();
+  ReportDegradation(resident.degradation, &report, out);
 
-  estimation::QualityEstimator::Options estimator_options;
-  estimator_options.fast_math_kernels = fast_math;
-  FRESHSEL_ASSIGN_OR_RETURN(
-      estimation::QualityEstimator estimator,
-      estimation::QualityEstimator::Create(
-          scenario.world, learned.world_model, {},
-          MakeTimePoints(t0 + stride, points, stride), estimator_options));
-  std::vector<const estimation::SourceProfile*> profiles;
-  for (const auto& profile : learned.profiles) {
-    profiles.push_back(&profile);
-  }
-  std::vector<double> base_costs =
-      selection::CostModel::ItemShareCosts(profiles);
-
-  // Universe: plain sources, or frequency-augmented when requested.
-  std::vector<std::uint32_t> source_of;
-  std::vector<std::int64_t> divisor_of;
-  std::vector<double> costs;
-  std::optional<selection::PartitionMatroid> matroid;
-  if (max_divisor > 1) {
-    FRESHSEL_ASSIGN_OR_RETURN(
-        selection::AugmentedUniverse universe,
-        selection::BuildAugmentedUniverse(estimator, profiles, base_costs,
-                                          max_divisor));
-    source_of = std::move(universe.source_of);
-    divisor_of = std::move(universe.divisor_of);
-    costs = std::move(universe.costs);
-    matroid = std::move(universe.matroid);
-  } else {
-    for (std::size_t i = 0; i < profiles.size(); ++i) {
-      FRESHSEL_ASSIGN_OR_RETURN(auto handle,
-                                estimator.AddSource(profiles[i], 1));
-      (void)handle;
-      source_of.push_back(static_cast<std::uint32_t>(i));
-      divisor_of.push_back(1);
-      costs.push_back(base_costs[i]);
-    }
-  }
-
-  selection::ProfitOracle::Config oracle_config;
-  oracle_config.gain = selection::GainModel(family, metric);
-  oracle_config.budget = budget;
-  FRESHSEL_ASSIGN_OR_RETURN(
-      selection::ProfitOracle oracle,
-      selection::ProfitOracle::Create(&estimator, costs, oracle_config));
-  // Memoize the estimator-backed oracle: GRASP restarts and MaxSub local
-  // search revisit sets constantly, and the cache's hit/miss tallies feed
-  // the run report below.
-  selection::CachedProfitOracle cached(oracle);
-
-  selection::SelectionResult result;
-  if (algorithm_name == "budgeted") {
-    selection::BudgetedGreedyOptions budgeted_options;
-    budgeted_options.stochastic = stochastic;
-    budgeted_options.stochastic_epsilon = stochastic_epsilon;
-    budgeted_options.stochastic_seed = static_cast<std::uint64_t>(seed);
-    budgeted_options.decision_log = &report.decision_log;
-    result = selection::BudgetedGreedy(cached, budgeted_options);
-    report.labels["algorithm"] = "BudgetedGreedy";
-    report.counters["oracle_calls"] += result.oracle_calls;
-    report.counters["oracle_calls_saved"] += result.oracle_calls_saved;
-    report.counters["selected_sources"] += result.selected.size();
-    report.values["profit"] = result.profit;
-    report.AddStage("select/BudgetedGreedy", stage_timer.ElapsedSeconds());
-  } else {
-    selection::SelectorConfig config;
-    if (algorithm_name == "greedy") {
-      config.algorithm = selection::Algorithm::kGreedy;
-    } else if (algorithm_name == "maxsub") {
-      config.algorithm = selection::Algorithm::kMaxSub;
-    } else if (algorithm_name == "grasp") {
-      config.algorithm = selection::Algorithm::kGrasp;
-    } else {
-      return Status::InvalidArgument("unknown --algorithm: " +
-                                     algorithm_name);
-    }
-    config.grasp_kappa = static_cast<int>(kappa);
-    config.grasp_restarts = static_cast<int>(restarts);
-    config.seed = static_cast<std::uint64_t>(seed);
-    config.stochastic_greedy = stochastic;
-    config.stochastic_epsilon = stochastic_epsilon;
-    config.report = &report;
-    // Explicit wiring (never automatic inside SelectSources): bench loops
-    // reuse one report across many SelectSources calls and must not
-    // accumulate per-round records.
-    config.decision_log = &report.decision_log;
-    // GRASP fans candidate scoring out over the pool when --threads > 1
-    // (the trace then shows score chunks attributed across worker tids).
-    std::unique_ptr<ThreadPool> pool;
-    if (threads > 1) {
-      pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(threads));
-      config.pool = pool.get();
-    }
-    FRESHSEL_ASSIGN_OR_RETURN(
-        result, selection::SelectSources(
-                    cached, config,
-                    matroid.has_value() ? &*matroid : nullptr));
-  }
-  const selection::CachedProfitOracle::Stats cache_stats = cached.stats();
-  report.counters["cache_hits"] = cache_stats.hits;
-  report.counters["cache_misses"] = cache_stats.misses;
-  report.values["cache_hit_rate"] = cache_stats.hit_rate();
-
-  TablePrinter table("Selected sources",
-                     {"source", "divisor", "cost_share"});
-  for (selection::SourceHandle h : result.selected) {
-    table.AddRow({profiles[source_of[h]]->name,
-                  std::to_string(divisor_of[h]),
-                  FormatDouble(cached.Cost({h}), 4)});
-  }
-  table.Print(out);
-  const estimation::EstimatedQuality quality =
-      estimator.EstimateAverage(result.selected);
-  out << "profit " << FormatDouble(result.profit, 4) << ", cost "
-      << FormatDouble(cached.Cost(result.selected), 4)
-      << ", expected coverage " << FormatDouble(quality.coverage, 3)
-      << ", freshness " << FormatDouble(quality.local_freshness, 3)
-      << ", accuracy " << FormatDouble(quality.accuracy, 3) << " ("
-      << result.oracle_calls << " oracle calls, cache hit rate "
-      << FormatDouble(cache_stats.hit_rate(), 3) << ")\n";
+  // The same core the daemon answers queries with (serve/engine.h): batch
+  // output and daemon responses are byte-identical by construction.
+  auto scenario =
+      std::make_shared<const serve::ResidentScenario>(std::move(resident));
+  FRESHSEL_RETURN_IF_ERROR(
+      serve::ExecuteSelect(std::move(scenario), params, out, &report));
   return obs_session.Finish();
 }
 
@@ -630,9 +420,13 @@ int RunMain(int argc, const char* const* argv, std::ostream& out,
     status = RunSelect(*args, out);
   } else if (args->command() == "report") {
     status = RunReportCommand(*args, out);
+  } else if (args->command() == "serve") {
+    status = RunServe(*args, out);
+  } else if (args->command() == "query") {
+    status = RunQuery(*args, out);
   } else {
-    err << "usage: freshsel <simulate|characterize|select|report> "
-           "[--flags]\n"
+    err << "usage: freshsel <simulate|characterize|select|report|serve|"
+           "query> [--flags]\n"
         << "  simulate     --workload bl|gdelt --out DIR [--seed N "
            "--scale X --locations N --categories N]\n"
         << "  characterize --dir DIR --t0 N\n"
@@ -646,6 +440,18 @@ int RunMain(int argc, const char* const* argv, std::ostream& out,
            "--stochastic-epsilon E, seeded by --seed)\n"
         << "                --fast-math-kernels (SIMD reductions in the "
            "estimator; small bounded deviation)]\n"
+        << "                --lazy=false (plain greedy scans) "
+           "--incremental=false (full re-evaluation)\n"
+        << "                --roster s1,s2,... (restrict selection to named "
+           "sources)]\n"
+        << "  serve        --dir DIR [--socket PATH | --host H --port N] "
+           "[--scenario NAME --max-inflight N\n"
+        << "                --max-queue N --prepared-cache N] - selection "
+           "daemon (NDJSON; GET /metrics scrapes)\n"
+        << "  query        [--socket PATH | --host H --port N] [--op "
+           "ping|list|metrics|query --raw\n"
+        << "                + the select knobs] - one request against a "
+           "running daemon\n"
         << "  report       show RUN.json [--rounds N --top N] | diff A.json "
            "B.json |\n"
         << "               check-regression FRESH.json --baseline BASE.json "

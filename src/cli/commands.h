@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "cli/args.h"
+#include "serve/protocol.h"
 
 namespace freshsel::cli {
 
@@ -45,10 +46,24 @@ Status RunCharacterize(const ArgMap& args, std::ostream& out);
 Status RunSelect(const ArgMap& args, std::ostream& out);
 Status RunReportCommand(const ArgMap& args, std::ostream& out);
 
+/// The selection daemon (`freshsel serve`, serve_command.cc): ingests
+/// --dir once, then answers concurrent NDJSON queries on a unix socket or
+/// loopback TCP until SIGTERM/SIGINT, draining in-flight work before
+/// returning. `freshsel query` is the matching one-shot client; with the
+/// default --op query it prints the response's `text` payload, which is
+/// byte-identical to the equivalent batch `freshsel select` run.
+Status RunServe(const ArgMap& args, std::ostream& out);
+Status RunQuery(const ArgMap& args, std::ostream& out);
+
 /// Shared argument hygiene: flags that were provided but never read are
 /// typos; commands that take no positionals reject stray tokens.
 Status CheckUnreadFlags(const ArgMap& args);
 Status CheckNoPositionals(const ArgMap& args);
+
+/// Reads the selection-query knobs shared by `select` (batch) and `query`
+/// (daemon client) into wire QueryParams - one reader, so a flag added for
+/// one command cannot silently diverge from the other.
+Result<serve::QueryParams> ReadQueryParams(const ArgMap& args);
 
 /// Dispatches on args.command(); prints usage on unknown commands.
 int RunMain(int argc, const char* const* argv, std::ostream& out,

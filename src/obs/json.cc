@@ -127,6 +127,11 @@ void JsonWriter::Null() {
   out_ += "null";
 }
 
+void JsonWriter::RawValue(std::string_view json) {
+  BeforeValue();
+  out_ += json;
+}
+
 void JsonWriter::Field(std::string_view key, std::string_view value) {
   Key(key);
   String(value);

@@ -37,6 +37,12 @@ class JsonWriter {
   void Bool(bool value);
   void Null();
 
+  /// Splices `json` verbatim as one value (comma/key handling still
+  /// applies). `json` must itself be a complete, valid JSON value - the
+  /// writer does not re-validate it. Used to embed an already-serialized
+  /// document (e.g. a RunReport) inside a larger one without re-parsing.
+  void RawValue(std::string_view json);
+
   /// Shorthand: Key(key) + value.
   void Field(std::string_view key, std::string_view value);
   void Field(std::string_view key, double value);

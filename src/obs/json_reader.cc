@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -16,6 +17,11 @@ std::uint64_t JsonValue::AsUint64() const {
   if (!is_number()) return 0;
   if (exact_uint_) return uint_;
   if (number_ <= 0.0) return 0;
+  // Doubles at or above 2^64 (e.g. a 20-digit wire integer that skipped
+  // the exact-uint path) would make this cast undefined; saturate instead.
+  if (number_ >= 18446744073709551616.0) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
   return static_cast<std::uint64_t>(number_);
 }
 

@@ -1,0 +1,114 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+namespace freshsel::serve {
+
+Result<Client> Client::ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("connect " + path + ": " + message);
+  }
+  return Client(fd);
+}
+
+Result<Client> Client::ConnectTcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("connect " + host + ":" +
+                               std::to_string(port) + ": " + message);
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::Send(std::string_view request) {
+  std::string framed(request);
+  framed += '\n';
+  std::string_view data = framed;
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("send: " + std::string(std::strerror(errno)));
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return Status::OK();
+}
+
+Result<std::string> Client::ReadLine() {
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::IoError("recv: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IoError("connection closed by daemon");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Result<std::string> Client::Call(std::string_view request) {
+  FRESHSEL_RETURN_IF_ERROR(Send(request));
+  return ReadLine();
+}
+
+}  // namespace freshsel::serve

@@ -1,0 +1,428 @@
+#include "serve/engine.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "fault/failpoint.h"
+#include "obs/macros.h"
+#include "obs/report.h"
+#include "obs/timer.h"
+#include "selection/budgeted_greedy.h"
+#include "selection/cached_oracle.h"
+#include "selection/cost.h"
+#include "selection/selector.h"
+
+namespace freshsel::serve {
+
+namespace {
+
+Result<selection::QualityMetric> MetricFromName(const std::string& name) {
+  if (name == "coverage") return selection::QualityMetric::kCoverage;
+  if (name == "accuracy") return selection::QualityMetric::kAccuracy;
+  if (name == "freshness") return selection::QualityMetric::kGlobalFreshness;
+  if (name == "mix") return selection::QualityMetric::kCoverageFreshnessMix;
+  return Status::InvalidArgument("unknown metric: " + name);
+}
+
+Result<selection::GainFamily> GainFromName(const std::string& name) {
+  if (name == "linear") return selection::GainFamily::kLinear;
+  if (name == "quad") return selection::GainFamily::kQuadratic;
+  if (name == "step") return selection::GainFamily::kStep;
+  if (name == "data") return selection::GainFamily::kData;
+  return Status::InvalidArgument("unknown gain: " + name);
+}
+
+/// Canonical cache key over every parameter that shapes the *prepared*
+/// half of a query (scenario identity + epoch, roster, eval times,
+/// estimator options, universe, oracle config). Algorithm knobs (seed,
+/// restarts, lazy, ...) deliberately excluded: they only affect the
+/// per-request run.
+std::string PreparedKey(const ResidentScenario& scenario,
+                        const QueryParams& params) {
+  std::string key = scenario.name;
+  key += '\x1f';
+  key += std::to_string(scenario.epoch);
+  key += '\x1f';
+  key += std::to_string(params.t0);
+  key += '\x1f';
+  key += std::to_string(params.points);
+  key += '\x1f';
+  key += std::to_string(params.stride);
+  key += '\x1f';
+  key += params.metric;
+  key += '\x1f';
+  key += params.gain;
+  key += '\x1f';
+  key += StringPrintf("%.17g", params.budget);
+  key += '\x1f';
+  key += std::to_string(params.max_divisor);
+  key += '\x1f';
+  key += params.fast_math ? '1' : '0';
+  for (const std::string& name : params.roster) {
+    key += '\x1f';
+    key += name;
+  }
+  return key;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ScenarioRegistry
+
+ScenarioInfo ScenarioRegistry::Describe(const ResidentScenario& scenario) {
+  ScenarioInfo info;
+  info.name = scenario.name;
+  info.sources = scenario.profiles.size();
+  info.entities = scenario.world.entity_count();
+  info.t0 = scenario.t0;
+  info.epoch = scenario.epoch;
+  return info;
+}
+
+Result<ScenarioInfo> ScenarioRegistry::Load(const std::string& name,
+                                            const std::string& dir,
+                                            const IngestOptions& options) {
+  // Ingest outside the lock: loading + learning is the slow part, and the
+  // registry stays queryable (with the old epoch) while it runs.
+  FRESHSEL_ASSIGN_OR_RETURN(ResidentScenario scenario,
+                            IngestScenario(name, dir, options));
+  auto shared = std::make_shared<ResidentScenario>(std::move(scenario));
+  MutexLock lock(mutex_);
+  shared->epoch = next_epoch_++;
+  scenarios_[name] = shared;
+  return Describe(*shared);
+}
+
+Result<std::shared_ptr<const ResidentScenario>> ScenarioRegistry::Get(
+    const std::string& name) const {
+  MutexLock lock(mutex_);
+  const auto it = scenarios_.find(name);
+  if (it == scenarios_.end()) {
+    return Status::NotFound("unknown scenario '" + name +
+                            "' (load it with op:\"load\" or serve --dir)");
+  }
+  return it->second;
+}
+
+std::vector<ScenarioInfo> ScenarioRegistry::List() const {
+  MutexLock lock(mutex_);
+  std::vector<ScenarioInfo> infos;
+  infos.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) {
+    infos.push_back(Describe(*scenario));
+  }
+  return infos;
+}
+
+std::size_t ScenarioRegistry::size() const {
+  MutexLock lock(mutex_);
+  return scenarios_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Query preparation
+
+Result<std::shared_ptr<const PreparedQuery>> PrepareQuery(
+    std::shared_ptr<const ResidentScenario> scenario,
+    const QueryParams& params) {
+  auto prepared = std::make_shared<PreparedQuery>();
+  prepared->scenario = scenario;
+  prepared->t0 = params.t0 > 0 ? params.t0 : scenario->t0;
+  if (prepared->t0 <= 0) {
+    return Status::InvalidArgument(
+        "no t0 given and the scenario has no manifest t0");
+  }
+  if (prepared->t0 > scenario->world.horizon()) {
+    return Status::InvalidArgument("t0 beyond the scenario horizon");
+  }
+  FRESHSEL_ASSIGN_OR_RETURN(const selection::QualityMetric metric,
+                            MetricFromName(params.metric));
+  FRESHSEL_ASSIGN_OR_RETURN(const selection::GainFamily family,
+                            GainFromName(params.gain));
+
+  // Roster filter in scenario order (the roster is a set-filter, not a
+  // reordering); unknown names fail loudly instead of shrinking silently.
+  if (params.roster.empty()) {
+    for (const estimation::SourceProfile& profile : scenario->profiles) {
+      prepared->profiles.push_back(&profile);
+    }
+  } else {
+    std::map<std::string, const estimation::SourceProfile*> by_name;
+    for (const estimation::SourceProfile& profile : scenario->profiles) {
+      by_name[profile.name] = &profile;
+    }
+    std::map<std::string, bool> wanted;
+    for (const std::string& name : params.roster) wanted[name] = false;
+    for (const auto& [name, unused] : wanted) {
+      if (by_name.count(name) == 0) {
+        return Status::NotFound("roster source not in scenario: " + name);
+      }
+    }
+    for (const estimation::SourceProfile& profile : scenario->profiles) {
+      if (wanted.count(profile.name) > 0) {
+        prepared->profiles.push_back(&profile);
+      }
+    }
+  }
+
+  estimation::QualityEstimator::Options estimator_options;
+  estimator_options.fast_math_kernels = params.fast_math;
+  FRESHSEL_ASSIGN_OR_RETURN(
+      estimation::QualityEstimator estimator,
+      estimation::QualityEstimator::Create(
+          scenario->world, scenario->world_model, {},
+          MakeTimePoints(prepared->t0 + params.stride, params.points,
+                         params.stride),
+          estimator_options));
+  prepared->estimator =
+      std::make_unique<estimation::QualityEstimator>(std::move(estimator));
+
+  std::vector<double> base_costs =
+      selection::CostModel::ItemShareCosts(prepared->profiles);
+  if (params.max_divisor > 1) {
+    FRESHSEL_ASSIGN_OR_RETURN(
+        selection::AugmentedUniverse universe,
+        selection::BuildAugmentedUniverse(*prepared->estimator,
+                                          prepared->profiles, base_costs,
+                                          params.max_divisor));
+    prepared->source_of = std::move(universe.source_of);
+    prepared->divisor_of = std::move(universe.divisor_of);
+    prepared->costs = std::move(universe.costs);
+    prepared->matroid = std::move(universe.matroid);
+  } else {
+    for (std::size_t i = 0; i < prepared->profiles.size(); ++i) {
+      FRESHSEL_ASSIGN_OR_RETURN(
+          auto handle,
+          prepared->estimator->AddSource(prepared->profiles[i], 1));
+      (void)handle;
+      prepared->source_of.push_back(static_cast<std::uint32_t>(i));
+      prepared->divisor_of.push_back(1);
+      prepared->costs.push_back(base_costs[i]);
+    }
+  }
+
+  selection::ProfitOracle::Config oracle_config;
+  oracle_config.gain = selection::GainModel(family, metric);
+  oracle_config.budget = params.budget;
+  FRESHSEL_ASSIGN_OR_RETURN(
+      selection::ProfitOracle oracle,
+      selection::ProfitOracle::Create(prepared->estimator.get(),
+                                      prepared->costs, oracle_config));
+  prepared->oracle =
+      std::make_unique<selection::ProfitOracle>(std::move(oracle));
+  return std::shared_ptr<const PreparedQuery>(std::move(prepared));
+}
+
+// ---------------------------------------------------------------------------
+// Query execution
+
+Status ExecutePrepared(const PreparedQuery& prepared,
+                       const QueryParams& params, std::ostream& out,
+                       obs::RunReport* report, QueryOutcome* outcome) {
+  obs::RunReport& run_report = *report;
+  run_report.labels["metric"] = params.metric;
+  run_report.labels["gain"] = params.gain;
+  obs::WallTimer stage_timer;
+
+  // Memoize the estimator-backed oracle per request: GRASP restarts and
+  // MaxSub local search revisit sets constantly, and a *fresh* cache keeps
+  // the reported call statistics identical to a cold batch run.
+  selection::CachedProfitOracle cached(*prepared.oracle);
+
+  selection::SelectionResult result;
+  if (params.algorithm == "budgeted") {
+    selection::BudgetedGreedyOptions budgeted_options;
+    budgeted_options.lazy = params.lazy;
+    budgeted_options.incremental = params.incremental;
+    budgeted_options.stochastic = params.stochastic;
+    budgeted_options.stochastic_epsilon = params.stochastic_epsilon;
+    budgeted_options.stochastic_seed =
+        static_cast<std::uint64_t>(params.seed);
+    budgeted_options.decision_log = &run_report.decision_log;
+    result = selection::BudgetedGreedy(cached, budgeted_options);
+    run_report.labels["algorithm"] = "BudgetedGreedy";
+    run_report.counters["oracle_calls"] += result.oracle_calls;
+    run_report.counters["oracle_calls_saved"] += result.oracle_calls_saved;
+    run_report.counters["selected_sources"] += result.selected.size();
+    run_report.values["profit"] = result.profit;
+    run_report.AddStage("select/BudgetedGreedy",
+                        stage_timer.ElapsedSeconds());
+  } else {
+    selection::SelectorConfig config;
+    if (params.algorithm == "greedy") {
+      config.algorithm = selection::Algorithm::kGreedy;
+    } else if (params.algorithm == "maxsub") {
+      config.algorithm = selection::Algorithm::kMaxSub;
+    } else if (params.algorithm == "grasp") {
+      config.algorithm = selection::Algorithm::kGrasp;
+    } else {
+      return Status::InvalidArgument("unknown algorithm: " +
+                                     params.algorithm);
+    }
+    config.grasp_kappa = static_cast<int>(params.kappa);
+    config.grasp_restarts = static_cast<int>(params.restarts);
+    config.seed = static_cast<std::uint64_t>(params.seed);
+    config.lazy_greedy = params.lazy;
+    config.incremental_oracle = params.incremental;
+    config.stochastic_greedy = params.stochastic;
+    config.stochastic_epsilon = params.stochastic_epsilon;
+    config.report = &run_report;
+    // Explicit wiring (never automatic inside SelectSources): callers that
+    // reuse one report across runs must not accumulate per-round records.
+    config.decision_log = &run_report.decision_log;
+    // GRASP fans candidate scoring out over a request-private pool when
+    // threads > 1; the shared pool is single-coordinator-only and the
+    // daemon runs many coordinators at once.
+    std::unique_ptr<ThreadPool> pool;
+    if (params.threads > 1) {
+      pool = std::make_unique<ThreadPool>(
+          static_cast<std::size_t>(params.threads));
+      config.pool = pool.get();
+    }
+    FRESHSEL_ASSIGN_OR_RETURN(
+        result,
+        selection::SelectSources(
+            cached, config,
+            prepared.matroid.has_value() ? &*prepared.matroid : nullptr));
+  }
+  const selection::CachedProfitOracle::Stats cache_stats = cached.stats();
+  run_report.counters["cache_hits"] = cache_stats.hits;
+  run_report.counters["cache_misses"] = cache_stats.misses;
+  run_report.values["cache_hit_rate"] = cache_stats.hit_rate();
+
+  TablePrinter table("Selected sources", {"source", "divisor", "cost_share"});
+  for (selection::SourceHandle h : result.selected) {
+    table.AddRow({prepared.profiles[prepared.source_of[h]]->name,
+                  std::to_string(prepared.divisor_of[h]),
+                  FormatDouble(cached.Cost({h}), 4)});
+  }
+  table.Print(out);
+  const estimation::EstimatedQuality quality =
+      prepared.estimator->EstimateAverage(result.selected);
+  const double total_cost = cached.Cost(result.selected);
+  out << "profit " << FormatDouble(result.profit, 4) << ", cost "
+      << FormatDouble(total_cost, 4) << ", expected coverage "
+      << FormatDouble(quality.coverage, 3) << ", freshness "
+      << FormatDouble(quality.local_freshness, 3) << ", accuracy "
+      << FormatDouble(quality.accuracy, 3) << " (" << result.oracle_calls
+      << " oracle calls, cache hit rate "
+      << FormatDouble(cache_stats.hit_rate(), 3) << ")\n";
+
+  if (outcome != nullptr) {
+    outcome->selected.clear();
+    for (selection::SourceHandle h : result.selected) {
+      SelectedSource selected;
+      selected.name = prepared.profiles[prepared.source_of[h]]->name;
+      selected.divisor = prepared.divisor_of[h];
+      selected.cost = cached.Cost({h});
+      outcome->selected.push_back(std::move(selected));
+    }
+    outcome->profit = result.profit;
+    outcome->cost = total_cost;
+    outcome->coverage = quality.coverage;
+    outcome->freshness = quality.local_freshness;
+    outcome->accuracy = quality.accuracy;
+    outcome->oracle_calls = result.oracle_calls;
+  }
+  return Status::OK();
+}
+
+Status ExecuteSelect(std::shared_ptr<const ResidentScenario> scenario,
+                     const QueryParams& params, std::ostream& out,
+                     obs::RunReport* report, QueryOutcome* outcome) {
+  FRESHSEL_ASSIGN_OR_RETURN(
+      const std::shared_ptr<const PreparedQuery> prepared,
+      PrepareQuery(std::move(scenario), params));
+  return ExecutePrepared(*prepared, params, out, report, outcome);
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+Engine::Engine(ScenarioRegistry* registry) : Engine(registry, Options()) {}
+
+Engine::Engine(ScenarioRegistry* registry, Options options)
+    : registry_(registry), options_(std::move(options)) {}
+
+Result<std::shared_ptr<const PreparedQuery>> Engine::GetOrPrepare(
+    const QueryParams& params) {
+  FRESHSEL_ASSIGN_OR_RETURN(
+      const std::shared_ptr<const ResidentScenario> scenario,
+      registry_->Get(params.scenario));
+  const std::string key = PreparedKey(*scenario, params);
+  MutexLock lock(mutex_);
+  const auto it = prepared_.find(key);
+  if (it != prepared_.end()) {
+    ++stats_.hits;
+    FRESHSEL_OBS_COUNT("serve.prepared.hits", 1);
+    return it->second;
+  }
+  ++stats_.misses;
+  FRESHSEL_OBS_COUNT("serve.prepared.misses", 1);
+  // Build under the lock: concurrent first-queries of one shape would
+  // otherwise race to do the same expensive build; different shapes
+  // briefly serialize, which is acceptable at preparation cost.
+  FRESHSEL_ASSIGN_OR_RETURN(
+      const std::shared_ptr<const PreparedQuery> prepared,
+      PrepareQuery(scenario, params));
+  while (prepared_.size() >= options_.prepared_capacity &&
+         !prepared_order_.empty()) {
+    prepared_.erase(prepared_order_.front());
+    prepared_order_.erase(prepared_order_.begin());
+  }
+  prepared_[key] = prepared;
+  prepared_order_.push_back(key);
+  return prepared;
+}
+
+Result<QueryOutcome> Engine::ExecuteQuery(const QueryParams& params) {
+  FRESHSEL_FAILPOINT_RETURN(
+      "serve.query",
+      Status::Unavailable("injected fault: serve.query"));
+  FRESHSEL_OBS_SCOPED_LATENCY("serve.query.latency");
+  FRESHSEL_ASSIGN_OR_RETURN(
+      const std::shared_ptr<const PreparedQuery> prepared,
+      GetOrPrepare(params));
+  obs::RunReport report;
+  report.name = "serve/query";
+  report.labels["scenario"] = params.scenario;
+  QueryOutcome outcome;
+  std::ostringstream text;
+  const Status status =
+      ExecutePrepared(*prepared, params, text, &report, &outcome);
+  if (!status.ok()) {
+    FRESHSEL_OBS_COUNT("serve.queries.failed", 1);
+    return status;
+  }
+  outcome.text = text.str();
+  if (params.include_report) {
+    outcome.report_json = report.ToJson();
+  }
+  FRESHSEL_OBS_COUNT("serve.queries.executed", 1);
+  return outcome;
+}
+
+Result<ScenarioInfo> Engine::LoadScenario(const LoadParams& params) {
+  FRESHSEL_FAILPOINT_RETURN(
+      "serve.ingest",
+      Status::Unavailable("injected fault: serve.ingest"));
+  return registry_->Load(params.scenario, params.dir, options_.ingest);
+}
+
+std::vector<ScenarioInfo> Engine::ListScenarios() const {
+  return registry_->List();
+}
+
+Engine::CacheStats Engine::prepared_cache_stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace freshsel::serve

@@ -1,0 +1,153 @@
+#ifndef FRESHSEL_SERVE_ENGINE_H_
+#define FRESHSEL_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "estimation/quality_estimator.h"
+#include "selection/frequency_selection.h"
+#include "selection/profit.h"
+#include "serve/ingest.h"
+#include "serve/protocol.h"
+
+namespace freshsel::obs {
+struct RunReport;
+}  // namespace freshsel::obs
+
+namespace freshsel::serve {
+
+/// The session/engine layer of the daemon (DESIGN.md §15): resident
+/// scenarios + query execution, independent of any transport. Also the
+/// *only* select-execution path - batch `freshsel select` runs through
+/// `ExecuteSelect` below, which is what makes daemon responses
+/// byte-identical to batch output by construction rather than by test
+/// vigilance alone.
+
+/// Thread-safe inventory of resident scenarios. Scenarios are immutable
+/// once ingested; re-loading a name atomically swaps the pointer and bumps
+/// the epoch (in-flight queries keep the old scenario alive through their
+/// shared_ptr).
+class ScenarioRegistry {
+ public:
+  /// Ingests `dir` as scenario `name`, replacing any previous load.
+  Result<ScenarioInfo> Load(const std::string& name, const std::string& dir,
+                            const IngestOptions& options);
+
+  Result<std::shared_ptr<const ResidentScenario>> Get(
+      const std::string& name) const;
+
+  /// All resident scenarios, sorted by name.
+  std::vector<ScenarioInfo> List() const;
+  std::size_t size() const;
+
+  static ScenarioInfo Describe(const ResidentScenario& scenario);
+
+ private:
+  mutable Mutex mutex_;
+  std::map<std::string, std::shared_ptr<const ResidentScenario>> scenarios_
+      FRESHSEL_GUARDED_BY(mutex_);
+  std::uint64_t next_epoch_ FRESHSEL_GUARDED_BY(mutex_) = 1;
+};
+
+/// Everything about a query that outlives a single request: the estimator
+/// over the roster-filtered universe (whose memoized SoA miss-factor
+/// tables are the expensive resident state), the frequency-augmented
+/// universe when max_divisor > 1, and the profit oracle. Immutable after
+/// construction; safe to share across concurrent requests (the estimator
+/// and oracle are thread-safe by the PR 2 contract). The per-request
+/// CachedProfitOracle is deliberately NOT resident: a warm profit cache
+/// would change the oracle-call counts in the response text and break
+/// byte-identity with a cold batch run.
+struct PreparedQuery {
+  std::shared_ptr<const ResidentScenario> scenario;
+  TimePoint t0 = 0;
+  std::vector<const estimation::SourceProfile*> profiles;
+  std::unique_ptr<estimation::QualityEstimator> estimator;
+  std::vector<std::uint32_t> source_of;
+  std::vector<std::int64_t> divisor_of;
+  std::vector<double> costs;
+  std::optional<selection::PartitionMatroid> matroid;
+  std::unique_ptr<selection::ProfitOracle> oracle;
+};
+
+/// Builds the resident half of a query: roster filter, estimator over the
+/// request's eval times, universe, oracle. Fails with NotFound on unknown
+/// roster names and InvalidArgument on t0/horizon violations.
+Result<std::shared_ptr<const PreparedQuery>> PrepareQuery(
+    std::shared_ptr<const ResidentScenario> scenario,
+    const QueryParams& params);
+
+/// Runs the selection algorithm of `params` over a prepared query, writing
+/// the selected-sources table + summary line (byte-for-byte the batch
+/// `freshsel select` output) to `out`, folding counters/stages/decisions
+/// into `report`, and filling `outcome` (when non-null) with the
+/// structured response payload. A fresh profit cache is constructed per
+/// call, so repeated identical requests report identical statistics.
+Status ExecutePrepared(const PreparedQuery& prepared,
+                       const QueryParams& params, std::ostream& out,
+                       obs::RunReport* report,
+                       QueryOutcome* outcome = nullptr);
+
+/// One-shot convenience for the batch CLI: PrepareQuery + ExecutePrepared.
+Status ExecuteSelect(std::shared_ptr<const ResidentScenario> scenario,
+                     const QueryParams& params, std::ostream& out,
+                     obs::RunReport* report,
+                     QueryOutcome* outcome = nullptr);
+
+/// Query execution against a registry, with a bounded FIFO cache of
+/// prepared queries so repeated request shapes reuse the resident
+/// estimator state. Thread-safe: concurrent ExecuteQuery calls on one
+/// Engine are the daemon's normal operating mode.
+class Engine {
+ public:
+  struct Options {
+    /// Prepared-query cache capacity; the oldest entry is evicted first.
+    std::size_t prepared_capacity = 32;
+    /// Ingestion options for op:"load" requests.
+    IngestOptions ingest;
+  };
+
+  explicit Engine(ScenarioRegistry* registry);  ///< Default options.
+  Engine(ScenarioRegistry* registry, Options options);
+
+  /// Executes one selection query end to end; the outcome's `text` is the
+  /// batch-identical rendering and `report_json` is filled when the
+  /// request asked for it.
+  Result<QueryOutcome> ExecuteQuery(const QueryParams& params);
+
+  /// Ingests a scenario directory at runtime (op:"load").
+  Result<ScenarioInfo> LoadScenario(const LoadParams& params);
+
+  std::vector<ScenarioInfo> ListScenarios() const;
+  ScenarioRegistry* registry() const { return registry_; }
+
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  CacheStats prepared_cache_stats() const;
+
+ private:
+  Result<std::shared_ptr<const PreparedQuery>> GetOrPrepare(
+      const QueryParams& params) FRESHSEL_EXCLUDES(mutex_);
+
+  ScenarioRegistry* const registry_;
+  const Options options_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::shared_ptr<const PreparedQuery>> prepared_
+      FRESHSEL_GUARDED_BY(mutex_);
+  std::vector<std::string> prepared_order_ FRESHSEL_GUARDED_BY(mutex_);
+  CacheStats stats_ FRESHSEL_GUARDED_BY(mutex_);
+};
+
+}  // namespace freshsel::serve
+
+#endif  // FRESHSEL_SERVE_ENGINE_H_

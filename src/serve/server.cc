@@ -1,0 +1,412 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "obs/macros.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+
+namespace freshsel::serve {
+
+namespace {
+
+/// Writes the whole buffer, riding out short writes and EINTR. Uses send()
+/// with MSG_NOSIGNAL so a vanished peer surfaces as EPIPE instead of
+/// killing the process with SIGPIPE.
+bool WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool WriteLine(int fd, const std::string& line) {
+  return WriteAll(fd, line + "\n");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EngineHandler
+
+Result<QueryOutcome> EngineHandler::HandleQuery(const QueryParams& params) {
+  return engine_->ExecuteQuery(params);
+}
+
+Result<ScenarioInfo> EngineHandler::HandleLoad(const LoadParams& params) {
+  return engine_->LoadScenario(params);
+}
+
+std::vector<ScenarioInfo> EngineHandler::ListScenarios() {
+  return engine_->ListScenarios();
+}
+
+std::string EngineHandler::MetricsText() {
+  return obs::MetricsRegistry::Global().TakeSnapshot().ToOpenMetrics();
+}
+
+// ---------------------------------------------------------------------------
+// Server lifecycle
+
+Server::Server(RequestHandler* handler, Options options)
+    : handler_(handler), options_(std::move(options)) {
+  // The self-pipe exists for the server's whole lifetime (not just after
+  // Start), so RequestShutdown - and therefore a SIGTERM handler - can be
+  // installed before Start without a lost-wakeup window: a shutdown
+  // requested early is observed by the accept loop's first poll.
+  int fds[2];
+  if (::pipe(fds) == 0) {
+    shutdown_pipe_read_.store(fds[0]);
+    shutdown_pipe_write_.store(fds[1]);
+  }
+}
+
+Server::~Server() {
+  Stop();
+  // Sole closer of the self-pipe. AcceptLoop never closes it, so the fds
+  // stay valid for any RequestShutdown that fires while Stop is joining.
+  const int read_fd = shutdown_pipe_read_.exchange(-1);
+  const int write_fd = shutdown_pipe_write_.exchange(-1);
+  if (read_fd >= 0) ::close(read_fd);
+  if (write_fd >= 0) ::close(write_fd);
+}
+
+Status Server::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("server already started");
+  }
+  if (shutdown_pipe_read_.load() < 0) {
+    return Status::IoError("self-pipe creation failed at construction");
+  }
+  if (!options_.unix_socket.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long (kernel "
+                                     "limit is ~107 bytes): " +
+                                     options_.unix_socket);
+    }
+    std::memcpy(addr.sun_path, options_.unix_socket.c_str(),
+                options_.unix_socket.size() + 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IoError("socket: " + std::string(std::strerror(errno)));
+    }
+    // A previous daemon instance may have left the filesystem entry behind.
+    ::unlink(options_.unix_socket.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Status::IoError("bind " + options_.unix_socket + ": " +
+                             std::strerror(errno));
+    }
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      return Status::InvalidArgument("bad bind address: " + options_.host);
+    }
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IoError("socket: " + std::string(std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Status::IoError("bind " + options_.host + ":" +
+                             std::to_string(options_.port) + ": " +
+                             std::strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      bound_port_ = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Status::IoError("listen: " + std::string(std::strerror(errno)));
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+int Server::port() const { return bound_port_; }
+
+void Server::RequestShutdown() {
+  // Only async-signal-safe calls here: this runs from SIGTERM handlers
+  // (atomic int loads are lock-free and signal-safe).
+  const int write_fd = shutdown_pipe_write_.load();
+  if (write_fd >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(write_fd, &byte, 1);
+  }
+}
+
+void Server::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void Server::Stop() {
+  if (!started_) return;
+  RequestShutdown();
+  Wait();
+  // Drain queued wakeup bytes (the accept loop exits on POLLIN without
+  // reading) so a later Start does not observe a stale shutdown request.
+  const int read_fd = shutdown_pipe_read_.load();
+  char buf[16];
+  pollfd pfd{};
+  pfd.fd = read_fd;
+  pfd.events = POLLIN;
+  while (::poll(&pfd, 1, 0) > 0 && (pfd.revents & POLLIN) != 0) {
+    if (::read(read_fd, buf, sizeof(buf)) <= 0) break;
+  }
+  started_ = false;
+}
+
+PingInfo Server::ping_info() const {
+  MutexLock lock(state_mutex_);
+  PingInfo info;
+  info.state = draining_ ? "draining" : "serving";
+  info.inflight = inflight_;
+  info.queued = queued_;
+  info.scenarios = handler_->ListScenarios().size();
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Accept loop + drain
+
+void Server::AcceptLoop() {
+  while (true) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[1].fd = shutdown_pipe_read_.load();
+    fds[1].events = POLLIN;
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // Shutdown requested.
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    FRESHSEL_OBS_COUNT("serve.connections.accepted", 1);
+    MutexLock lock(state_mutex_);
+    connection_fds_.push_back(conn);
+    connection_threads_.emplace_back(
+        [this, conn] { ServeConnection(conn); });
+  }
+  // Stop accepting before draining: new connections are refused at the
+  // kernel level while existing clients get their answers.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (!options_.unix_socket.empty()) {
+    ::unlink(options_.unix_socket.c_str());
+  }
+  Drain();
+  std::vector<std::thread> threads;
+  {
+    MutexLock lock(state_mutex_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+  // The self-pipe is deliberately NOT closed here: the destructor is its
+  // sole closer. A close on this thread would race a concurrent
+  // RequestShutdown (a late SIGTERM delivered while Stop is joining),
+  // whose write() could then land on a recycled descriptor.
+}
+
+void Server::Drain() {
+  {
+    MutexLock lock(state_mutex_);
+    draining_ = true;
+    // Queued waiters wake, observe draining_, and answer `draining`.
+    admission_cv_.NotifyAll();
+    while (inflight_ > 0 || queued_ > 0) {
+      drained_cv_.Wait(state_mutex_);
+    }
+  }
+  // Every admitted request has written its response. Shut down only the
+  // *read* side: blocked reader threads see EOF and exit, while any
+  // response bytes still in flight (e.g. a just-serialized `draining`
+  // error) are delivered normally.
+  MutexLock lock(state_mutex_);
+  for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+Server::Admission Server::Admit() {
+  MutexLock lock(state_mutex_);
+  while (true) {
+    if (draining_) return Admission::kDraining;
+    if (inflight_ < options_.max_inflight) {
+      ++inflight_;
+      return Admission::kProceed;
+    }
+    if (queued_ >= options_.max_queue) return Admission::kOverloaded;
+    ++queued_;
+    admission_cv_.Wait(state_mutex_);
+    --queued_;
+    drained_cv_.NotifyAll();  // A drain may be waiting on queued_ == 0.
+  }
+}
+
+void Server::Release() {
+  MutexLock lock(state_mutex_);
+  --inflight_;
+  admission_cv_.NotifyOne();
+  drained_cv_.NotifyAll();
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+
+void Server::ServeConnection(int fd) {
+  std::string buffer;
+  bool first_line = true;
+  bool open = true;
+  while (open) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      if (buffer.size() > kMaxRequestBytes) {
+        // The reader cannot resync inside an oversized line; answer once
+        // and hang up (protocol.h contract).
+        FRESHSEL_OBS_COUNT("serve.requests.oversized", 1);
+        WriteLine(fd, SerializeError(false, 0, "oversized",
+                                     "request line exceeds " +
+                                         std::to_string(kMaxRequestBytes) +
+                                         " bytes"));
+        break;
+      }
+      char chunk[16384];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // EOF (drain or client hangup) or hard error.
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF ok.
+    if (first_line && line.rfind("GET ", 0) == 0) {
+      HandleHttpGet(fd, line);
+      break;  // One-shot scrape connection.
+    }
+    first_line = false;
+    if (line.empty()) continue;  // Blank keep-alive lines are harmless.
+    if (line.size() > kMaxRequestBytes) {
+      FRESHSEL_OBS_COUNT("serve.requests.oversized", 1);
+      WriteLine(fd, SerializeError(false, 0, "oversized",
+                                   "request line exceeds " +
+                                       std::to_string(kMaxRequestBytes) +
+                                       " bytes"));
+      break;
+    }
+    FRESHSEL_OBS_COUNT("serve.requests.received", 1);
+    open = WriteLine(fd, Dispatch(line));
+  }
+  ::close(fd);
+  MutexLock lock(state_mutex_);
+  for (std::size_t i = 0; i < connection_fds_.size(); ++i) {
+    if (connection_fds_[i] == fd) {
+      connection_fds_.erase(connection_fds_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+std::string Server::Dispatch(const std::string& line) {
+  Result<Request> parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    FRESHSEL_OBS_COUNT("serve.requests.rejected", 1);
+    return SerializeStatusError(false, 0, parsed.status());
+  }
+  const Request& request = *parsed;
+  switch (request.op) {
+    case RequestOp::kPing:
+      return SerializePing(request.has_id, request.id, ping_info());
+    case RequestOp::kListScenarios:
+      return SerializeScenarioList(request.has_id, request.id,
+                                   handler_->ListScenarios());
+    case RequestOp::kMetrics:
+      return SerializeMetrics(request.has_id, request.id,
+                              handler_->MetricsText());
+    case RequestOp::kLoadScenario:
+    case RequestOp::kQuery:
+      break;
+  }
+  switch (Admit()) {
+    case Admission::kDraining:
+      FRESHSEL_OBS_COUNT("serve.requests.refused_draining", 1);
+      return SerializeError(request.has_id, request.id, "draining",
+                            "daemon is shutting down");
+    case Admission::kOverloaded:
+      FRESHSEL_OBS_COUNT("serve.requests.overloaded", 1);
+      return SerializeError(request.has_id, request.id, "overloaded",
+                            "admission queue is full");
+    case Admission::kProceed:
+      break;
+  }
+  std::string response;
+  if (request.op == RequestOp::kQuery) {
+    Result<QueryOutcome> outcome = handler_->HandleQuery(request.query);
+    response = outcome.ok()
+                   ? SerializeQueryOutcome(request.has_id, request.id,
+                                           *outcome)
+                   : SerializeStatusError(request.has_id, request.id,
+                                          outcome.status());
+  } else {
+    Result<ScenarioInfo> info = handler_->HandleLoad(request.load);
+    response = info.ok()
+                   ? SerializeLoaded(request.has_id, request.id, *info)
+                   : SerializeStatusError(request.has_id, request.id,
+                                          info.status());
+  }
+  Release();
+  return response;
+}
+
+void Server::HandleHttpGet(int fd, const std::string& request_line) {
+  // Minimal one-shot HTTP/1.0 answer so Prometheus-style scrapers can hit
+  // the same listener without speaking NDJSON. Only GET /metrics exists.
+  const bool is_metrics = request_line.rfind("GET /metrics", 0) == 0;
+  std::string body;
+  std::string head;
+  if (is_metrics) {
+    FRESHSEL_OBS_COUNT("serve.scrapes.served", 1);
+    body = handler_->MetricsText();
+    head = "HTTP/1.0 200 OK\r\nContent-Type: application/openmetrics-text; "
+           "version=1.0.0; charset=utf-8\r\n";
+  } else {
+    body = "only GET /metrics is served here\n";
+    head = "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\n";
+  }
+  head += "Content-Length: " + std::to_string(body.size()) +
+          "\r\nConnection: close\r\n\r\n";
+  WriteAll(fd, head + body);
+}
+
+}  // namespace freshsel::serve

@@ -8,6 +8,7 @@
 #include "cli/commands.h"
 #include "fault/failpoint.h"
 #include "obs/macros.h"
+#include "testing/scratch.h"
 
 namespace freshsel::cli {
 namespace {
@@ -76,17 +77,6 @@ TEST(ArgMapTest, TracksUnreadFlags) {
 
 class CliEndToEndTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    // Unique per-test directory: ctest runs these cases as separate
-    // concurrent processes, and a shared path makes them trample each
-    // other's files.
-    const auto* info =
-        ::testing::UnitTest::GetInstance()->current_test_info();
-    dir_ = ::testing::TempDir() + "/freshsel_cli_test_" + info->name();
-    std::filesystem::remove_all(dir_);
-  }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
-
   int Run(std::vector<const char*> argv, std::string* output = nullptr) {
     argv.insert(argv.begin(), "freshsel");
     std::ostringstream out;
@@ -97,7 +87,11 @@ class CliEndToEndTest : public ::testing::Test {
     return code;
   }
 
-  std::string dir_;
+  // Unique per-test directory (tests/testing/scratch.h): ctest runs these
+  // cases as separate concurrent processes, and a shared path makes them
+  // trample each other's files.
+  freshsel::testing::ScratchDir scratch_{"cli"};
+  const std::string& dir_ = scratch_.path();
 };
 
 TEST_F(CliEndToEndTest, UsageOnUnknownCommand) {

@@ -567,6 +567,48 @@ TEST_F(FreshselLintTest, FlagsMalformedObsMetricNames) {
   EXPECT_TRUE(Lint(options).empty());
 }
 
+TEST_F(FreshselLintTest, ServeLayerInstrumentationNamesPassClean) {
+  // The daemon's real instrumentation ids (src/serve): failpoints follow
+  // subsystem.site, counters subsystem.noun.verb. Pinning them here keeps
+  // a rename in the serve layer from silently diverging from the names
+  // the rules (and dashboards) expect. Macro names are spelled split so
+  // the lint gate never sees a contiguous token in this test's source.
+  WriteFixture("serve/site.cc",
+               std::string("void F() {\n  FRESHSEL_") +
+                   "FAILPOINT(\"serve.query\");\n  FRESHSEL_" +
+                   "FAILPOINT_RETURN(\"serve.ingest\", s);\n  FRESHSEL_" +
+                   "OBS_COUNT(\"serve.queries.executed\", 1);\n  FRESHSEL_" +
+                   "OBS_COUNT(\"serve.queries.failed\", 1);\n  FRESHSEL_" +
+                   "OBS_COUNT(\"serve.prepared.hits\", 1);\n  FRESHSEL_" +
+                   "OBS_COUNT(\"serve.prepared.misses\", 1);\n  FRESHSEL_" +
+                   "OBS_COUNT(\"serve.scenarios.ingested\", 1);\n  FRESHSEL_" +
+                   "OBS_COUNT(\"serve.requests.received\", 1);\n  FRESHSEL_" +
+                   "OBS_COUNT(\"serve.requests.rejected\", 1);\n  FRESHSEL_" +
+                   "OBS_COUNT(\"serve.requests.overloaded\", 1);\n  FRESHSEL_" +
+                   "OBS_COUNT(\"serve.requests.oversized\", 1);\n  FRESHSEL_" +
+                   "OBS_COUNT(\"serve.requests.refused_draining\", 1);\n"
+                   "  FRESHSEL_" +
+                   "OBS_COUNT(\"serve.connections.accepted\", 1);\n"
+                   "  FRESHSEL_" +
+                   "OBS_COUNT(\"serve.scrapes.served\", 1);\n  FRESHSEL_" +
+                   "OBS_SCOPED_LATENCY(\"serve.query.latency\");\n}\n");
+  const std::vector<Finding> findings = Lint();
+  EXPECT_TRUE(findings.empty()) << Rules(findings).front();
+}
+
+TEST_F(FreshselLintTest, MalformedServeLayerNamesAreFlagged) {
+  WriteFixture("serve/bad.cc",
+               std::string("void F() {\n  FRESHSEL_") +
+                   "FAILPOINT(\"serve.Query\");\n  FRESHSEL_" +
+                   "OBS_COUNT(\"serve.queries\", 1);\n}\n");
+  const std::vector<Finding> findings = Lint();
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "failpoint-name");
+  EXPECT_NE(findings[0].message.find("serve.Query"), std::string::npos);
+  EXPECT_EQ(findings[1].rule, "obs-counter-name");
+  EXPECT_NE(findings[1].message.find("serve.queries"), std::string::npos);
+}
+
 TEST_F(FreshselLintTest, ObsCounterNameSkipsMacroDefinition) {
   WriteFixture("obs/macros_fixture.h",
                std::string("#ifndef FRESHSEL_OBS_MACROS_FIXTURE_H_\n"

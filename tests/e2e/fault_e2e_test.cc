@@ -6,7 +6,6 @@
 
 #include <gtest/gtest.h>
 
-#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -15,21 +14,15 @@
 #include "cli/commands.h"
 #include "fault/failpoint.h"
 #include "obs/macros.h"
+#include "testing/scratch.h"
 
 namespace freshsel {
 namespace {
 
 class FaultE2eTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    const auto* info =
-        ::testing::UnitTest::GetInstance()->current_test_info();
-    dir_ = ::testing::TempDir() + "/freshsel_fault_e2e_" + info->name();
-    std::filesystem::remove_all(dir_);
-  }
   void TearDown() override {
     fault::FailpointRegistry::Global().DisarmAll();
-    std::filesystem::remove_all(dir_);
   }
 
   int Run(std::vector<const char*> argv, std::string* output = nullptr) {
@@ -48,7 +41,9 @@ class FaultE2eTest : public ::testing::Test {
     return buffer.str();
   }
 
-  std::string dir_;
+  /// Per-test unique scenario directory (tests/testing/scratch.h).
+  testing::ScratchDir scratch_{"fault_e2e"};
+  const std::string& dir_ = scratch_.path();
 };
 
 #if FRESHSEL_FAULT_ACTIVE

@@ -1,0 +1,420 @@
+// Transport-layer tests (DESIGN.md §15) against deterministic stub
+// handlers: framing, per-connection error recovery, oversized hangups,
+// admission control, graceful drain, and the HTTP /metrics one-shot. A
+// blocking stub released through a condition variable turns the
+// admission-control scenarios into lockstep scripts instead of timing
+// races, so these tests are exact under TSan and `ctest -j` alike.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/json_reader.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "testing/scratch.h"
+
+namespace freshsel::serve {
+namespace {
+
+/// Canned answers for every verb; thread-safe by construction (all state
+/// immutable after Start).
+class StubHandler : public RequestHandler {
+ public:
+  Result<QueryOutcome> HandleQuery(const QueryParams& params) override {
+    if (params.scenario == "explode") {
+      return Status::NotFound("unknown scenario 'explode'");
+    }
+    QueryOutcome outcome;
+    outcome.selected = {{"s1", 1, 0.5}};
+    outcome.profit = 1.0;
+    outcome.text = "stub selection for " + params.scenario + "\n";
+    return outcome;
+  }
+  Result<ScenarioInfo> HandleLoad(const LoadParams& params) override {
+    ScenarioInfo info;
+    info.name = params.scenario;
+    info.sources = 3;
+    info.entities = 10;
+    info.t0 = 50;
+    info.epoch = 1;
+    return info;
+  }
+  std::vector<ScenarioInfo> ListScenarios() override {
+    ScenarioInfo info;
+    info.name = "default";
+    info.sources = 3;
+    info.entities = 10;
+    info.t0 = 50;
+    info.epoch = 1;
+    return {info};
+  }
+  std::string MetricsText() override {
+    return "# TYPE stub_counter counter\nstub_counter_total 7\n# EOF\n";
+  }
+};
+
+/// A handler whose queries park on a condition variable until the test
+/// releases them - the lever that makes inflight/queued states observable
+/// deterministically.
+class BlockingHandler : public StubHandler {
+ public:
+  Result<QueryOutcome> HandleQuery(const QueryParams& params) override {
+    {
+      MutexLock lock(mutex_);
+      ++entered_;
+      entered_cv_.NotifyAll();
+      while (!released_) release_cv_.Wait(mutex_);
+    }
+    return StubHandler::HandleQuery(params);
+  }
+
+  /// Blocks until `count` queries are parked inside HandleQuery.
+  void AwaitEntered(int count) {
+    MutexLock lock(mutex_);
+    while (entered_ < count) entered_cv_.Wait(mutex_);
+  }
+
+  void ReleaseAll() {
+    MutexLock lock(mutex_);
+    released_ = true;
+    release_cv_.NotifyAll();
+  }
+
+ private:
+  Mutex mutex_;
+  CondVar entered_cv_;
+  CondVar release_cv_;
+  int entered_ FRESHSEL_GUARDED_BY(mutex_) = 0;
+  bool released_ FRESHSEL_GUARDED_BY(mutex_) = false;
+};
+
+obs::JsonValue Parse(const std::string& line) {
+  Result<obs::JsonValue> doc = obs::ParseJson(line);
+  EXPECT_TRUE(doc.ok()) << line;
+  return doc.ok() ? *doc : obs::JsonValue();
+}
+
+std::string ErrorCode(const obs::JsonValue& doc) {
+  const obs::JsonValue* error = doc.Find("error");
+  return error == nullptr ? "" : error->StringOr("code", "");
+}
+
+/// Starts a TCP server on an ephemeral loopback port and connects.
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartTcp(RequestHandler* handler, Server::Options options = {}) {
+    server_ = std::make_unique<Server>(handler, std::move(options));
+    Status status = server_->Start();
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+
+  Client Connect() {
+    Result<Client> client =
+        Client::ConnectTcp("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, ControlOpsAnswerOverTcp) {
+  StubHandler handler;
+  StartTcp(&handler);
+  EXPECT_GT(server_->port(), 0);  // Ephemeral bind reported back.
+  Client client = Connect();
+
+  obs::JsonValue ping =
+      Parse(*client.Call(SerializeControlRequest(true, 1, RequestOp::kPing)));
+  EXPECT_TRUE(ping.Find("ok")->AsBool());
+  EXPECT_EQ(ping.UintOr("id", 0), 1u);
+  EXPECT_EQ(ping.Find("result")->StringOr("state", ""), "serving");
+  EXPECT_EQ(ping.Find("result")->UintOr("scenarios", 0), 1u);
+
+  obs::JsonValue list = Parse(*client.Call(
+      SerializeControlRequest(true, 2, RequestOp::kListScenarios)));
+  ASSERT_EQ(list.Find("result")->Find("scenarios")->items().size(), 1u);
+
+  obs::JsonValue metrics = Parse(
+      *client.Call(SerializeControlRequest(true, 3, RequestOp::kMetrics)));
+  EXPECT_NE(metrics.Find("result")
+                ->StringOr("openmetrics", "")
+                .find("stub_counter_total 7"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, QueryAndLoadRoundTrip) {
+  StubHandler handler;
+  StartTcp(&handler);
+  Client client = Connect();
+
+  QueryParams params;
+  params.scenario = "web";
+  obs::JsonValue query =
+      Parse(*client.Call(SerializeQueryRequest(true, 4, params)));
+  EXPECT_TRUE(query.Find("ok")->AsBool());
+  EXPECT_EQ(query.Find("result")->StringOr("text", ""),
+            "stub selection for web\n");
+
+  LoadParams load;
+  load.scenario = "fresh";
+  load.dir = "/data/fresh";
+  obs::JsonValue loaded =
+      Parse(*client.Call(SerializeLoadRequest(true, 5, load)));
+  EXPECT_TRUE(loaded.Find("ok")->AsBool());
+  EXPECT_EQ(loaded.Find("result")->StringOr("name", ""), "fresh");
+
+  // Handler errors come back as structured status errors with the id.
+  params.scenario = "explode";
+  obs::JsonValue failed =
+      Parse(*client.Call(SerializeQueryRequest(true, 6, params)));
+  EXPECT_FALSE(failed.Find("ok")->AsBool());
+  EXPECT_EQ(failed.UintOr("id", 0), 6u);
+  EXPECT_EQ(ErrorCode(failed), "not_found");
+}
+
+TEST_F(ServerTest, ParseErrorsKeepTheConnectionUsable) {
+  StubHandler handler;
+  StartTcp(&handler);
+  Client client = Connect();
+
+  obs::JsonValue bad = Parse(*client.Call("this is not json"));
+  EXPECT_FALSE(bad.Find("ok")->AsBool());
+  EXPECT_EQ(ErrorCode(bad), "invalid_argument");
+  EXPECT_EQ(bad.Find("id"), nullptr);  // No id recoverable from garbage.
+
+  obs::JsonValue unknown_field =
+      Parse(*client.Call(R"({"op":"query","bogus":1})"));
+  EXPECT_EQ(ErrorCode(unknown_field), "invalid_argument");
+
+  // Newline framing survives bad lines: the next request still answers.
+  obs::JsonValue ping =
+      Parse(*client.Call(SerializeControlRequest(true, 9, RequestOp::kPing)));
+  EXPECT_TRUE(ping.Find("ok")->AsBool());
+}
+
+TEST_F(ServerTest, BlankLinesAndCrlfAreTolerated) {
+  StubHandler handler;
+  StartTcp(&handler);
+  Client client = Connect();
+  ASSERT_TRUE(client.Send("").ok());  // Blank keep-alive line: no response.
+  ASSERT_TRUE(
+      client.Send(SerializeControlRequest(true, 1, RequestOp::kPing) + "\r")
+          .ok());
+  obs::JsonValue ping = Parse(*client.ReadLine());
+  EXPECT_TRUE(ping.Find("ok")->AsBool());
+}
+
+TEST_F(ServerTest, PipelinedRequestsAnswerInOrder) {
+  StubHandler handler;
+  StartTcp(&handler);
+  Client client = Connect();
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(
+        client.Send(SerializeControlRequest(true, id, RequestOp::kPing))
+            .ok());
+  }
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    obs::JsonValue response = Parse(*client.ReadLine());
+    EXPECT_EQ(response.UintOr("id", 0), id);
+  }
+}
+
+TEST_F(ServerTest, OversizedRequestAnswersOnceThenHangsUp) {
+  StubHandler handler;
+  StartTcp(&handler);
+  Client client = Connect();
+  std::string huge = R"({"op":"query","scenario":")";
+  huge.append(kMaxRequestBytes + 16, 'a');
+  huge += "\"}";
+  Result<std::string> response = client.Call(huge);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(ErrorCode(Parse(*response)), "oversized");
+  // The reader cannot resync inside an oversized line: connection closed.
+  Result<std::string> after = client.ReadLine();
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(ServerTest, OverloadShedsBeyondInflightPlusQueue) {
+  BlockingHandler handler;
+  Server::Options options;
+  options.max_inflight = 1;
+  options.max_queue = 0;
+  StartTcp(&handler, options);
+
+  Client first = Connect();
+  ASSERT_TRUE(first.Send(SerializeQueryRequest(true, 1, QueryParams{})).ok());
+  handler.AwaitEntered(1);  // The only lane is now held.
+
+  PingInfo info = server_->ping_info();
+  EXPECT_EQ(info.inflight, 1u);
+  EXPECT_EQ(info.queued, 0u);
+
+  // No queue slots -> immediate shed, not a stall.
+  Client second = Connect();
+  obs::JsonValue shed =
+      Parse(*second.Call(SerializeQueryRequest(true, 2, QueryParams{})));
+  EXPECT_FALSE(shed.Find("ok")->AsBool());
+  EXPECT_EQ(ErrorCode(shed), "overloaded");
+  EXPECT_EQ(shed.UintOr("id", 0), 2u);
+
+  // Control ops bypass admission even while saturated.
+  obs::JsonValue ping = Parse(
+      *second.Call(SerializeControlRequest(true, 3, RequestOp::kPing)));
+  EXPECT_TRUE(ping.Find("ok")->AsBool());
+  EXPECT_EQ(ping.Find("result")->UintOr("inflight", 0), 1u);
+
+  handler.ReleaseAll();
+  obs::JsonValue done = Parse(*first.ReadLine());
+  EXPECT_TRUE(done.Find("ok")->AsBool());
+}
+
+TEST_F(ServerTest, QueuedRequestRunsWhenALaneFrees) {
+  BlockingHandler handler;
+  Server::Options options;
+  options.max_inflight = 1;
+  options.max_queue = 1;
+  StartTcp(&handler, options);
+
+  Client first = Connect();
+  ASSERT_TRUE(first.Send(SerializeQueryRequest(true, 1, QueryParams{})).ok());
+  handler.AwaitEntered(1);
+
+  Client second = Connect();
+  ASSERT_TRUE(
+      second.Send(SerializeQueryRequest(true, 2, QueryParams{})).ok());
+  // The second request is now parked in the admission queue (it cannot
+  // have entered the handler: max_inflight is 1).
+  while (server_->ping_info().queued != 1) {
+    std::this_thread::yield();
+  }
+
+  // A third request overflows the single queue slot.
+  Client third = Connect();
+  obs::JsonValue shed =
+      Parse(*third.Call(SerializeQueryRequest(true, 3, QueryParams{})));
+  EXPECT_EQ(ErrorCode(shed), "overloaded");
+
+  handler.ReleaseAll();
+  EXPECT_TRUE(Parse(*first.ReadLine()).Find("ok")->AsBool());
+  EXPECT_TRUE(Parse(*second.ReadLine()).Find("ok")->AsBool());
+}
+
+TEST_F(ServerTest, DrainRefusesNewWorkAndDeliversInflightResponses) {
+  BlockingHandler handler;
+  Server::Options options;
+  options.max_inflight = 4;
+  StartTcp(&handler, options);
+
+  Client worker = Connect();
+  Client prober = Connect();
+  ASSERT_TRUE(
+      worker.Send(SerializeQueryRequest(true, 1, QueryParams{})).ok());
+  handler.AwaitEntered(1);
+
+  server_->RequestShutdown();
+  // Drain begins: state flips to draining while the in-flight query holds
+  // its lane. Control ops still answer; poll until the flip is visible.
+  while (true) {
+    obs::JsonValue ping = Parse(
+        *prober.Call(SerializeControlRequest(true, 2, RequestOp::kPing)));
+    if (ping.Find("result")->StringOr("state", "") == "draining") break;
+  }
+
+  // New work is refused with `draining`, not queued and not dropped.
+  obs::JsonValue refused =
+      Parse(*prober.Call(SerializeQueryRequest(true, 3, QueryParams{})));
+  EXPECT_FALSE(refused.Find("ok")->AsBool());
+  EXPECT_EQ(ErrorCode(refused), "draining");
+
+  // Releasing the in-flight query completes the drain; its response is
+  // still delivered (the drain only shuts down the read side).
+  handler.ReleaseAll();
+  obs::JsonValue done = Parse(*worker.ReadLine());
+  EXPECT_TRUE(done.Find("ok")->AsBool());
+  EXPECT_EQ(done.UintOr("id", 0), 1u);
+  server_->Wait();
+}
+
+TEST_F(ServerTest, DoubleStartIsRefusedAndStopIsIdempotent) {
+  StubHandler handler;
+  StartTcp(&handler);
+  Status again = server_->Start();
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  server_->Stop();
+  server_->Stop();  // Second stop is a no-op.
+}
+
+TEST_F(ServerTest, HttpGetMetricsServesOpenMetrics) {
+  StubHandler handler;
+  StartTcp(&handler);
+  Client client = Connect();
+  ASSERT_TRUE(client.Send("GET /metrics HTTP/1.1").ok());
+  std::string response;
+  while (true) {
+    Result<std::string> line = client.ReadLine();
+    if (!line.ok()) break;  // Scrape connections are one-shot.
+    response += *line + "\n";
+  }
+  EXPECT_TRUE(response.starts_with("HTTP/1.0 200 OK")) << response;
+  EXPECT_NE(response.find("application/openmetrics-text"),
+            std::string::npos);
+  EXPECT_NE(response.find("stub_counter_total 7"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+}
+
+TEST_F(ServerTest, HttpGetAnythingElseIs404) {
+  StubHandler handler;
+  StartTcp(&handler);
+  Client client = Connect();
+  ASSERT_TRUE(client.Send("GET / HTTP/1.1").ok());
+  Result<std::string> line = client.ReadLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_TRUE(line->starts_with("HTTP/1.0 404")) << *line;
+}
+
+TEST(ServerUnixTest, ServesOverUnixSocketAndUnlinksOnDrain) {
+  const std::string socket_path = testing::UniqueSocketPath();
+  StubHandler handler;
+  Server::Options options;
+  options.unix_socket = socket_path;
+  {
+    Server server(&handler, options);
+    Status status = server.Start();
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(server.port(), 0);  // No TCP port for unix sockets.
+    Result<Client> client = Client::ConnectUnix(socket_path);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    obs::JsonValue ping = Parse(
+        *client->Call(SerializeControlRequest(true, 1, RequestOp::kPing)));
+    EXPECT_TRUE(ping.Find("ok")->AsBool());
+    server.Stop();
+    // Drain removed the filesystem entry.
+    EXPECT_FALSE(Client::ConnectUnix(socket_path).ok());
+  }
+  testing::CleanupSocket(socket_path);
+}
+
+TEST(ServerUnixTest, OverlongSocketPathIsRejectedUpFront) {
+  StubHandler handler;
+  Server::Options options;
+  options.unix_socket = "/tmp/" + std::string(200, 'x') + ".sock";
+  Server server(&handler, options);
+  Status status = server.Start();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace freshsel::serve
