@@ -9,6 +9,7 @@
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
+#include "estimation/quality_estimator.h"
 #include "fault/failpoint.h"
 #include "obs/macros.h"
 #include "obs/report.h"
@@ -21,6 +22,53 @@
 namespace freshsel::serve {
 
 namespace {
+
+// The wire cap promises that nothing past it reaches the estimator; if the
+// estimator's horizon ever moves, the codec must move with it.
+static_assert(kMaxEvalSpanSteps == estimation::kMaxEvalHorizonSteps,
+              "protocol eval-span cap out of sync with the estimator");
+
+/// Engine-side twin of the codec's numeric bounds (protocol.h). The daemon
+/// never gets here with out-of-range values - ParseRequest already refused
+/// them - but in-process callers (batch `freshsel select`, tests) build
+/// QueryParams directly, and these same fields size allocations
+/// (MakeTimePoints, BuildAugmentedUniverse) or are narrowed to int for the
+/// selectors.
+Status CheckQueryBounds(const QueryParams& params) {
+  if (params.points < 1 || params.points > kMaxEvalSpanSteps) {
+    return Status::InvalidArgument(
+        "'points' must be in [1, " + std::to_string(kMaxEvalSpanSteps) +
+        "]");
+  }
+  // Divide form: exact for positive int64 and immune to the overflow the
+  // product would hit.
+  if (params.stride < 1 ||
+      params.stride > kMaxEvalSpanSteps / params.points) {
+    return Status::InvalidArgument(
+        "'stride' must be >= 1 with 'points' * 'stride' <= " +
+        std::to_string(kMaxEvalSpanSteps));
+  }
+  if (params.max_divisor < 1 || params.max_divisor > kMaxQueryDivisor) {
+    return Status::InvalidArgument(
+        "'max_divisor' must be in [1, " + std::to_string(kMaxQueryDivisor) +
+        "]");
+  }
+  if (params.kappa < 1 || params.kappa > kMaxQueryKappa) {
+    return Status::InvalidArgument(
+        "'kappa' must be in [1, " + std::to_string(kMaxQueryKappa) + "]");
+  }
+  if (params.restarts < 1 || params.restarts > kMaxQueryRestarts) {
+    return Status::InvalidArgument(
+        "'restarts' must be in [1, " + std::to_string(kMaxQueryRestarts) +
+        "]");
+  }
+  if (params.threads < 1 || params.threads > kMaxQueryThreads) {
+    return Status::InvalidArgument(
+        "'threads' must be in [1, " + std::to_string(kMaxQueryThreads) +
+        "]");
+  }
+  return Status::OK();
+}
 
 Result<selection::QualityMetric> MetricFromName(const std::string& name) {
   if (name == "coverage") return selection::QualityMetric::kCoverage;
@@ -132,6 +180,7 @@ std::size_t ScenarioRegistry::size() const {
 Result<std::shared_ptr<const PreparedQuery>> PrepareQuery(
     std::shared_ptr<const ResidentScenario> scenario,
     const QueryParams& params) {
+  FRESHSEL_RETURN_IF_ERROR(CheckQueryBounds(params));
   auto prepared = std::make_shared<PreparedQuery>();
   prepared->scenario = scenario;
   prepared->t0 = params.t0 > 0 ? params.t0 : scenario->t0;
@@ -226,6 +275,9 @@ Result<std::shared_ptr<const PreparedQuery>> PrepareQuery(
 Status ExecutePrepared(const PreparedQuery& prepared,
                        const QueryParams& params, std::ostream& out,
                        obs::RunReport* report, QueryOutcome* outcome) {
+  // A prepared-cache hit skips PrepareQuery, so the run-side knobs
+  // (kappa/restarts/threads, narrowed to int below) are re-checked here.
+  FRESHSEL_RETURN_IF_ERROR(CheckQueryBounds(params));
   obs::RunReport& run_report = *report;
   run_report.labels["metric"] = params.metric;
   run_report.labels["gain"] = params.gain;

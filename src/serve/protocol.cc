@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "common/check.h"
 #include "obs/json.h"
 #include "obs/json_reader.h"
 
@@ -78,6 +79,18 @@ Result<std::int64_t> ReadIntMin(const obs::JsonValue& value,
   return parsed;
 }
 
+Result<std::int64_t> ReadIntRange(const obs::JsonValue& value,
+                                  std::string_view field, std::int64_t min,
+                                  std::int64_t max) {
+  FRESHSEL_ASSIGN_OR_RETURN(std::int64_t parsed,
+                            ReadIntMin(value, field, min));
+  if (parsed > max) {
+    return Status::InvalidArgument("field '" + std::string(field) +
+                                   "' must be <= " + std::to_string(max));
+  }
+  return parsed;
+}
+
 Result<std::vector<std::string>> ReadRoster(const obs::JsonValue& value) {
   if (!value.is_array()) {
     return Status::InvalidArgument("field 'roster' must be an array");
@@ -144,27 +157,30 @@ Result<bool> ApplyQueryField(const obs::JsonValue::Member& member,
   } else if (key == "t0") {
     FRESHSEL_ASSIGN_OR_RETURN(params->t0, ReadIntMin(value, key, 0));
   } else if (key == "points") {
-    FRESHSEL_ASSIGN_OR_RETURN(params->points, ReadIntMin(value, key, 1));
+    FRESHSEL_ASSIGN_OR_RETURN(
+        params->points, ReadIntRange(value, key, 1, kMaxEvalSpanSteps));
   } else if (key == "stride") {
-    FRESHSEL_ASSIGN_OR_RETURN(params->stride, ReadIntMin(value, key, 1));
+    FRESHSEL_ASSIGN_OR_RETURN(
+        params->stride, ReadIntRange(value, key, 1, kMaxEvalSpanSteps));
   } else if (key == "budget") {
     FRESHSEL_ASSIGN_OR_RETURN(params->budget, ReadDouble(value, key));
     if (!(params->budget > 0.0)) {
       return Status::InvalidArgument("field 'budget' must be > 0");
     }
   } else if (key == "max_divisor") {
-    FRESHSEL_ASSIGN_OR_RETURN(params->max_divisor, ReadIntMin(value, key, 1));
+    FRESHSEL_ASSIGN_OR_RETURN(
+        params->max_divisor, ReadIntRange(value, key, 1, kMaxQueryDivisor));
   } else if (key == "kappa") {
-    FRESHSEL_ASSIGN_OR_RETURN(params->kappa, ReadIntMin(value, key, 1));
+    FRESHSEL_ASSIGN_OR_RETURN(params->kappa,
+                              ReadIntRange(value, key, 1, kMaxQueryKappa));
   } else if (key == "restarts") {
-    FRESHSEL_ASSIGN_OR_RETURN(params->restarts, ReadIntMin(value, key, 1));
+    FRESHSEL_ASSIGN_OR_RETURN(
+        params->restarts, ReadIntRange(value, key, 1, kMaxQueryRestarts));
   } else if (key == "seed") {
     FRESHSEL_ASSIGN_OR_RETURN(params->seed, ReadInt(value, key));
   } else if (key == "threads") {
-    FRESHSEL_ASSIGN_OR_RETURN(params->threads, ReadIntMin(value, key, 1));
-    if (params->threads > 64) {
-      return Status::InvalidArgument("field 'threads' must be <= 64");
-    }
+    FRESHSEL_ASSIGN_OR_RETURN(params->threads,
+                              ReadIntRange(value, key, 1, kMaxQueryThreads));
   } else if (key == "lazy") {
     FRESHSEL_ASSIGN_OR_RETURN(params->lazy, ReadBool(value, key));
   } else if (key == "incremental") {
@@ -381,6 +397,17 @@ Result<Request> ParseRequest(std::string_view line) {
   if (request.op == RequestOp::kLoadScenario && request.load.dir.empty()) {
     return Status::InvalidArgument("op 'load' requires 'dir'");
   }
+  // Cross-field bound (checked after the loop: fields arrive in any
+  // order). The farthest eval time sits points * stride past t0; the
+  // divide-form comparison is exact for positive int64 and cannot
+  // overflow, unlike the product.
+  if (request.op == RequestOp::kQuery &&
+      request.query.stride > kMaxEvalSpanSteps / request.query.points) {
+    return Status::InvalidArgument(
+        "'points' * 'stride' must be <= " +
+        std::to_string(kMaxEvalSpanSteps) +
+        " (the supported eval horizon)");
+  }
   return request;
 }
 
@@ -456,6 +483,11 @@ std::string SerializeLoadRequest(bool has_id, std::uint64_t id,
 
 std::string SerializeControlRequest(bool has_id, std::uint64_t id,
                                     RequestOp op) {
+  // Work ops carry parameters and belong to SerializeQueryRequest /
+  // SerializeLoadRequest; silently emitting some control op here would
+  // hand the caller a valid-looking but wrong request line.
+  FRESHSEL_CHECK(IsControlOp(op))
+      << "SerializeControlRequest needs a control op (ping/list/metrics)";
   obs::JsonWriter writer;
   writer.BeginObject();
   switch (op) {

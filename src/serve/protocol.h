@@ -50,6 +50,25 @@ inline constexpr int kProtocolVersion = 1;
 /// resync inside an oversized line).
 inline constexpr std::size_t kMaxRequestBytes = 1 << 20;
 
+/// Wire-level bounds on the numeric kQuery knobs. Every one of these sizes
+/// an allocation or is narrowed downstream, so the codec rejects anything
+/// past the cap with `invalid_argument` before a single byte of work is
+/// scheduled - a request must never be able to reserve gigabytes, overflow
+/// `t0 + i * stride`, or turn into a negative int inside a selector. The
+/// engine re-checks them (defense in depth for in-process callers such as
+/// batch `freshsel select`).
+///
+/// `kMaxEvalSpanSteps` bounds `points`, `stride` and their product (the
+/// farthest eval time is `t0 + points * stride`); it mirrors
+/// estimation::kMaxEvalHorizonSteps, which the estimator enforces only
+/// after the eval-time vector is materialized (engine.cc static_asserts
+/// the two stay equal).
+inline constexpr std::int64_t kMaxEvalSpanSteps = 1 << 20;
+inline constexpr std::int64_t kMaxQueryDivisor = 64;
+inline constexpr std::int64_t kMaxQueryKappa = 1 << 16;
+inline constexpr std::int64_t kMaxQueryRestarts = 1 << 16;
+inline constexpr std::int64_t kMaxQueryThreads = 64;
+
 /// Request verbs. kPing/kListScenarios/kMetrics are *control* ops - cheap,
 /// never queued, answered even when the query lanes are saturated, so a
 /// health check stays meaningful under overload. kQuery/kLoadScenario are

@@ -181,6 +181,16 @@ void Server::Stop() {
   started_ = false;
 }
 
+std::size_t Server::retained_connection_threads_for_test() const {
+  MutexLock lock(state_mutex_);
+  return connection_threads_.size() + finished_threads_.size();
+}
+
+std::size_t Server::running_connection_threads_for_test() const {
+  MutexLock lock(state_mutex_);
+  return connection_threads_.size();
+}
+
 PingInfo Server::ping_info() const {
   MutexLock lock(state_mutex_);
   PingInfo info;
@@ -211,10 +221,19 @@ void Server::AcceptLoop() {
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
     FRESHSEL_OBS_COUNT("serve.connections.accepted", 1);
-    MutexLock lock(state_mutex_);
-    connection_fds_.push_back(conn);
-    connection_threads_.emplace_back(
-        [this, conn] { ServeConnection(conn); });
+    std::vector<std::thread> finished;
+    {
+      MutexLock lock(state_mutex_);
+      connection_fds_.push_back(conn);
+      const std::uint64_t id = next_connection_id_++;
+      connection_threads_.emplace(
+          id, std::thread([this, conn, id] { ServeConnection(conn, id); }));
+      finished.swap(finished_threads_);
+    }
+    // Reap outside the lock: these threads already parked their handles on
+    // the way out, so each join returns near-instantly, and a long-lived
+    // daemon never accumulates one joinable handle per connection served.
+    for (std::thread& t : finished) t.join();
   }
   // Stop accepting before draining: new connections are refused at the
   // kernel level while existing clients get their answers.
@@ -227,7 +246,14 @@ void Server::AcceptLoop() {
   std::vector<std::thread> threads;
   {
     MutexLock lock(state_mutex_);
-    threads.swap(connection_threads_);
+    for (auto& [id, thread] : connection_threads_) {
+      threads.push_back(std::move(thread));
+    }
+    connection_threads_.clear();
+    for (std::thread& thread : finished_threads_) {
+      threads.push_back(std::move(thread));
+    }
+    finished_threads_.clear();
   }
   for (std::thread& t : threads) t.join();
   // The self-pipe is deliberately NOT closed here: the destructor is its
@@ -283,7 +309,7 @@ void Server::Release() {
 // ---------------------------------------------------------------------------
 // Connection handling
 
-void Server::ServeConnection(int fd) {
+void Server::ServeConnection(int fd, std::uint64_t id) {
   std::string buffer;
   bool first_line = true;
   bool open = true;
@@ -327,15 +353,28 @@ void Server::ServeConnection(int fd) {
     FRESHSEL_OBS_COUNT("serve.requests.received", 1);
     open = WriteLine(fd, Dispatch(line));
   }
-  ::close(fd);
-  MutexLock lock(state_mutex_);
-  for (std::size_t i = 0; i < connection_fds_.size(); ++i) {
-    if (connection_fds_[i] == fd) {
-      connection_fds_.erase(connection_fds_.begin() +
-                            static_cast<std::ptrdiff_t>(i));
-      break;
+  {
+    MutexLock lock(state_mutex_);
+    // Drop the fd from the drain set BEFORE closing it: Drain() walks
+    // connection_fds_ and shutdown()s each entry, and a close-then-erase
+    // order would let it hit a closed - or worse, recycled - descriptor.
+    for (std::size_t i = 0; i < connection_fds_.size(); ++i) {
+      if (connection_fds_[i] == fd) {
+        connection_fds_.erase(connection_fds_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    // Park this thread's own handle for the accept loop to join; if the
+    // accept loop already collected it for the shutdown join, it is gone
+    // from the map and there is nothing to park.
+    const auto it = connection_threads_.find(id);
+    if (it != connection_threads_.end()) {
+      finished_threads_.push_back(std::move(it->second));
+      connection_threads_.erase(it);
     }
   }
+  ::close(fd);
 }
 
 std::string Server::Dispatch(const std::string& line) {

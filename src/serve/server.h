@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -111,11 +112,22 @@ class Server {
   /// Live admission-control state (also the op:"ping" payload).
   PingInfo ping_info() const;
 
+  /// Test-only: connection-thread handles currently retained (running plus
+  /// finished-but-not-yet-reaped). Bounded by the number of *live*
+  /// connections, not by connections ever served - the reaping invariant
+  /// the lifecycle test asserts.
+  std::size_t retained_connection_threads_for_test() const;
+
+  /// Test-only: handles of connection threads still running (not yet
+  /// parked for reaping). Lets a test wait for a closed connection's
+  /// thread to finish without sleeping blind.
+  std::size_t running_connection_threads_for_test() const;
+
  private:
   enum class Admission { kProceed, kOverloaded, kDraining };
 
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(int fd, std::uint64_t id);
   std::string Dispatch(const std::string& line);
   void HandleHttpGet(int fd, const std::string& request_line);
   Admission Admit() FRESHSEL_EXCLUDES(state_mutex_);
@@ -143,7 +155,17 @@ class Server {
   std::size_t inflight_ FRESHSEL_GUARDED_BY(state_mutex_) = 0;
   std::size_t queued_ FRESHSEL_GUARDED_BY(state_mutex_) = 0;
   std::vector<int> connection_fds_ FRESHSEL_GUARDED_BY(state_mutex_);
-  std::vector<std::thread> connection_threads_
+  // Connection-thread lifecycle: a running thread's handle lives in
+  // connection_threads_ under a per-connection id (ids, unlike fds, are
+  // never recycled). On exit the thread parks its own handle in
+  // finished_threads_, which the accept loop joins on the next accept -
+  // so retained handles are bounded by live connections, not by
+  // connections ever served. Whatever remains at shutdown is joined by
+  // AcceptLoop after the drain.
+  std::uint64_t next_connection_id_ FRESHSEL_GUARDED_BY(state_mutex_) = 0;
+  std::map<std::uint64_t, std::thread> connection_threads_
+      FRESHSEL_GUARDED_BY(state_mutex_);
+  std::vector<std::thread> finished_threads_
       FRESHSEL_GUARDED_BY(state_mutex_);
 };
 

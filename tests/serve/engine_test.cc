@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -217,6 +218,55 @@ TEST_F(EngineTest, T0BeyondHorizonIsRejected) {
   ASSERT_FALSE(outcome.ok());
   EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(outcome.status().message().find("horizon"), std::string::npos);
+}
+
+TEST_F(EngineTest, WireBoundsAreReCheckedForInProcessCallers) {
+  // The daemon's codec already refuses these, but batch `freshsel select`
+  // and tests build QueryParams directly; the engine must reject them
+  // before MakeTimePoints sizes an allocation from them or a selector
+  // narrows them to int.
+  ScenarioRegistry registry;
+  ASSERT_TRUE(registry.Load("default", scratch_.path(), BaseIngest()).ok());
+  Engine engine(&registry);
+
+  QueryParams params = BaseParams();
+  params.points = std::int64_t{4} * 1000 * 1000 * 1000 * 1000 * 1000 * 1000;
+  Result<QueryOutcome> outcome = engine.ExecuteQuery(params);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(outcome.status().message().find("points"), std::string::npos);
+
+  params = BaseParams();
+  params.stride = std::int64_t{1} << 62;  // t0 + i * stride would overflow.
+  outcome = engine.ExecuteQuery(params);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+
+  params = BaseParams();  // points=3, stride=14: each in range...
+  params.points = kMaxEvalSpanSteps;  // ...but the product is not.
+  outcome = engine.ExecuteQuery(params);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+
+  params = BaseParams();
+  params.kappa = std::int64_t{5} * 1000 * 1000 * 1000;  // Negative as int.
+  params.algorithm = "grasp";
+  outcome = engine.ExecuteQuery(params);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(outcome.status().message().find("kappa"), std::string::npos);
+
+  params = BaseParams();
+  params.restarts = std::int64_t{1} << 40;
+  outcome = engine.ExecuteQuery(params);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+
+  params = BaseParams();
+  params.threads = 0;
+  outcome = engine.ExecuteQuery(params);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(EngineTest, ManifestT0IsTheDefaultCutoff) {

@@ -196,6 +196,58 @@ TEST(ProtocolParseTest, RejectsOutOfDomainValues) {
   ExpectParseErr(R"({"op":"query","roster":[""]})");
 }
 
+TEST(ProtocolParseTest, RejectsResourceSizingValuesPastTheWireCaps) {
+  // Every knob that sizes an allocation or narrows to int downstream has a
+  // hard wire cap; a single request must not be able to reserve gigabytes
+  // (points), overflow t0 + i * stride (stride), or flip negative inside a
+  // selector (kappa/restarts).
+  ExpectParseErr(R"({"op":"query","points":4000000000000000000})");
+  ExpectParseErr(R"({"op":"query","points":1048577})");
+  ExpectParseErr(R"({"op":"query","stride":4000000000000000000})");
+  ExpectParseErr(R"({"op":"query","stride":1048577})");
+  ExpectParseErr(R"({"op":"query","max_divisor":65})");
+  ExpectParseErr(R"({"op":"query","kappa":5000000000})");
+  ExpectParseErr(R"({"op":"query","kappa":65537})");
+  ExpectParseErr(R"({"op":"query","restarts":5000000000})");
+  ExpectParseErr(R"({"op":"query","restarts":65537})");
+  // The caps sit exactly at the documented constants (stride 1 keeps the
+  // cross-field points * stride bound satisfied at the points cap).
+  EXPECT_EQ(ParseOk(R"({"op":"query","stride":1,"points":1048576})")
+                .query.points,
+            kMaxEvalSpanSteps);
+  EXPECT_EQ(ParseOk(R"({"op":"query","kappa":65536})").query.kappa,
+            kMaxQueryKappa);
+  EXPECT_EQ(ParseOk(R"({"op":"query","restarts":65536})").query.restarts,
+            kMaxQueryRestarts);
+  EXPECT_EQ(ParseOk(R"({"op":"query","max_divisor":64})").query.max_divisor,
+            kMaxQueryDivisor);
+}
+
+TEST(ProtocolParseTest, RejectsEvalSpansPastTheHorizon) {
+  // points and stride are individually in range, but their product (the
+  // farthest eval time's offset from t0) exceeds the estimator horizon.
+  // Field order must not matter.
+  ExpectParseErr(R"({"op":"query","points":1048576,"stride":2})");
+  ExpectParseErr(R"({"op":"query","stride":1048576,"points":2})");
+  ExpectParseErr(R"({"op":"query","points":1025,"stride":1024})");
+  // The exact boundary is accepted: 1024 * 1024 == 2^20.
+  const Request boundary =
+      ParseOk(R"({"op":"query","points":1024,"stride":1024})");
+  EXPECT_EQ(boundary.query.points * boundary.query.stride,
+            kMaxEvalSpanSteps);
+  // A stride-only request still honors the default points (10).
+  ExpectParseErr(R"({"op":"query","stride":1048576})" );
+}
+
+TEST(ProtocolSerializeTest, ControlSerializerRefusesWorkOps) {
+  // Work ops carry parameters; folding them into some control line would
+  // hand the caller a valid-looking but wrong request.
+  EXPECT_DEATH(SerializeControlRequest(true, 1, RequestOp::kQuery),
+               "control op");
+  EXPECT_DEATH(SerializeControlRequest(false, 0, RequestOp::kLoadScenario),
+               "control op");
+}
+
 TEST(ProtocolParseTest, RejectsOversizedLines) {
   std::string line = R"({"op":"query","scenario":")";
   line.append(kMaxRequestBytes, 'a');

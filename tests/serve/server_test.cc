@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -345,6 +346,33 @@ TEST_F(ServerTest, DrainRefusesNewWorkAndDeliversInflightResponses) {
   EXPECT_TRUE(done.Find("ok")->AsBool());
   EXPECT_EQ(done.UintOr("id", 0), 1u);
   server_->Wait();
+}
+
+TEST_F(ServerTest, FinishedConnectionThreadHandlesAreReaped) {
+  StubHandler handler;
+  StartTcp(&handler);
+  constexpr int kConnections = 16;
+  for (int i = 0; i < kConnections; ++i) {
+    {
+      Client client = Connect();
+      obs::JsonValue ping = Parse(
+          *client.Call(SerializeControlRequest(true, 1, RequestOp::kPing)));
+      EXPECT_TRUE(ping.Find("ok")->AsBool());
+    }  // ~Client closes the socket; the server thread sees EOF and exits.
+    // Wait until the connection thread parked its own handle for reaping
+    // (the ctest timeout backstops a thread that never exits); the next
+    // accept then joins it.
+    while (server_->running_connection_threads_for_test() > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  // Each accept reaped the handles parked before it, so after 16
+  // sequential connections at most the last one's handle is still
+  // retained. Without reaping this would sit at kConnections for the
+  // daemon's whole lifetime.
+  EXPECT_LE(server_->retained_connection_threads_for_test(), 1u);
+  server_->Stop();
+  EXPECT_EQ(server_->retained_connection_threads_for_test(), 0u);
 }
 
 TEST_F(ServerTest, DoubleStartIsRefusedAndStopIsIdempotent) {
